@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the virtual-cluster executor: plan execution at
+//! small extents across grid sizes and with/without fusion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_bench::{paper_cost_model, tiny_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_sim::simulate;
+
+fn bench_execute(c: &mut Criterion) {
+    let tree = tiny_tree();
+    let mut g = c.benchmark_group("sim/execute");
+    g.sample_size(10);
+    for procs in [4u32, 16] {
+        let cm = paper_cost_model(procs);
+        let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+        let opt = optimize(&tree, &cm, &cfg).unwrap();
+        let plan = extract_plan(&tree, &opt);
+        g.bench_with_input(BenchmarkId::new("unconstrained", procs), &procs, |b, _| {
+            b.iter(|| simulate(&tree, &plan, &cm, 9).unwrap().metrics.total_flops)
+        });
+    }
+    // A fused plan (tight memory) for comparison.
+    let cm = paper_cost_model(4);
+    let free = optimize(
+        &tree,
+        &cm,
+        &OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() },
+    )
+    .unwrap();
+    let tight = optimize(
+        &tree,
+        &cm,
+        &OptimizerConfig { mem_limit_words: Some(free.mem_words - 1), ..Default::default() },
+    )
+    .unwrap();
+    let plan = extract_plan(&tree, &tight);
+    g.bench_function("fused/4", |b| {
+        b.iter(|| simulate(&tree, &plan, &cm, 9).unwrap().metrics.total_flops)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the cost primitives the DP evaluates millions
+//! of times: characterization interpolation, `RotateCost`, `DistSize`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tce_bench::paper_cost_model;
+use tce_cost::rotate;
+use tce_dist::{dist_size, Distribution, GridDim};
+use tce_expr::{IndexSet, IndexSpace, Tensor};
+
+fn setup() -> (IndexSpace, Tensor, Distribution, IndexSet) {
+    let mut sp = IndexSpace::new();
+    let b = sp.declare("b", 480);
+    let c = sp.declare("c", 480);
+    let d = sp.declare("d", 480);
+    let f = sp.declare("f", 64);
+    let t1 = Tensor::new("T1", vec![b, c, d, f]);
+    (sp.clone(), t1, Distribution::pair(d, b), IndexSet::from_iter([f]))
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let cm = paper_cost_model(16);
+    let (sp, t1, alpha, fused) = setup();
+    let mut g = c.benchmark_group("cost");
+    g.bench_function("rcost-interpolate", |b| {
+        b.iter(|| cm.chr.rcost(4, GridDim::Dim1, 55.3e6))
+    });
+    g.bench_function("dist-size", |b| {
+        b.iter(|| dist_size(&t1, &sp, cm.grid, alpha, &fused))
+    });
+    g.bench_function("rotate-cost", |b| {
+        b.iter(|| rotate::rotate_cost(&t1, &sp, cm.grid, alpha, GridDim::Dim2, &fused, &cm.chr))
+    });
+    g.bench_function("msg-factor", |b| {
+        b.iter(|| rotate::msg_factor(&t1, &sp, cm.grid, alpha, &fused))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

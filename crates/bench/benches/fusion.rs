@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the fusion machinery: prefix enumeration and
+//! the sequential memory-minimization DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_bench::{paper_tree, randtree};
+use tce_expr::IndexSet;
+use tce_fusion::{enumerate_prefixes, minimize_memory};
+
+fn bench_enumerate(c: &mut Criterion) {
+    let tree = paper_tree();
+    let ids: Vec<_> = tree.space.iter().take(5).collect();
+    let mut g = c.benchmark_group("fusion/enumerate");
+    for k in [3usize, 4, 5] {
+        let set = IndexSet::from_iter(ids[..k].iter().copied());
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| enumerate_prefixes(&set, k).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_memmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion/memmin");
+    g.sample_size(10);
+    let paper = paper_tree();
+    g.bench_function("paper", |b| b.iter(|| minimize_memory(&paper, usize::MAX).words));
+    for depth in [3usize, 4] {
+        let tree = randtree::random_chain(11, depth, 8);
+        g.bench_with_input(BenchmarkId::new("chain", depth), &depth, |b, _| {
+            b.iter(|| minimize_memory(&tree, usize::MAX).words)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumerate, bench_memmin);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of operation minimization: the paper's four-factor
+//! term and larger synthetic terms (subset DP is exponential in factors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_expr::examples::{ccsd_sum_of_products, PAPER_EXTENTS};
+use tce_expr::{IndexSet, IndexSpace, SumOfProducts, Tensor};
+use tce_opmin::minimize_operations;
+
+fn chain_term(factors: usize) -> (IndexSpace, SumOfProducts) {
+    // A chain of matrices: S(i0, i_n) = Σ A1(i0,i1) A2(i1,i2) … An(i_{n-1},i_n).
+    let mut sp = IndexSpace::new();
+    let ids: Vec<_> = (0..=factors)
+        .map(|i| sp.declare(&format!("i{i}"), 10 + (i as u64 * 7) % 30))
+        .collect();
+    let fs = (0..factors)
+        .map(|i| Tensor::new(format!("A{i}"), vec![ids[i], ids[i + 1]]))
+        .collect();
+    let sum = IndexSet::from_iter(ids[1..factors].iter().copied());
+    let term = SumOfProducts {
+        result: Tensor::new("S", vec![ids[0], ids[factors]]),
+        sum,
+        factors: fs,
+    };
+    (sp, term)
+}
+
+fn bench_opmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opmin");
+    g.sample_size(20);
+    let (space, term) = ccsd_sum_of_products(PAPER_EXTENTS);
+    g.bench_function("ccsd-4-factor", |b| {
+        b.iter(|| minimize_operations(&space, &term).flops)
+    });
+    for n in [6usize, 8, 10] {
+        let (space, term) = chain_term(n);
+        g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| minimize_operations(&space, &term).flops)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_opmin);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the §3.3 dynamic programming itself: the paper
+//! workload at both table configurations, the effect of dominance pruning,
+//! and scaling with tree depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tce_bench::{paper_cost_model, paper_tree, randtree};
+use tce_core::{optimize, OptimizerConfig};
+
+fn bench_paper_tables(c: &mut Criterion) {
+    let tree = paper_tree();
+    let mut g = c.benchmark_group("optimizer/paper");
+    g.sample_size(10);
+    for procs in [16u32, 64] {
+        let cm = paper_cost_model(procs);
+        g.bench_with_input(BenchmarkId::new("table", procs), &procs, |b, _| {
+            b.iter(|| optimize(&tree, &cm, &OptimizerConfig::default()).unwrap().comm_cost)
+        });
+    }
+    g.finish();
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let tree = paper_tree();
+    let cm = paper_cost_model(16);
+    let mut g = c.benchmark_group("optimizer/pruning");
+    g.sample_size(10);
+    g.bench_function("on", |b| {
+        b.iter(|| optimize(&tree, &cm, &OptimizerConfig::default()).unwrap().comm_cost)
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| {
+            optimize(
+                &tree,
+                &cm,
+                &OptimizerConfig { disable_pruning: true, ..Default::default() },
+            )
+            .unwrap()
+            .comm_cost
+        })
+    });
+    g.finish();
+}
+
+fn bench_tree_depth(c: &mut Criterion) {
+    let cm = paper_cost_model(16);
+    let mut g = c.benchmark_group("optimizer/depth");
+    g.sample_size(10);
+    for depth in [2usize, 3, 4] {
+        let tree = randtree::random_chain(5, depth, 8);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                optimize(
+                    &tree,
+                    &cm,
+                    &OptimizerConfig {
+                        mem_limit_words: Some(u128::MAX),
+                        max_prefix_len: 3,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .comm_cost
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paper_tables, bench_pruning_ablation, bench_tree_depth);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The §3.3 characterization-file workflow: "measure" rotation costs on
+//! the target machine once, write the characterization file, and reload it
+//! for later optimizer runs — exactly the paper's deployment story.
+//!
+//! Writes `target/rcost-characterization.json` and proves the round trip
+//! by re-optimizing from the loaded file.
+
+use std::fs;
+
+use tce_core::{optimize, OptimizerConfig};
+use tce_cost::{characterize, Characterization, CostModel, MachineModel};
+use tce_dist::ProcGrid;
+use tce_expr::examples::{ccsd_tree, PAPER_EXTENTS};
+
+fn main() {
+    let machine = MachineModel::itanium_cluster();
+    // One characterization run covers every grid the site will use.
+    let chr = characterize(&machine, &[2, 4, 8, 16, 32]);
+    let path = "target/rcost-characterization.json";
+    fs::write(path, chr.to_json()).expect("characterization file writes");
+    let bytes = fs::metadata(path).unwrap().len();
+    println!("wrote {path} ({bytes} bytes, {} grids)", chr.grids.len());
+
+    // A later session: load the file, no re-measurement.
+    let loaded = Characterization::from_json(&fs::read_to_string(path).unwrap())
+        .expect("characterization file parses");
+    let tree = ccsd_tree(PAPER_EXTENTS);
+    for procs in [16u32, 64] {
+        let grid = ProcGrid::square(procs).unwrap();
+        let cm = CostModel::with_characterization(machine.clone(), loaded.clone(), grid);
+        let opt = optimize(&tree, &cm, &OptimizerConfig::default()).expect("feasible");
+        println!(
+            "{procs} processors, optimized from the loaded file: {:.1} s communication",
+            opt.comm_cost
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment S3 — optimality validation: the dynamic programming must
+//! match independent brute force over random small instances and a ladder
+//! of memory limits.
+
+use tce_bench::{paper_cost_model, randtree};
+use tce_core::exhaustive::exhaustive_min;
+use tce_core::{optimize, OptimizeError, OptimizerConfig};
+
+fn main() {
+    println!("=== S3: DP vs exhaustive brute force ===\n");
+    let cm = paper_cost_model(4);
+    let mut checked = 0u32;
+    let mut agreements = 0u32;
+    for seed in 0..12u64 {
+        let tree = randtree::random_chain(seed, 2, 6);
+        // Derive interesting limits from the unconstrained footprint.
+        let free = optimize(
+            &tree,
+            &cm,
+            &OptimizerConfig {
+                mem_limit_words: Some(u128::MAX),
+                max_prefix_len: 2,
+                ..Default::default()
+            },
+        )
+        .expect("unconstrained always feasible");
+        let footprint = free.mem_words + free.max_msg_words;
+        for limit in [u128::MAX, footprint, footprint * 3 / 4, footprint / 2] {
+            let cfg = OptimizerConfig {
+                mem_limit_words: Some(limit),
+                max_prefix_len: 2,
+                ..Default::default()
+            };
+            let dp = optimize(&tree, &cm, &cfg);
+            let ex = exhaustive_min(&tree, &cm, limit, 2, false, false);
+            checked += 1;
+            match (dp, ex) {
+                (Ok(dp), Some(ex)) => {
+                    let agree =
+                        (dp.comm_cost - ex.comm_cost).abs() <= 1e-9 * ex.comm_cost.max(1.0);
+                    if agree {
+                        agreements += 1;
+                    } else {
+                        println!(
+                            "seed {seed} limit {limit}: DP {:.6} != exhaustive {:.6}",
+                            dp.comm_cost, ex.comm_cost
+                        );
+                    }
+                }
+                (Err(OptimizeError::NoFeasibleSolution { .. }), None) => {
+                    agreements += 1;
+                }
+                (dp, ex) => {
+                    println!("seed {seed} limit {limit}: feasibility disagrees: {dp:?} vs {ex:?}")
+                }
+            }
+        }
+    }
+    println!("{agreements}/{checked} instances agree (optimum and feasibility).");
+    assert_eq!(agreements, checked, "DP must match brute force everywhere");
+}

@@ -1,0 +1,72 @@
+//! Experiment X1 — beyond the paper: two search-space extensions the
+//! paper's formulas cannot express, and what they buy on the §4 workload.
+//!
+//! 1. `allow_unrelated_rotation`: rotate an array that does not carry every
+//!    surrounding fused loop (full block re-sent per iteration). The
+//!    paper's `MsgFactor` only prices fused indices of the rotated array's
+//!    own dimensions, so its search excludes these plans — yet on the
+//!    16-processor case one of them moves strictly *less* volume than the
+//!    paper's optimum (distribute the fused `f` loop, keep T2 home, re-send
+//!    D per local f iteration).
+//! 2. `allow_replication`: leave a grid dimension undistributed, trading
+//!    replicated memory for communication.
+
+use tce_bench::{paper_cost_model, paper_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+
+fn run(label: &str, procs: u32, cfg: &OptimizerConfig) {
+    let tree = paper_tree();
+    let cm = paper_cost_model(procs);
+    match optimize(&tree, &cm, cfg) {
+        Err(e) => println!("{label:<44} infeasible: {e}"),
+        Ok(opt) => {
+            let plan = extract_plan(&tree, &opt);
+            let fusions: Vec<String> = plan
+                .steps
+                .iter()
+                .filter(|s| !s.result_fusion.is_empty())
+                .map(|s| {
+                    format!(
+                        "{}->({})",
+                        s.result_name,
+                        tree.space.render(s.result_fusion.as_slice())
+                    )
+                })
+                .collect();
+            println!(
+                "{label:<44} {:>10.1} s   mem {:>6.0} Mwords   {}",
+                plan.comm_cost,
+                plan.mem_words as f64 / 1e6,
+                fusions.join(" ")
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("=== X1: search-space extensions on the paper workload ===\n");
+    for procs in [16u32, 64] {
+        println!("--- {procs} processors ---");
+        run("paper-faithful search", procs, &OptimizerConfig::default());
+        run(
+            "+ unrelated rotation",
+            procs,
+            &OptimizerConfig { allow_unrelated_rotation: true, ..Default::default() },
+        );
+        run(
+            "+ replication",
+            procs,
+            &OptimizerConfig { allow_replication: true, ..Default::default() },
+        );
+        run(
+            "+ both",
+            procs,
+            &OptimizerConfig {
+                allow_unrelated_rotation: true,
+                allow_replication: true,
+                ..Default::default()
+            },
+        );
+        println!();
+    }
+}

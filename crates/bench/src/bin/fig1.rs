@@ -1,0 +1,32 @@
+//! Experiment F1 — regenerate **Fig. 1**: the `S(t) = Σ_{i,j,k} A·B`
+//! example, its factored formula sequence, binary tree shape, and the §2
+//! operation counts (`2·N_iN_jN_kN_t` direct vs
+//! `N_iN_jN_t + N_jN_kN_t + 2N_jN_t` factored).
+
+use tce_expr::examples::{fig1_sequence, fig1_sum_of_products};
+use tce_expr::printer::render_sequence;
+use tce_opmin::{minimize_operations, to_sequence};
+
+fn main() {
+    let (ni, nj, nk, nt) = (100u64, 100, 100, 100);
+    println!("=== Fig. 1: S(t) = sum_(i,j,k) A(i,j,t) * B(j,k,t) ===\n");
+
+    let (space, term) = fig1_sum_of_products(ni, nj, nk, nt);
+    let res = minimize_operations(&space, &term);
+    println!("direct evaluation:    {:>16} flops  (2 N_i N_j N_k N_t)", res.direct_flops);
+    println!("factored evaluation:  {:>16} flops  (N_iN_jN_t + N_jN_kN_t + 2N_jN_t)", res.flops);
+    let paper = (ni * nj * nt + nj * nk * nt + 2 * nj * nt) as u128;
+    assert_eq!(res.flops, paper, "must match the paper's closed form");
+    println!("speedup:              {:>16.1}x\n", res.direct_flops as f64 / res.flops as f64);
+
+    println!("--- formula sequence found by operation minimization ---");
+    print!("{}", render_sequence(&to_sequence(&space, &term, &res).unwrap()));
+
+    println!("\n--- the paper's hand-written Fig. 1(a) sequence ---");
+    let seq = fig1_sequence(ni, nj, nk, nt);
+    print!("{}", render_sequence(&seq));
+    println!(
+        "\nhand-written sequence flops: {} (identical cost)",
+        seq.total_op_count().unwrap()
+    );
+}

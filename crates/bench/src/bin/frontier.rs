@@ -1,0 +1,34 @@
+//! Experiment X2 — the memory ↔ communication Pareto frontier: every
+//! non-dominated (footprint, comm cost) plan the §3.3 solution sets
+//! contain, for the paper workload and the larger ladder workload. Each
+//! table row answers "what would N bytes of memory per processor buy?".
+
+use tce_bench::{paper_cost_model, paper_tree};
+use tce_core::{optimize, root_frontier, OptimizerConfig};
+use tce_cost::units::{fmt_paper_bytes, words_to_bytes};
+use tce_expr::examples::{ladder_tree, PAPER_EXTENTS};
+
+fn show(name: &str, tree: &tce_expr::ExprTree, procs: u32) {
+    let cm = paper_cost_model(procs);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let opt = optimize(tree, &cm, &cfg).expect("unconstrained is feasible");
+    let frontier = root_frontier(tree, &opt);
+    println!("--- {name} on {procs} processors ---");
+    println!("{:>16} {:>14}   fits 2 GB?", "footprint/proc", "comm (s)");
+    for p in &frontier {
+        println!(
+            "{:>16} {:>14.1}   {}",
+            fmt_paper_bytes(words_to_bytes(p.footprint_words)),
+            p.comm_cost,
+            if p.footprint_words <= cm.mem_limit_words() { "yes" } else { "no" }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("=== X2: memory/communication Pareto frontiers ===\n");
+    show("paper CCSD workload", &paper_tree(), 16);
+    show("paper CCSD workload", &paper_tree(), 64);
+    show("ladder workload", &ladder_tree(PAPER_EXTENTS), 16);
+}

@@ -1,0 +1,33 @@
+//! Experiment X3 — the optimizer on a deeper workload: the four-contraction
+//! ladder (five input tensors). Shows the dynamic programming scaling past
+//! the paper's three-step example and the same memory-pressure story.
+
+use tce_bench::paper_cost_model;
+use tce_core::{build_report, extract_plan, optimize, render_report, OptimizerConfig};
+use tce_expr::examples::{ladder_tree, PAPER_EXTENTS};
+
+fn main() {
+    println!("=== X3: the four-contraction ladder workload ===\n");
+    let tree = ladder_tree(PAPER_EXTENTS);
+    println!(
+        "{} internal nodes, {:.2e} flops\n",
+        tree.postorder().iter().filter(|&&n| !tree.node(n).is_leaf()).count(),
+        tree.total_op_count() as f64
+    );
+    for procs in [16u32, 64] {
+        let cm = paper_cost_model(procs);
+        println!("--- {procs} processors ---");
+        match optimize(&tree, &cm, &OptimizerConfig::default()) {
+            Err(e) => println!("infeasible: {e}\n"),
+            Ok(opt) => {
+                let plan = extract_plan(&tree, &opt);
+                print!("{}", render_report(&build_report(&tree, &plan, &cm)));
+                println!(
+                    "search statistics: {} candidates, {} kept\n",
+                    opt.stats.iter().map(|s| s.candidates).sum::<u64>(),
+                    opt.stats.iter().map(|s| s.live).sum::<usize>()
+                );
+            }
+        }
+    }
+}

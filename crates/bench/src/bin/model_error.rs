@@ -1,0 +1,75 @@
+//! Experiment X5 — model validation at scale: for a population of random
+//! contraction chains, compare the optimizer's predicted communication time
+//! (built on the interpolated RCost characterization) against the virtual
+//! cluster's measured time (charged from the raw machine model), and verify
+//! every run numerically. The analogue of a systems paper's
+//! model-vs-measurement scatter plot.
+
+use tce_bench::{paper_cost_model, randtree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_expr::{ExprTree, IndexSpace, NodeKind};
+use tce_sim::simulate;
+
+/// Double every extent so the 2×2 grid divides them.
+fn even(tree: &ExprTree) -> ExprTree {
+    let mut sp = IndexSpace::new();
+    for id in tree.space.iter() {
+        sp.declare(tree.space.name(id), tree.space.extent(id) * 2);
+    }
+    let mut out = ExprTree::new(sp);
+    let mut map = std::collections::HashMap::new();
+    let mut root = None;
+    for id in tree.ids() {
+        let n = tree.node(id);
+        let new = match &n.kind {
+            NodeKind::Leaf => out.add_leaf(n.tensor.clone()),
+            NodeKind::Contract { sum, left, right } => {
+                out.add_contract(n.tensor.clone(), sum.clone(), map[left], map[right]).unwrap()
+            }
+            NodeKind::Reduce { sum, child } => {
+                out.add_reduce(n.tensor.clone(), *sum, map[child]).unwrap()
+            }
+        };
+        map.insert(id, new);
+        root = Some(new);
+    }
+    out.set_root(root.unwrap());
+    out
+}
+
+fn main() {
+    println!("=== X5: predicted vs simulated communication over random chains ===\n");
+    let cm = paper_cost_model(4);
+    let cfg = OptimizerConfig {
+        mem_limit_words: Some(u128::MAX),
+        max_prefix_len: 2,
+        ..Default::default()
+    };
+    let mut rel_errors = Vec::new();
+    let mut max_num_err = 0.0f64;
+    let n = 40;
+    for seed in 0..n {
+        let tree = even(&randtree::random_chain(seed, 3, 8));
+        let Ok(opt) = optimize(&tree, &cm, &cfg) else { continue };
+        let plan = extract_plan(&tree, &opt);
+        let report = simulate(&tree, &plan, &cm, seed).expect("plans execute");
+        max_num_err = max_num_err.max(report.max_abs_err);
+        if plan.comm_cost > 1e-9 {
+            rel_errors
+                .push((report.metrics.comm_seconds - plan.comm_cost).abs() / plan.comm_cost);
+        }
+    }
+    rel_errors.sort_by(f64::total_cmp);
+    let pct = |p: f64| rel_errors[((rel_errors.len() - 1) as f64 * p) as usize];
+    println!("chains evaluated:          {}", rel_errors.len());
+    println!("median |pred-sim|/pred:    {:.4}%", 100.0 * pct(0.5));
+    println!("p90:                       {:.4}%", 100.0 * pct(0.9));
+    println!("worst:                     {:.4}%", 100.0 * pct(1.0));
+    println!("worst numerical |error|:   {max_num_err:.2e}");
+    assert!(pct(1.0) < 0.05, "interpolation error must stay under 5%");
+    assert!(max_num_err < 1e-9, "all runs must verify numerically");
+    println!("\nEvery plan verified element-wise. The optimizer's view (interpolated");
+    println!("characterization) tracks the executed schedule closely; the residual");
+    println!("error concentrates around the machine's eager/rendezvous knee, which");
+    println!("a piecewise-linear table necessarily smooths.");
+}

@@ -1,0 +1,51 @@
+//! Experiment S2 — §3.3's claim that "pruning is effective in keeping the
+//! size of the solution set in each node small". Runs the DP with and
+//! without dominance pruning on the paper workload and on random chains,
+//! reporting candidates generated vs solutions kept.
+
+use tce_bench::{paper_cost_model, paper_tree, randtree};
+use tce_core::{optimize, OptimizerConfig};
+
+fn report(name: &str, tree: &tce_expr::ExprTree, procs: u32) {
+    let cm = paper_cost_model(procs);
+    let pruned = optimize(tree, &cm, &OptimizerConfig::default());
+    let unpruned = optimize(
+        tree,
+        &cm,
+        &OptimizerConfig { disable_pruning: true, ..Default::default() },
+    );
+    let (Ok(p), Ok(u)) = (pruned, unpruned) else {
+        println!("{name}: infeasible");
+        return;
+    };
+    assert!(
+        (p.comm_cost - u.comm_cost).abs() <= 1e-9 * p.comm_cost.max(1.0),
+        "pruning must not change the optimum"
+    );
+    println!("--- {name} ({procs} procs) ---");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12}",
+        "node", "candidates", "kept", "kept(off)", "pruned-dom"
+    );
+    for (sp, su) in p.stats.iter().zip(&u.stats) {
+        println!(
+            "{:<10} {:>12} {:>10} {:>10} {:>12}",
+            sp.name, sp.candidates, sp.live, su.live, sp.pruned_inferior
+        );
+    }
+    let total_p: usize = p.stats.iter().map(|s| s.live).sum();
+    let total_u: usize = u.stats.iter().map(|s| s.live).sum();
+    println!(
+        "total kept: {total_p} vs {total_u} without pruning ({:.1}x reduction)\n",
+        total_u as f64 / total_p.max(1) as f64
+    );
+}
+
+fn main() {
+    println!("=== S2: dominance-pruning effectiveness ===\n");
+    report("paper CCSD", &paper_tree(), 16);
+    for seed in [3u64, 11] {
+        let tree = randtree::random_chain(seed, 3, 8);
+        report(&format!("random chain (seed {seed})"), &tree, 16);
+    }
+}

@@ -1,0 +1,44 @@
+//! Cross-validation — execute optimized plans on the virtual cluster at
+//! scaled-down extents: numerical agreement with the sequential reference,
+//! and simulated communication time vs the optimizer's prediction.
+
+use tce_bench::{paper_cost_model, tiny_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_sim::simulate;
+
+fn main() {
+    println!("=== simulator cross-validation (tiny extents: 12/8/4) ===\n");
+    println!(
+        "{:>6} {:>16} {:>14} {:>14} {:>10} {:>12}",
+        "procs", "mem limit", "predicted (s)", "simulated (s)", "max |err|", "peak words"
+    );
+    let tree = tiny_tree();
+    for procs in [4u32, 16] {
+        let cm = paper_cost_model(procs);
+        let free = optimize(
+            &tree,
+            &cm,
+            &OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() },
+        )
+        .unwrap();
+        let footprint = free.mem_words + free.max_msg_words;
+        for (label, limit) in [("unconstrained", u128::MAX), ("tight", footprint - 1)] {
+            let cfg = OptimizerConfig { mem_limit_words: Some(limit), ..Default::default() };
+            let Ok(opt) = optimize(&tree, &cm, &cfg) else {
+                println!("{procs:>6} {label:>16} infeasible");
+                continue;
+            };
+            let plan = extract_plan(&tree, &opt);
+            let report = simulate(&tree, &plan, &cm, 2026).expect("simulation runs");
+            println!(
+                "{procs:>6} {label:>16} {:>14.4} {:>14.4} {:>10.2e} {:>12}",
+                plan.comm_cost,
+                report.metrics.comm_seconds,
+                report.max_abs_err,
+                report.metrics.peak_words
+            );
+            assert!(report.max_abs_err < 1e-9, "numerical verification failed");
+        }
+    }
+    println!("\nAll plans verified element-wise against the sequential reference.");
+}

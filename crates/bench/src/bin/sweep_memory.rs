@@ -1,0 +1,57 @@
+//! Experiment S4 — communication cost as a function of the per-processor
+//! memory limit: a step function whose jumps mark fusion onsets. Shows the
+//! §2 claim that memory constraints, not processor count, drive the cost.
+
+use tce_bench::{paper_cost_model, paper_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_cost::units::{fmt_paper_bytes, words_to_bytes};
+
+fn main() {
+    let tree = paper_tree();
+    let cm = paper_cost_model(16);
+    println!("=== S4: comm cost vs per-processor memory limit (16 procs) ===\n");
+    println!(
+        "{:>14} {:>14} {:>12} {:>28}",
+        "limit/proc", "comm (s)", "fused edges", "fusions"
+    );
+    // From plentiful (the unfused optimum fits) down to starvation.
+    let mut limit = 6_000_000_000u128 / 8; // 6 GB per processor, in words
+    while limit > 10_000_000 {
+        let cfg = OptimizerConfig { mem_limit_words: Some(limit), ..Default::default() };
+        match optimize(&tree, &cm, &cfg) {
+            Err(_) => {
+                println!(
+                    "{:>14} {:>14}",
+                    fmt_paper_bytes(words_to_bytes(limit)),
+                    "infeasible"
+                );
+            }
+            Ok(opt) => {
+                let plan = extract_plan(&tree, &opt);
+                let cfg_f = plan.fusion_config();
+                let mut fusions: Vec<String> = plan
+                    .steps
+                    .iter()
+                    .filter(|s| !s.result_fusion.is_empty())
+                    .map(|s| {
+                        format!(
+                            "{}->({})",
+                            s.result_name,
+                            tree.space.render(s.result_fusion.as_slice())
+                        )
+                    })
+                    .collect();
+                fusions.sort();
+                let _ = &cfg_f;
+                println!(
+                    "{:>14} {:>14.1} {:>12} {:>28}",
+                    fmt_paper_bytes(words_to_bytes(limit)),
+                    plan.comm_cost,
+                    fusions.len(),
+                    fusions.join(" ")
+                );
+            }
+        }
+        limit = limit * 10 / 16; // ~0.2 decades per step
+    }
+}

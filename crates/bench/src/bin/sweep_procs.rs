@@ -1,0 +1,41 @@
+//! Experiment S1 — the paper's §4 counter-intuitive trend: for a fixed
+//! problem, *decreasing* the number of nodes forces more fusion to fit in
+//! memory, which *increases* the absolute communication cost. Sweeps the
+//! processor count and prints the series.
+
+use tce_bench::{paper_cost_model, paper_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_cost::compute::{tree_compute_time, RuntimeSummary};
+
+fn main() {
+    let tree = paper_tree();
+    println!("=== S1: communication vs processor count (paper workload) ===\n");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>10} {:>8}",
+        "procs", "nodes", "comm (s)", "total (s)", "comm %", "fusions"
+    );
+    for procs in [4u32, 16, 64, 256, 1024] {
+        let cm = paper_cost_model(procs);
+        let cfg = OptimizerConfig::default();
+        match optimize(&tree, &cm, &cfg) {
+            Err(e) => println!("{procs:>6} {:>8} infeasible: {e}", procs / 2),
+            Ok(opt) => {
+                let plan = extract_plan(&tree, &opt);
+                let summary = RuntimeSummary {
+                    comm_s: plan.comm_cost,
+                    compute_s: tree_compute_time(&tree, procs, &cm.machine),
+                };
+                let fusions =
+                    plan.steps.iter().filter(|s| !s.result_fusion.is_empty()).count();
+                println!(
+                    "{procs:>6} {:>8} {:>14.1} {:>14.1} {:>9.1}% {fusions:>8}",
+                    procs / 2,
+                    summary.comm_s,
+                    summary.total_s(),
+                    summary.comm_percent()
+                );
+            }
+        }
+    }
+    println!("\nPaper reference points: 64 procs -> 98.0 s (7.0%); 16 procs -> 1907.8 s (27.3%).");
+}

@@ -1,0 +1,30 @@
+//! Experiment T1 — regenerate **Table 1** of the paper: the memory-
+//! constrained communication-minimal solution for the §4 CCSD-like
+//! computation on 64 processors (32 nodes, 8×8 grid, 4 GB/node).
+//!
+//! Paper reference values: no fusion required; T1 never communicated;
+//! total communication 98.0 s = 7.0 % of the 1403.4 s running time;
+//! ≈ 2.04 GB/node of stored arrays.
+
+use tce_bench::{paper_cost_model, paper_table, paper_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+
+fn main() {
+    println!("=== Table 1: 64 processors (32 nodes, 8x8 grid) ===\n");
+    let cfg = OptimizerConfig::default();
+    print!("{}", paper_table(64, &cfg));
+
+    // Paper-vs-model comparison footer.
+    let tree = paper_tree();
+    let cm = paper_cost_model(64);
+    let opt = optimize(&tree, &cm, &cfg).expect("64-proc case is feasible");
+    let plan = extract_plan(&tree, &opt);
+    println!("\nPaper reference:  total communication 98.0 sec. (7.0% of 1403.4 sec.)");
+    println!(
+        "This model:       total communication {:.1} sec. (delta {:+.1}%)",
+        plan.comm_cost,
+        100.0 * (plan.comm_cost - 98.0) / 98.0
+    );
+    let fused = plan.steps.iter().filter(|s| !s.result_fusion.is_empty()).count();
+    println!("Fusions chosen:   {fused} (paper: 0)");
+}

@@ -1,0 +1,36 @@
+//! Experiment T2 — regenerate **Table 2** of the paper: the same
+//! computation on 16 processors (8 nodes, 4×4 grid), where the unfused form
+//! (65.3 GB) no longer fits in the 32 GB of aggregate memory, so the
+//! optimizer must fuse the `f` loop, reducing `T1(b,c,d,f)` to `T1(b,c,d)`.
+//!
+//! Paper reference values: T1 reduced to 108 MB/node; D not communicated;
+//! T1 rotated at 902.0 s (init.) and 888.5 s (final); total communication
+//! 1907.8 s = 27.3 % of the 6983.8 s running time.
+
+use tce_bench::{paper_cost_model, paper_table, paper_tree};
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+
+fn main() {
+    println!("=== Table 2: 16 processors (8 nodes, 4x4 grid) ===\n");
+    let cfg = OptimizerConfig::default();
+    print!("{}", paper_table(16, &cfg));
+
+    let tree = paper_tree();
+    let cm = paper_cost_model(16);
+    let opt = optimize(&tree, &cm, &cfg).expect("16-proc case is feasible with fusion");
+    let plan = extract_plan(&tree, &opt);
+    println!("\nPaper reference:  total communication 1907.8 sec. (27.3% of 6983.8 sec.)");
+    println!(
+        "This model:       total communication {:.1} sec. (delta {:+.1}%)",
+        plan.comm_cost,
+        100.0 * (plan.comm_cost - 1907.8) / 1907.8
+    );
+    let t1 = plan.step_for("T1").expect("plan has a T1 step");
+    println!(
+        "T1 fusion:        ({}) (paper: f); stored T1 arity {} (paper: 3)",
+        tree.space.render(t1.result_fusion.as_slice()),
+        plan.fusion_config()
+            .reduced_tensor(&tree, tree.find("T1").unwrap())
+            .arity()
+    );
+}

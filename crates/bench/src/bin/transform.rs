@@ -1,0 +1,66 @@
+//! Experiment X6 — the four-index integral transformation (AO→MO), the
+//! other canonical quantum-chemistry pipeline: four `O(N^5)` quarter
+//! transforms whose `N_mo·N_ao³`-scale intermediates force fusion under
+//! memory pressure just like the paper's CCSD term.
+
+use tce_bench::paper_cost_model;
+use tce_core::{build_report, extract_plan, optimize, render_report, OptimizerConfig};
+use tce_cost::units::{fmt_paper_bytes, words_to_bytes};
+use tce_expr::examples::four_index_transform;
+
+fn main() {
+    println!("=== X6: four-index transformation, N_ao = 192, N_mo = 96 ===\n");
+    let tree = four_index_transform(192, 96).to_tree().unwrap();
+    println!(
+        "{:.2e} flops over 4 quarter transforms; A alone is {}\n",
+        tree.total_op_count() as f64,
+        fmt_paper_bytes(words_to_bytes(192u128.pow(4)))
+    );
+    let cm = paper_cost_model(16);
+    println!("--- 16 processors, 4 GB/node ---");
+    match optimize(&tree, &cm, &OptimizerConfig::default()) {
+        Err(e) => println!("infeasible: {e}"),
+        Ok(opt) => {
+            let plan = extract_plan(&tree, &opt);
+            print!("{}", render_report(&build_report(&tree, &plan, &cm)));
+        }
+    }
+
+    println!("\n--- memory-limit sweep (16 procs) ---");
+    println!("{:>14} {:>12} {:>10}", "limit/proc", "comm (s)", "fusions");
+    let mut limit: u128 = 2 * 1024 * 1_024_000 / 8; // the real 2 GB/proc
+    let mut last = String::new();
+    while limit > 4_000_000 {
+        let cfg = OptimizerConfig { mem_limit_words: Some(limit), ..Default::default() };
+        let cell = match optimize(&tree, &cm, &cfg) {
+            Err(_) => ("infeasible".to_string(), "-".to_string()),
+            Ok(opt) => {
+                let plan = extract_plan(&tree, &opt);
+                let fusions: Vec<String> = plan
+                    .steps
+                    .iter()
+                    .filter(|s| !s.result_fusion.is_empty())
+                    .map(|s| {
+                        format!(
+                            "{}->({})",
+                            s.result_name,
+                            tree.space.render(s.result_fusion.as_slice())
+                        )
+                    })
+                    .collect();
+                (format!("{:.1}", plan.comm_cost), fusions.join(" "))
+            }
+        };
+        let sig = format!("{}|{}", cell.0, cell.1);
+        if sig != last {
+            println!(
+                "{:>14} {:>12} {:>10}",
+                fmt_paper_bytes(words_to_bytes(limit)),
+                cell.0,
+                cell.1
+            );
+            last = sig;
+        }
+        limit = limit * 4 / 5;
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic pseudo-random contraction-tree generation for stress,
+//! property, and scaling experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tce_expr::{ExprTree, IndexId, IndexSet, IndexSpace, Tensor};
+
+/// Build a random left-deep contraction chain with `depth` internal nodes
+/// over small index extents (`2..=max_extent`). Every contraction sums a
+/// random non-empty subset of the running result's dimensions against a
+/// fresh leaf and introduces one or two new dimensions, so the §3.1
+/// contraction property always holds.
+pub fn random_chain(seed: u64, depth: usize, max_extent: u64) -> ExprTree {
+    assert!(depth >= 1, "a chain needs at least one contraction");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
+
+    // Pre-declare a pool of indices large enough for the whole chain.
+    let mut space = IndexSpace::new();
+    let pool: Vec<IndexId> = (0..(3 + 2 * depth))
+        .map(|i| space.declare(&format!("x{i}"), rng.gen_range(2..=max_extent)))
+        .collect();
+    let mut next = 3usize;
+    let take = |n: usize, next: &mut usize| -> Vec<IndexId> {
+        let out = pool[*next..*next + n].to_vec();
+        *next += n;
+        out
+    };
+
+    let mut tree = ExprTree::new(space);
+    let (i0, i1, i2) = (pool[0], pool[1], pool[2]);
+    let a = tree.add_leaf(Tensor::new("A0", vec![i0, i1]));
+    let b = tree.add_leaf(Tensor::new("B0", vec![i1, i2]));
+    let mut current = tree
+        .add_contract(Tensor::new("T0", vec![i0, i2]), IndexSet::from_iter([i1]), a, b)
+        .expect("seed contraction is valid");
+    let mut current_dims = vec![i0, i2];
+
+    for d in 1..depth {
+        // Summation set: random non-empty subset of the running dims.
+        let mut sum = current_dims.clone();
+        while sum.len() > 1 && rng.gen_bool(0.5) {
+            let p = rng.gen_range(0..sum.len());
+            sum.remove(p);
+        }
+        let n_new = rng.gen_range(1..=2usize);
+        let new_ids = take(n_new, &mut next);
+        let mut leaf_dims = sum.clone();
+        leaf_dims.extend(new_ids.iter().copied());
+        let leaf = tree.add_leaf(Tensor::new(format!("B{d}"), leaf_dims));
+        let result_dims: Vec<IndexId> = current_dims
+            .iter()
+            .copied()
+            .filter(|i| !sum.contains(i))
+            .chain(new_ids.iter().copied())
+            .collect();
+        current = tree
+            .add_contract(
+                Tensor::new(format!("T{d}"), result_dims.clone()),
+                IndexSet::from_iter(sum.iter().copied()),
+                current,
+                leaf,
+            )
+            .expect("generated contraction is well-formed");
+        current_dims = result_dims;
+    }
+    tree.set_root(current);
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = random_chain(7, 4, 5);
+        let b = random_chain(7, 4, 5);
+        assert_eq!(a.len(), b.len());
+        for id in a.ids() {
+            assert_eq!(a.node(id).tensor, b.node(id).tensor);
+        }
+    }
+
+    #[test]
+    fn groups_are_always_decomposable() {
+        for seed in 0..30 {
+            let t = random_chain(seed, 4, 5);
+            for id in t.ids().filter(|&i| !t.node(i).is_leaf()) {
+                t.contraction_groups(id).unwrap();
+            }
+        }
+    }
+}
+
+/// A random tree mixing contraction, reduction, and element-wise nodes
+/// (the Fig. 1 node kinds), for coverage of the non-Cannon optimizer and
+/// executor paths. All extents even, so a 2×2 grid divides them.
+pub fn random_mixed(seed: u64, max_extent: u64) -> ExprTree {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD1B54A32D192ED03));
+    let even = |rng: &mut StdRng| 2 * rng.gen_range(1..=max_extent.max(2) / 2);
+    let mut sp = IndexSpace::new();
+    let i = sp.declare("i", even(&mut rng));
+    let j = sp.declare("j", even(&mut rng));
+    let k = sp.declare("k", even(&mut rng));
+    let t = sp.declare("t", even(&mut rng));
+    let mut tree = ExprTree::new(sp);
+    // A(i,j,t), B(j,k,t):  T1 = Σ_i A;  T2 = Σ_k B;  T3 = T1×T2;  root
+    // varies by seed: either S = Σ_j T3 (Fig. 1) or a contraction of T3
+    // with a fresh leaf.
+    let a = tree.add_leaf(Tensor::new("A", vec![i, j, t]));
+    let b = tree.add_leaf(Tensor::new("B", vec![j, k, t]));
+    let t1 = tree.add_reduce(Tensor::new("T1", vec![j, t]), i, a).unwrap();
+    let t2 = tree.add_reduce(Tensor::new("T2", vec![j, t]), k, b).unwrap();
+    let t3 = tree
+        .add_contract(Tensor::new("T3", vec![j, t]), IndexSet::new(), t1, t2)
+        .unwrap();
+    let root = if rng.gen_bool(0.5) {
+        tree.add_reduce(Tensor::new("S", vec![t]), j, t3).unwrap()
+    } else {
+        let c = tree.add_leaf(Tensor::new("C", vec![j, t]));
+        tree.add_contract(
+            Tensor::new("S", vec![]),
+            IndexSet::from_iter([j, t]),
+            t3,
+            c,
+        )
+        .unwrap()
+    };
+    tree.set_root(root);
+    tree
+}
+
+#[cfg(test)]
+mod mixed_tests {
+    use super::*;
+
+    #[test]
+    fn mixed_trees_are_valid() {
+        for seed in 0..20 {
+            let t = random_mixed(seed, 8);
+            assert!(!t.is_contraction_tree(), "mixed trees have reduce nodes");
+            assert!(t.total_op_count() > 0);
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! The memory-constrained communication minimization algorithm (§3.3).
+//!
+//! Bottom-up over the expression tree: at each node, every combination of
+//! * generalized-Cannon communication pattern (triplet `{i,j,k}` × role
+//!   assignment, §3.1),
+//! * fusion prefix with the parent,
+//! * children's `(distribution, fusion)` solutions (with redistribution
+//!   when an unfused child arrives in a different layout),
+//!
+//! is evaluated; candidates exceeding the per-processor memory limit are
+//! dropped and dominated candidates pruned, exactly as the paper describes.
+//! The root's cheapest surviving solution is optimal over the searched
+//! space (the search is exhaustive; pruning only removes candidates that
+//! cannot be extended into a better complete solution).
+
+use std::collections::HashMap;
+
+use tce_cost::CostModel;
+use tce_dist::{
+    dist_size, enumerate_patterns, CannonPattern, Distribution, GridDim, Operand,
+};
+use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind};
+use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
+
+use crate::solution::{ChildBinding, Choice, Solution, SolutionSet};
+
+/// Search-space knobs.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Cap on fused loops per edge (`usize::MAX` = unlimited).
+    pub max_prefix_len: usize,
+    /// Also consider leaving a grid dimension undistributed (replication) —
+    /// an extension beyond the paper's always-fully-distributed search.
+    pub allow_replication: bool,
+    /// Also consider rotating an array that does not carry every fused
+    /// loop surrounding the contraction (its full block is then re-sent per
+    /// iteration). The paper's `MsgFactor` formula prices only fused
+    /// indices of the rotated array's own dimensions, so its search
+    /// excludes these configurations; enabling this explores the larger
+    /// space, which can genuinely beat the paper's optimum (see
+    /// EXPERIMENTS.md, experiment X1).
+    pub allow_unrelated_rotation: bool,
+    /// Override the per-processor memory limit in words (`None` = take it
+    /// from the machine model).
+    pub mem_limit_words: Option<u128>,
+    /// Disable dominance pruning (for the §3.3 pruning-effectiveness
+    /// ablation; the result is unchanged, only the work done).
+    pub disable_pruning: bool,
+    /// Restrict the search to one fixed fusion configuration (the
+    /// "fusion first" baseline).
+    pub fixed_fusion: Option<tce_fusion::FusionConfig>,
+    /// Restrict each node to one fixed communication pattern (the
+    /// "distribution first" baseline).
+    pub fixed_patterns: Option<HashMap<NodeId, CannonPattern>>,
+    /// Given initial distributions of input arrays, by name (§3.3: "we
+    /// assume the input arrays can be distributed initially among the
+    /// processors in any way at zero cost … our approach works regardless
+    /// of whether any initial or final data distribution is given").
+    /// Inputs listed here start in the given layout and pay redistribution
+    /// when a contraction needs another; absent inputs remain free.
+    pub input_dists: HashMap<String, Distribution>,
+    /// Required final distribution of the root output; the plan pays a
+    /// final redistribution when the best production layout differs.
+    pub output_dist: Option<Distribution>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            max_prefix_len: usize::MAX,
+            allow_replication: false,
+            allow_unrelated_rotation: false,
+            mem_limit_words: None,
+            disable_pruning: false,
+            fixed_fusion: None,
+            fixed_patterns: None,
+            input_dists: HashMap::new(),
+            output_dist: None,
+        }
+    }
+}
+
+/// Why optimization failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// No fusion/distribution combination fits the memory limit.
+    NoFeasibleSolution {
+        /// The limit that could not be met (words per processor).
+        limit_words: u128,
+    },
+    /// The tree contains a node the parallel model cannot place.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizeError::NoFeasibleSolution { limit_words } => write!(
+                f,
+                "no fusion/distribution combination fits within {limit_words} words per processor"
+            ),
+            OptimizeError::Unsupported(m) => write!(f, "unsupported computation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Per-node search statistics (for the pruning ablation, experiment S2).
+#[derive(Clone, Debug, Default)]
+pub struct NodeStats {
+    /// Array name of the node.
+    pub name: String,
+    /// Candidates generated.
+    pub candidates: u64,
+    /// Candidates pruned as dominated.
+    pub pruned_inferior: u64,
+    /// Candidates pruned by the memory limit.
+    pub pruned_memory: u64,
+    /// Live solutions kept.
+    pub live: usize,
+}
+
+/// The optimization outcome: the per-node solution sets plus the winning
+/// root solution.
+#[derive(Debug)]
+pub struct Optimized {
+    /// Total communication cost (seconds).
+    pub comm_cost: f64,
+    /// Per-processor memory (words) of all stored arrays.
+    pub mem_words: u128,
+    /// Largest per-step message (words) — the staging buffer.
+    pub max_msg_words: u128,
+    /// Solution sets for every internal node (for plan reconstruction).
+    pub sets: HashMap<NodeId, SolutionSet>,
+    /// Winning solution index at the root.
+    pub best_index: usize,
+    /// Redistribution cost into the required final output layout (zero
+    /// when none was requested or the layouts already match); included in
+    /// `comm_cost`.
+    pub output_redist_cost: f64,
+    /// Search statistics, postorder.
+    pub stats: Vec<NodeStats>,
+}
+
+/// Run the §3.3 dynamic programming.
+pub fn optimize(
+    tree: &ExprTree,
+    cm: &CostModel,
+    cfg: &OptimizerConfig,
+) -> Result<Optimized, OptimizeError> {
+    if tree.node(tree.root()).is_leaf() {
+        return Err(OptimizeError::Unsupported(
+            "the expression tree computes nothing (its root is an input array)".into(),
+        ));
+    }
+    let limit = cfg.mem_limit_words.unwrap_or_else(|| cm.mem_limit_words());
+    let mut sets: HashMap<NodeId, SolutionSet> = HashMap::new();
+    let mut stats = Vec::new();
+
+    for node in tree.postorder() {
+        let n = tree.node(node);
+        if n.is_leaf() {
+            continue; // leaves are bound inline at their parent
+        }
+        let my_prefixes = match &cfg.fixed_fusion {
+            Some(fc) => vec![fc.prefix(node)],
+            None => enumerate_prefixes(&edge_candidates(tree, node), cfg.max_prefix_len),
+        };
+        let mut set = SolutionSet::with_pruning(!cfg.disable_pruning);
+        match &n.kind {
+            NodeKind::Contract { left, right, .. } => {
+                if let Ok(groups) = tree.contraction_groups(node) {
+                    let patterns = match cfg.fixed_patterns.as_ref().and_then(|m| m.get(&node)) {
+                        Some(p) => vec![*p],
+                        None => enumerate_patterns(&groups, cfg.allow_replication),
+                    };
+                    combine_contraction(
+                        tree, cm, cfg, node, *left, *right, &patterns, &my_prefixes, &sets,
+                        limit, &mut set,
+                    );
+                } else {
+                    // Element-wise multiplication (shared non-summed
+                    // indices, e.g. Fig. 1's T3 = T1 × T2): aligned
+                    // distributions, no rotation.
+                    combine_elementwise(
+                        tree, cm, cfg, node, *left, *right, &my_prefixes, &sets, limit,
+                        &mut set,
+                    );
+                }
+            }
+            NodeKind::Reduce { sum, child } => {
+                combine_reduce(
+                    tree, cm, cfg, node, *child, *sum, &my_prefixes, &sets, limit, &mut set,
+                );
+            }
+            NodeKind::Leaf => unreachable!(),
+        }
+        stats.push(NodeStats {
+            name: n.tensor.name.clone(),
+            candidates: set.candidates_seen,
+            pruned_inferior: set.pruned_inferior,
+            pruned_memory: set.pruned_memory,
+            live: set.live_len(),
+        });
+        sets.insert(node, set);
+    }
+
+    let root_set = &sets[&tree.root()];
+    let root_tensor = &tree.node(tree.root()).tensor;
+    // A required final layout charges each candidate the redistribution
+    // from its production layout (§3.3: "we do not require the final
+    // results to be distributed in any particular way" — unless asked).
+    let final_redist = |dist: Distribution| -> f64 {
+        match cfg.output_dist {
+            None => 0.0,
+            Some(target) => cm.redistribution_cost(
+                root_tensor,
+                &tree.space,
+                dist,
+                target,
+                &IndexSet::new(),
+            ),
+        }
+    };
+    let best_index = root_set
+        .all
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.fusion.is_empty() && s.footprint_words() <= limit)
+        .min_by(|(_, a), (_, b)| {
+            (a.comm_cost + final_redist(a.dist)).total_cmp(&(b.comm_cost + final_redist(b.dist)))
+        })
+        .map(|(i, _)| i)
+        .ok_or(OptimizeError::NoFeasibleSolution { limit_words: limit })?;
+    let best = &root_set.all[best_index];
+    let output_redist_cost = final_redist(best.dist);
+    Ok(Optimized {
+        comm_cost: best.comm_cost + output_redist_cost,
+        mem_words: best.mem_words,
+        max_msg_words: best.max_msg_words,
+        best_index,
+        output_redist_cost,
+        stats,
+        sets,
+    })
+}
+
+/// A way to obtain one child array in a required layout.
+struct ChildOpt {
+    sol_index: usize,
+    produced: Distribution,
+    comm_cost: f64,
+    mem_words: u128,
+    max_msg_words: u128,
+    redist_cost: f64,
+}
+
+/// Enumerate the ways child `c` can supply its array in `required` layout
+/// with fusion `f` on the edge.
+fn child_options(
+    tree: &ExprTree,
+    cm: &CostModel,
+    cfg: &OptimizerConfig,
+    c: NodeId,
+    f: &FusionPrefix,
+    required: Distribution,
+    sets: &HashMap<NodeId, SolutionSet>,
+) -> Vec<ChildOpt> {
+    let n = tree.node(c);
+    if n.is_leaf() {
+        // Inputs may be distributed initially in any way at zero cost
+        // (§3.3) — unless a starting layout was given, in which case the
+        // array pays redistribution into the required one. Inputs are
+        // stored in full regardless of edge fusion.
+        if !required.is_valid_for(&n.tensor) {
+            return vec![];
+        }
+        let mem = dist_size(&n.tensor, &tree.space, cm.grid, required, &IndexSet::new());
+        let (produced, redist) = match cfg.input_dists.get(&n.tensor.name) {
+            Some(&given) if given.is_valid_for(&n.tensor) => {
+                // A fused edge cannot redistribute mid-stream; the given
+                // layout must already match.
+                if !f.is_empty() && given != required {
+                    return vec![];
+                }
+                let cost = cm.redistribution_cost(
+                    &n.tensor,
+                    &tree.space,
+                    given,
+                    required,
+                    &IndexSet::new(),
+                );
+                (given, cost)
+            }
+            _ => (required, 0.0),
+        };
+        return vec![ChildOpt {
+            sol_index: usize::MAX,
+            produced,
+            comm_cost: 0.0,
+            mem_words: mem,
+            max_msg_words: 0,
+            redist_cost: redist,
+        }];
+    }
+    let set = &sets[&c];
+    if f.is_empty() {
+        // Unfused: the array is fully materialized; any production layout
+        // works, paying redistribution when it differs.
+        set.with_fusion(f)
+            .into_iter()
+            .map(|i| {
+                let s = &set.all[i];
+                let redist = cm.redistribution_cost(
+                    &n.tensor,
+                    &tree.space,
+                    s.dist,
+                    required,
+                    &IndexSet::new(),
+                );
+                ChildOpt {
+                    sol_index: i,
+                    produced: s.dist,
+                    comm_cost: s.comm_cost,
+                    mem_words: s.mem_words,
+                    max_msg_words: s.max_msg_words,
+                    redist_cost: redist,
+                }
+            })
+            .collect()
+    } else {
+        // Fused: produced slice-by-slice inside shared loops — no chance to
+        // redistribute, so the production layout must match exactly. This
+        // also enforces §3.2(iii): every fused index is distributed
+        // identically (or not at all) at both ends.
+        set.lookup(required, f)
+            .into_iter()
+            .map(|i| {
+                let s = &set.all[i];
+                ChildOpt {
+                    sol_index: i,
+                    produced: s.dist,
+                    comm_cost: s.comm_cost,
+                    mem_words: s.mem_words,
+                    max_msg_words: s.max_msg_words,
+                    redist_cost: 0.0,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fusion prefixes available on the edge above child `c`.
+fn child_fusions(
+    tree: &ExprTree,
+    cfg: &OptimizerConfig,
+    c: NodeId,
+    sets: &HashMap<NodeId, SolutionSet>,
+) -> Vec<FusionPrefix> {
+    if tree.node(c).is_leaf() {
+        match &cfg.fixed_fusion {
+            // Fixed configurations pin the internal edges but leave leaf
+            // message slicing free (it has no memory side).
+            Some(_) => enumerate_prefixes(&edge_candidates(tree, c), cfg.max_prefix_len),
+            None => enumerate_prefixes(&edge_candidates(tree, c), cfg.max_prefix_len),
+        }
+    } else {
+        sets[&c].fusions()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn combine_contraction(
+    tree: &ExprTree,
+    cm: &CostModel,
+    cfg: &OptimizerConfig,
+    node: NodeId,
+    left: NodeId,
+    right: NodeId,
+    patterns: &[CannonPattern],
+    my_prefixes: &[FusionPrefix],
+    sets: &HashMap<NodeId, SolutionSet>,
+    limit: u128,
+    out: &mut SolutionSet,
+) {
+    let space = &tree.space;
+    let lf_all = child_fusions(tree, cfg, left, sets);
+    let rf_all = child_fusions(tree, cfg, right, sets);
+
+    // Pre-filter chain-compatible (f_left, f_right, f_up) triples.
+    let mut triples: Vec<(&FusionPrefix, &FusionPrefix, &FusionPrefix)> = Vec::new();
+    for fl in &lf_all {
+        for fr in &rf_all {
+            if !fl.chain_compatible(fr) {
+                continue;
+            }
+            for fu in my_prefixes {
+                if fu.chain_compatible(fl) && fu.chain_compatible(fr) {
+                    triples.push((fl, fr, fu));
+                }
+            }
+        }
+    }
+
+    let result_tensor = &tree.node(node).tensor;
+    let left_tensor = &tree.node(left).tensor;
+    let right_tensor = &tree.node(right).tensor;
+
+    for pat in patterns {
+        let ldist = pat.operand_dist(Operand::Left);
+        let rdist = pat.operand_dist(Operand::Right);
+        let odist = pat.operand_dist(Operand::Result);
+        let rot_index = pat.rotation_index();
+
+        for &(fl, fr, fu) in &triples {
+            // The fused loops surrounding this contraction.
+            let surrounding = fl.join(fr).join(fu).clone();
+            // The rotation step loop cannot be fused around the contraction.
+            if let Some(k) = rot_index {
+                if surrounding.contains(k) {
+                    continue;
+                }
+            }
+            let surround_set = surrounding.as_set();
+            // Per-processor trip count of a surrounding loop: reduced when
+            // the pattern distributes that index.
+            let trip = |j: IndexId| -> u64 {
+                let dim = odist
+                    .position_of(j)
+                    .or_else(|| ldist.position_of(j))
+                    .or_else(|| rdist.position_of(j));
+                match dim {
+                    Some(d) => tce_dist::block_len(space.extent(j), cm.grid.extent(d)),
+                    None => space.extent(j),
+                }
+            };
+
+            // Paper-faithful restriction: every rotated array must carry
+            // all surrounding fused loops (the `MsgFactor` formula's
+            // domain). `allow_unrelated_rotation` lifts it.
+            if !cfg.allow_unrelated_rotation
+                && pat.rotated_operands().iter().any(|&op| {
+                    let dims = match op {
+                        Operand::Left => left_tensor.dim_set(),
+                        Operand::Right => right_tensor.dim_set(),
+                        Operand::Result => result_tensor.dim_set(),
+                    };
+                    !surround_set.is_subset(&dims)
+                })
+            {
+                continue;
+            }
+
+            // Rotation costs and message sizes at this contraction.
+            let mut rotate = [0.0f64; 3]; // left, right, result
+            let mut msg = [0u128; 3];
+            for (slot, op, tensor, dist) in [
+                (0usize, Operand::Left, left_tensor, ldist),
+                (1, Operand::Right, right_tensor, rdist),
+                (2, Operand::Result, result_tensor, odist),
+            ] {
+                if let Some(travel) = pat.travel_dim(op) {
+                    rotate[slot] = cm.rotate_cost_surrounded(
+                        tensor,
+                        space,
+                        dist,
+                        travel,
+                        &surround_set,
+                        trip,
+                    );
+                    msg[slot] =
+                        tce_cost::rotate::message_words(tensor, space, cm.grid, dist, &surround_set);
+                }
+            }
+
+            let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
+
+            for lopt in child_options(tree, cm, cfg, left, fl, ldist, sets) {
+                for ropt in child_options(tree, cm, cfg, right, fr, rdist, sets) {
+                    let comm_cost = lopt.comm_cost
+                        + ropt.comm_cost
+                        + lopt.redist_cost
+                        + ropt.redist_cost
+                        + rotate[0]
+                        + rotate[1]
+                        + rotate[2];
+                    let mem_words = lopt.mem_words + ropt.mem_words + my_mem;
+                    let max_msg_words = lopt
+                        .max_msg_words
+                        .max(ropt.max_msg_words)
+                        .max(msg[0])
+                        .max(msg[1])
+                        .max(msg[2]);
+                    let choice = Choice {
+                        pattern: Some(*pat),
+                        children: vec![
+                            ChildBinding {
+                                node: left,
+                                sol_index: lopt.sol_index,
+                                produced_dist: lopt.produced,
+                                required_dist: ldist,
+                                fusion: fl.clone(),
+                                redist_cost: lopt.redist_cost,
+                                rotate_cost: rotate[0],
+                            },
+                            ChildBinding {
+                                node: right,
+                                sol_index: ropt.sol_index,
+                                produced_dist: ropt.produced,
+                                required_dist: rdist,
+                                fusion: fr.clone(),
+                                redist_cost: ropt.redist_cost,
+                                rotate_cost: rotate[1],
+                            },
+                        ],
+                        result_rotate_cost: rotate[2],
+                        surrounding: surrounding.clone(),
+                    };
+                    out.insert(
+                        Solution {
+                            dist: odist,
+                            fusion: fu.clone(),
+                            comm_cost,
+                            mem_words,
+                            max_msg_words,
+                            choice: Some(Box::new(choice)),
+                        },
+                        limit,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn combine_elementwise(
+    tree: &ExprTree,
+    cm: &CostModel,
+    cfg: &OptimizerConfig,
+    node: NodeId,
+    left: NodeId,
+    right: NodeId,
+    my_prefixes: &[FusionPrefix],
+    sets: &HashMap<NodeId, SolutionSet>,
+    limit: u128,
+    out: &mut SolutionSet,
+) {
+    let space = &tree.space;
+    let result_tensor = &tree.node(node).tensor;
+    let dims = result_tensor.dim_set();
+    let dists = Distribution::enumerate(&dims, cfg.allow_replication || dims.len() < 2);
+    let lf_all = child_fusions(tree, cfg, left, sets);
+    let rf_all = child_fusions(tree, cfg, right, sets);
+
+    // Restriction of the result distribution to a child's dimensions.
+    let restrict = |d: Distribution, t: &tce_expr::Tensor| Distribution {
+        d1: d.d1.filter(|&i| t.has_dim(i)),
+        d2: d.d2.filter(|&i| t.has_dim(i)),
+    };
+
+    for &odist in &dists {
+        let ldist = restrict(odist, &tree.node(left).tensor);
+        let rdist = restrict(odist, &tree.node(right).tensor);
+        for fl in &lf_all {
+            for fr in &rf_all {
+                if !fl.chain_compatible(fr) {
+                    continue;
+                }
+                for fu in my_prefixes {
+                    if !fu.chain_compatible(fl) || !fu.chain_compatible(fr) {
+                        continue;
+                    }
+                    let surrounding = fl.join(fr).join(fu).clone();
+                    let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
+                    for lopt in child_options(tree, cm, cfg, left, fl, ldist, sets) {
+                        for ropt in child_options(tree, cm, cfg, right, fr, rdist, sets) {
+                            let comm_cost = lopt.comm_cost
+                                + ropt.comm_cost
+                                + lopt.redist_cost
+                                + ropt.redist_cost;
+                            let choice = Choice {
+                                pattern: None,
+                                children: vec![
+                                    ChildBinding {
+                                        node: left,
+                                        sol_index: lopt.sol_index,
+                                        produced_dist: lopt.produced,
+                                        required_dist: ldist,
+                                        fusion: fl.clone(),
+                                        redist_cost: lopt.redist_cost,
+                                        rotate_cost: 0.0,
+                                    },
+                                    ChildBinding {
+                                        node: right,
+                                        sol_index: ropt.sol_index,
+                                        produced_dist: ropt.produced,
+                                        required_dist: rdist,
+                                        fusion: fr.clone(),
+                                        redist_cost: ropt.redist_cost,
+                                        rotate_cost: 0.0,
+                                    },
+                                ],
+                                result_rotate_cost: 0.0,
+                                surrounding: surrounding.clone(),
+                            };
+                            out.insert(
+                                Solution {
+                                    dist: odist,
+                                    fusion: fu.clone(),
+                                    comm_cost,
+                                    mem_words: lopt.mem_words + ropt.mem_words + my_mem,
+                                    max_msg_words: lopt.max_msg_words.max(ropt.max_msg_words),
+                                    choice: Some(Box::new(choice)),
+                                },
+                                limit,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn combine_reduce(
+    tree: &ExprTree,
+    cm: &CostModel,
+    cfg: &OptimizerConfig,
+    node: NodeId,
+    child: NodeId,
+    sum: IndexId,
+    my_prefixes: &[FusionPrefix],
+    sets: &HashMap<NodeId, SolutionSet>,
+    limit: u128,
+    out: &mut SolutionSet,
+) {
+    let space = &tree.space;
+    let result_tensor = &tree.node(node).tensor;
+    let child_tensor = &tree.node(child).tensor;
+    let cf_all = child_fusions(tree, cfg, child, sets);
+    // Candidate child distributions: everything valid for the child array.
+    let cdists = Distribution::enumerate(
+        &child_tensor.dim_set(),
+        cfg.allow_replication || child_tensor.arity() < 2,
+    );
+
+    for &cdist in &cdists {
+        // The summed dimension disappears; if it was distributed along d,
+        // a reduction across grid dimension d combines the partial sums and
+        // the result is no longer distributed along d.
+        let (odist, reduce_dim) = match cdist.position_of(sum) {
+            Some(GridDim::Dim1) => {
+                (Distribution { d1: None, d2: cdist.d2 }, Some(GridDim::Dim1))
+            }
+            Some(GridDim::Dim2) => {
+                (Distribution { d1: cdist.d1, d2: None }, Some(GridDim::Dim2))
+            }
+            None => (cdist, None),
+        };
+        for fc in &cf_all {
+            if fc.contains(sum) {
+                continue; // the summed loop belongs to this node, not the edge
+            }
+            for fu in my_prefixes {
+                if !fu.chain_compatible(fc) {
+                    continue;
+                }
+                let surrounding = fc.join(fu).clone();
+                let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
+                // Reduction cost: a ring combine of the (sliced) result
+                // block across the reduce dimension, repeated per fused
+                // surrounding iteration.
+                let reduce_cost = match reduce_dim {
+                    None => 0.0,
+                    Some(d) => {
+                        let sliced = surrounding.as_set().intersection(&result_tensor.dim_set());
+                        let words = dist_size(result_tensor, space, cm.grid, odist, &sliced);
+                        let factor: u128 = surrounding
+                            .iter()
+                            .map(|j| {
+                                odist
+                                    .position_of(j)
+                                    .map(|dd| {
+                                        tce_dist::block_len(space.extent(j), cm.grid.extent(dd))
+                                    })
+                                    .unwrap_or_else(|| space.extent(j))
+                                    as u128
+                            })
+                            .product();
+                        factor as f64
+                            * cm.chr.rcost(
+                                cm.grid.extent(d),
+                                d,
+                                (words * tce_cost::units::WORD_BYTES) as f64,
+                            )
+                    }
+                };
+                for copt in child_options(tree, cm, cfg, child, fc, cdist, sets) {
+                    let choice = Choice {
+                        pattern: None,
+                        children: vec![ChildBinding {
+                            node: child,
+                            sol_index: copt.sol_index,
+                            produced_dist: copt.produced,
+                            required_dist: cdist,
+                            fusion: fc.clone(),
+                            redist_cost: copt.redist_cost,
+                            rotate_cost: 0.0,
+                        }],
+                        result_rotate_cost: reduce_cost,
+                        surrounding: surrounding.clone(),
+                    };
+                    out.insert(
+                        Solution {
+                            dist: odist,
+                            fusion: fu.clone(),
+                            comm_cost: copt.comm_cost + copt.redist_cost + reduce_cost,
+                            mem_words: copt.mem_words + my_mem,
+                            max_msg_words: copt.max_msg_words,
+                            choice: Some(Box::new(choice)),
+                        },
+                        limit,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_cost::{CostModel, MachineModel};
+    use tce_expr::parse;
+
+    fn cm4() -> CostModel {
+        CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap()
+    }
+
+    /// A reduce node with its summed index distributed pays a reduction
+    /// and drops the index from the distribution.
+    #[test]
+    fn reduce_with_distributed_sum_is_priced() {
+        let src = "range i = 8; range t = 8;\ninput A[i,t];\nS[t] = sum[i] A[i,t];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let opt = optimize(&tree, &cm4(), &OptimizerConfig::default()).unwrap();
+        // A 2-dim input is always fully distributed (paper style), so `i`
+        // is distributed in every option and the reduction must be priced.
+        assert!(opt.comm_cost > 0.0);
+        // No solution may keep the summed index in its distribution, and
+        // the freed grid dimension is left unoccupied (S is 1-dim).
+        let i = tree.space.lookup("i").unwrap();
+        let set = &opt.sets[&tree.root()];
+        assert!(!set.all.is_empty());
+        for s in &set.all {
+            assert!(!s.dist.contains(i));
+            assert!(s.dist.d1.is_none() || s.dist.d2.is_none());
+        }
+    }
+
+    /// The element-wise path prices redistribution of misaligned children.
+    #[test]
+    fn elementwise_requires_alignment() {
+        let src = "\
+range i = 8; range j = 8; range k = 8; range t = 8;
+input A[i,j,t]; input B[j,k,t];
+T1[j,t] = sum[i] A[i,j,t];
+T2[j,t] = sum[k] B[j,k,t];
+T3[j,t] = T1[j,t] * T2[j,t];
+S[t] = sum[j] T3[j,t];
+";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let opt = optimize(&tree, &cm4(), &OptimizerConfig::default()).unwrap();
+        let plan = crate::plan::extract_plan(&tree, &opt);
+        let t3 = plan.step_for("T3").unwrap();
+        // Element-wise steps have no Cannon pattern and no rotations.
+        assert!(t3.pattern.is_none());
+        for op in &t3.operands {
+            assert_eq!(op.rotate_cost, 0.0);
+        }
+    }
+
+    /// Fixed-pattern restriction is honored verbatim.
+    #[test]
+    fn fixed_patterns_are_verbatim() {
+        use tce_dist::enumerate_patterns;
+        let src = "range i = 8; range j = 8; range k = 8;\ninput A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let node = tree.root();
+        let pat = enumerate_patterns(&tree.contraction_groups(node).unwrap(), false)[3];
+        let mut fixed = HashMap::new();
+        fixed.insert(node, pat);
+        let cfg = OptimizerConfig { fixed_patterns: Some(fixed), ..Default::default() };
+        let opt = optimize(&tree, &cm4(), &cfg).unwrap();
+        let plan = crate::plan::extract_plan(&tree, &opt);
+        assert_eq!(plan.steps[0].pattern.unwrap(), pat);
+    }
+}

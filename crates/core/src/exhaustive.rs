@@ -1,0 +1,221 @@
+//! Independent brute-force search, for validating the dynamic programming
+//! on small instances.
+//!
+//! Enumerates every total assignment — one communication pattern per
+//! contraction node, one fusion prefix per edge — checks legality directly,
+//! and computes the cost ledger from the cost-model primitives without any
+//! of the DP's solution-set machinery. Exponential; use only on trees with
+//! a handful of nodes (the `optimal_matches_exhaustive` tests and the S3
+//! experiment).
+
+use std::collections::HashMap;
+
+use tce_cost::CostModel;
+use tce_dist::{dist_size, enumerate_patterns, CannonPattern, Operand};
+use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind};
+use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
+
+/// Minimal description of the brute-force optimum.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExhaustiveResult {
+    /// Total communication cost (seconds).
+    pub comm_cost: f64,
+    /// Per-processor memory (words).
+    pub mem_words: u128,
+    /// Number of complete assignments evaluated (legal or not).
+    pub assignments: u64,
+}
+
+/// Brute-force the optimum. `None` when no assignment fits the limit.
+/// Only supports trees whose internal nodes are all proper contractions.
+pub fn exhaustive_min(
+    tree: &ExprTree,
+    cm: &CostModel,
+    mem_limit_words: u128,
+    max_prefix_len: usize,
+    allow_replication: bool,
+    allow_unrelated_rotation: bool,
+) -> Option<ExhaustiveResult> {
+    let internal: Vec<NodeId> = tree
+        .postorder()
+        .into_iter()
+        .filter(|&n| !tree.node(n).is_leaf())
+        .collect();
+    // Per-node pattern options.
+    let mut pattern_opts: Vec<Vec<CannonPattern>> = Vec::new();
+    for &n in &internal {
+        let groups = tree
+            .contraction_groups(n)
+            .expect("exhaustive search supports contraction trees only");
+        pattern_opts.push(enumerate_patterns(&groups, allow_replication));
+    }
+    // Per-edge fusion options (keyed by child node), root excluded.
+    let edges: Vec<NodeId> = tree
+        .ids()
+        .filter(|&n| tree.node(n).parent.is_some())
+        .collect();
+    let fusion_opts: Vec<Vec<FusionPrefix>> = edges
+        .iter()
+        .map(|&c| enumerate_prefixes(&edge_candidates(tree, c), max_prefix_len))
+        .collect();
+
+    let mut best: Option<ExhaustiveResult> = None;
+    let mut assignments = 0u64;
+
+    // Odometer over patterns × fusions.
+    let mut pat_idx = vec![0usize; internal.len()];
+    let mut fus_idx = vec![0usize; edges.len()];
+    'outer: loop {
+        assignments += 1;
+        let patterns: HashMap<NodeId, &CannonPattern> = internal
+            .iter()
+            .zip(&pat_idx)
+            .map(|(&n, &i)| (n, &pattern_opts[n_pos(&internal, n)][i]))
+            .collect();
+        let fusions: HashMap<NodeId, &FusionPrefix> = edges
+            .iter()
+            .zip(&fus_idx)
+            .map(|(&c, &i)| (c, &fusion_opts[n_pos(&edges, c)][i]))
+            .collect();
+        if let Some((mem, comm, msg)) =
+            evaluate(tree, cm, &internal, &patterns, &fusions, allow_unrelated_rotation)
+        {
+            if mem + msg <= mem_limit_words
+                && best.as_ref().is_none_or(|b| comm < b.comm_cost)
+            {
+                best = Some(ExhaustiveResult { comm_cost: comm, mem_words: mem, assignments: 0 });
+            }
+        }
+        // Advance the odometer.
+        for i in 0..fus_idx.len() {
+            fus_idx[i] += 1;
+            if fus_idx[i] < fusion_opts[i].len() {
+                continue 'outer;
+            }
+            fus_idx[i] = 0;
+        }
+        for i in 0..pat_idx.len() {
+            pat_idx[i] += 1;
+            if pat_idx[i] < pattern_opts[i].len() {
+                continue 'outer;
+            }
+            pat_idx[i] = 0;
+        }
+        break;
+    }
+    best.map(|mut b| {
+        b.assignments = assignments;
+        b
+    })
+}
+
+fn n_pos(v: &[NodeId], n: NodeId) -> usize {
+    v.iter().position(|&x| x == n).unwrap()
+}
+
+/// Evaluate one total assignment: returns (mem_words, comm_cost, max_msg)
+/// or `None` when illegal.
+fn evaluate(
+    tree: &ExprTree,
+    cm: &CostModel,
+    internal: &[NodeId],
+    patterns: &HashMap<NodeId, &CannonPattern>,
+    fusions: &HashMap<NodeId, &FusionPrefix>,
+    allow_unrelated_rotation: bool,
+) -> Option<(u128, f64, u128)> {
+    let space = &tree.space;
+    let empty = FusionPrefix::empty();
+    let fusion_of = |c: NodeId| -> &FusionPrefix { fusions.get(&c).copied().unwrap_or(&empty) };
+
+    let mut mem: u128 = 0;
+    let mut comm: f64 = 0.0;
+    let mut max_msg: u128 = 0;
+
+    for &u in internal {
+        let NodeKind::Contract { left, right, .. } = tree.node(u).kind else {
+            return None;
+        };
+        let pat = patterns[&u];
+        let f_l = fusion_of(left);
+        let f_r = fusion_of(right);
+        let f_u = fusion_of(u);
+        // Chain legality.
+        if !f_l.chain_compatible(f_r)
+            || !f_l.chain_compatible(f_u)
+            || !f_r.chain_compatible(f_u)
+        {
+            return None;
+        }
+        let surrounding = f_l.join(f_r).join(f_u);
+        if let Some(k) = pat.rotation_index() {
+            if surrounding.contains(k) {
+                return None;
+            }
+        }
+        let ldist = pat.operand_dist(Operand::Left);
+        let rdist = pat.operand_dist(Operand::Right);
+        let odist = pat.operand_dist(Operand::Result);
+        let surround_set = surrounding.as_set();
+        let trip = |j: IndexId| -> u64 {
+            let dim = odist
+                .position_of(j)
+                .or_else(|| ldist.position_of(j))
+                .or_else(|| rdist.position_of(j));
+            match dim {
+                Some(d) => tce_dist::block_len(space.extent(j), cm.grid.extent(d)),
+                None => space.extent(j),
+            }
+        };
+        // Children: fused edges must match exactly; unfused internal
+        // children pay redistribution from their own pattern's result dist.
+        for (c, cdist_req, f_c) in [(left, ldist, f_l), (right, rdist, f_r)] {
+            let cn = tree.node(c);
+            if cn.is_leaf() {
+                if !cdist_req.is_valid_for(&cn.tensor) {
+                    return None;
+                }
+                mem += dist_size(&cn.tensor, space, cm.grid, cdist_req, &IndexSet::new());
+            } else {
+                let produced = patterns[&c].operand_dist(Operand::Result);
+                if f_c.is_empty() {
+                    comm += cm.redistribution_cost(
+                        &cn.tensor,
+                        space,
+                        produced,
+                        cdist_req,
+                        &IndexSet::new(),
+                    );
+                } else if produced != cdist_req {
+                    return None;
+                }
+            }
+        }
+        // Storage for u itself, reduced by its parent-edge fusion.
+        mem += dist_size(&tree.node(u).tensor, space, cm.grid, odist, &f_u.as_set());
+        // Rotations.
+        for (op, tensor, dist) in [
+            (Operand::Left, &tree.node(left).tensor, ldist),
+            (Operand::Right, &tree.node(right).tensor, rdist),
+            (Operand::Result, &tree.node(u).tensor, odist),
+        ] {
+            if let Some(travel) = pat.travel_dim(op) {
+                if !allow_unrelated_rotation && !surround_set.is_subset(&tensor.dim_set()) {
+                    return None;
+                }
+                comm += cm.rotate_cost_surrounded(tensor, space, dist, travel, &surround_set, trip);
+                max_msg = max_msg.max(tce_cost::rotate::message_words(
+                    tensor,
+                    space,
+                    cm.grid,
+                    dist,
+                    &surround_set,
+                ));
+            }
+        }
+    }
+    // The root cannot be fused upward.
+    if !fusion_of(tree.root()).is_empty() {
+        return None;
+    }
+    Some((mem, comm, max_msg))
+}

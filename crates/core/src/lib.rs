@@ -1,0 +1,47 @@
+//! # tce-core — memory-constrained communication minimization
+//!
+//! The paper's contribution (§3.3): a bottom-up dynamic programming over a
+//! tensor contraction expression tree that **jointly** chooses, per node,
+//!
+//! * the generalized-Cannon communication pattern (and thus the
+//!   distributions of all three participating arrays), and
+//! * the loop fusion with the parent (and thus the reduced array shape and
+//!   the message slicing/multiplication of every rotation),
+//!
+//! minimizing total inter-processor communication subject to a
+//! per-processor memory limit. Partial solutions are pruned when dominated
+//! or memory-infeasible; the search is otherwise exhaustive, so the result
+//! is optimal over the modeled space (validated against
+//! [`exhaustive`] brute force on small instances).
+//!
+//! ```
+//! use tce_core::{optimize, OptimizerConfig};
+//! use tce_cost::{CostModel, MachineModel};
+//! use tce_expr::examples::{ccsd_tree, PAPER_EXTENTS};
+//!
+//! let tree = ccsd_tree(PAPER_EXTENTS);
+//! let cm = CostModel::for_square(MachineModel::itanium_cluster(), 64).unwrap();
+//! let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+//! let plan = tce_core::extract_plan(&tree, &opt);
+//! println!("{}", tce_core::render_report(&tce_core::build_report(&tree, &plan, &cm)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod codegen;
+mod dp;
+mod explain;
+pub mod exhaustive;
+mod frontier;
+mod plan;
+mod report;
+mod solution;
+
+pub use codegen::render_spmd;
+pub use explain::{explain, Explanation};
+pub use dp::{optimize, NodeStats, OptimizeError, OptimizerConfig, Optimized};
+pub use frontier::{frontier_plan, root_frontier, FrontierPoint};
+pub use plan::{extract_plan, extract_plan_for, validate_plan, ExecutionPlan, PlanOperand, PlanStep};
+pub use report::{build_report, render_plan_dot, render_report, ArrayRow, Report};
+pub use solution::{ChildBinding, Choice, Solution, SolutionSet};

@@ -1,0 +1,241 @@
+//! Execution plans: the optimizer's decisions in executable, reportable
+//! form.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tce_dist::{CannonPattern, Distribution};
+use tce_expr::{ExprTree, NodeId};
+use tce_fusion::{FusionConfig, FusionPrefix};
+
+use crate::dp::Optimized;
+use crate::solution::Solution;
+
+/// One operand of a plan step.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanOperand {
+    /// The operand's tree node.
+    pub node: NodeId,
+    /// Array name.
+    pub name: String,
+    /// Layout the contraction requires.
+    pub required_dist: Distribution,
+    /// Layout the array was produced in (differs only when redistributed).
+    pub produced_dist: Distribution,
+    /// Fusion prefix on this edge.
+    pub fusion: FusionPrefix,
+    /// Redistribution cost paid before the step (seconds).
+    pub redist_cost: f64,
+    /// Rotation cost of this array during the step (its "final"
+    /// communication; zero when fixed).
+    pub rotate_cost: f64,
+    /// Whether the operand is an input leaf.
+    pub is_leaf: bool,
+}
+
+/// One contraction/reduction step of the plan, in execution (post) order.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// The producing tree node.
+    pub node: NodeId,
+    /// Name of the produced array.
+    pub result_name: String,
+    /// The chosen communication pattern (`None` for reduce/elementwise
+    /// steps outside the Cannon framework).
+    pub pattern: Option<CannonPattern>,
+    /// Distribution the result is produced in (its "initial" distribution).
+    pub result_dist: Distribution,
+    /// Fusion prefix between this node and its parent.
+    pub result_fusion: FusionPrefix,
+    /// Rotation (or reduction) cost of the result during this step (its
+    /// "initial" communication; zero when fixed).
+    pub result_rotate_cost: f64,
+    /// The fused loops surrounding this step.
+    pub surrounding: FusionPrefix,
+    /// The operands.
+    pub operands: Vec<PlanOperand>,
+}
+
+impl PlanStep {
+    /// Communication paid at this step (operand redistributions + all
+    /// rotations).
+    pub fn step_comm(&self) -> f64 {
+        self.result_rotate_cost
+            + self
+                .operands
+                .iter()
+                .map(|o| o.redist_cost + o.rotate_cost)
+                .sum::<f64>()
+    }
+}
+
+/// A full plan: steps in execution order plus the headline totals.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Steps, postorder (producers before consumers).
+    pub steps: Vec<PlanStep>,
+    /// Total communication cost (seconds).
+    pub comm_cost: f64,
+    /// Per-processor memory (words) of all stored arrays.
+    pub mem_words: u128,
+    /// Largest per-step message (words).
+    pub max_msg_words: u128,
+}
+
+impl ExecutionPlan {
+    /// The per-edge fusion configuration the plan realizes.
+    pub fn fusion_config(&self) -> FusionConfig {
+        let mut cfg = FusionConfig::unfused();
+        for step in &self.steps {
+            cfg.set(step.node, step.result_fusion.clone());
+            for op in &step.operands {
+                if !op.is_leaf {
+                    cfg.set(op.node, op.fusion.clone());
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The step producing `name`, if any.
+    pub fn step_for(&self, name: &str) -> Option<&PlanStep> {
+        self.steps.iter().find(|s| s.result_name == name)
+    }
+
+    /// The step consuming `name` (as an operand), if any.
+    pub fn consumer_of(&self, name: &str) -> Option<(&PlanStep, &PlanOperand)> {
+        self.steps.iter().find_map(|s| {
+            s.operands
+                .iter()
+                .find(|o| o.name == name)
+                .map(|o| (s, o))
+        })
+    }
+
+    /// Sum of step communications — must equal `comm_cost` (consistency
+    /// invariant, checked in tests).
+    pub fn sum_step_comm(&self) -> f64 {
+        self.steps.iter().map(|s| s.step_comm()).sum()
+    }
+}
+
+/// Reconstruct the winning plan from the DP's solution sets.
+pub fn extract_plan(tree: &ExprTree, opt: &Optimized) -> ExecutionPlan {
+    extract_plan_for(tree, opt, opt.best_index)
+}
+
+/// Reconstruct the plan of any root solution (e.g. a point of the
+/// memory/communication frontier).
+pub fn extract_plan_for(tree: &ExprTree, opt: &Optimized, index: usize) -> ExecutionPlan {
+    let mut steps = Vec::new();
+    let root_sol = &opt.sets[&tree.root()].all[index];
+    walk(tree, opt, tree.root(), root_sol, &mut steps);
+    steps.reverse(); // walk emits consumers first; execution wants postorder
+    ExecutionPlan {
+        comm_cost: root_sol.comm_cost,
+        mem_words: root_sol.mem_words,
+        max_msg_words: root_sol.max_msg_words,
+        steps,
+    }
+}
+
+fn walk(
+    tree: &ExprTree,
+    opt: &Optimized,
+    node: NodeId,
+    sol: &Solution,
+    out: &mut Vec<PlanStep>,
+) {
+    let Some(choice) = &sol.choice else { return };
+    let mut operands = Vec::new();
+    let mut recurse: Vec<(NodeId, &Solution)> = Vec::new();
+    for b in &choice.children {
+        let is_leaf = tree.node(b.node).is_leaf();
+        operands.push(PlanOperand {
+            node: b.node,
+            name: tree.node(b.node).tensor.name.clone(),
+            required_dist: b.required_dist,
+            produced_dist: b.produced_dist,
+            fusion: b.fusion.clone(),
+            redist_cost: b.redist_cost,
+            rotate_cost: b.rotate_cost,
+            is_leaf,
+        });
+        if !is_leaf {
+            recurse.push((b.node, &opt.sets[&b.node].all[b.sol_index]));
+        }
+    }
+    out.push(PlanStep {
+        node,
+        result_name: tree.node(node).tensor.name.clone(),
+        pattern: choice.pattern,
+        result_dist: sol.dist,
+        result_fusion: sol.fusion.clone(),
+        result_rotate_cost: choice.result_rotate_cost,
+        surrounding: choice.surrounding.clone(),
+        operands,
+    });
+    for (n, s) in recurse {
+        walk(tree, opt, n, s, out);
+    }
+}
+
+impl ExecutionPlan {
+    /// Serialize to JSON (the `tce optimize --json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plans serialize")
+    }
+
+    /// Load a plan back from its JSON artifact.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Check internal consistency between a plan and its tree: every internal
+/// node appears exactly once as a step, fusion configuration is legal, and
+/// the cost ledger adds up. Returns a human-readable error when violated.
+pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String> {
+    let internal: Vec<NodeId> = tree
+        .postorder()
+        .into_iter()
+        .filter(|&n| !tree.node(n).is_leaf())
+        .collect();
+    if internal.len() != plan.steps.len() {
+        return Err(format!(
+            "plan has {} steps for {} internal nodes",
+            plan.steps.len(),
+            internal.len()
+        ));
+    }
+    let by_node: HashMap<NodeId, &PlanStep> =
+        plan.steps.iter().map(|s| (s.node, s)).collect();
+    for &n in &internal {
+        if !by_node.contains_key(&n) {
+            return Err(format!(
+                "node `{}` missing from plan",
+                tree.node(n).tensor.name
+            ));
+        }
+    }
+    plan.fusion_config().validate(tree)?;
+    let ledger = plan.sum_step_comm();
+    if (ledger - plan.comm_cost).abs() > 1e-6 * plan.comm_cost.max(1.0) {
+        return Err(format!(
+            "step costs sum to {ledger}, plan total is {}",
+            plan.comm_cost
+        ));
+    }
+    // Fused edges must have matching produced/required layouts.
+    for step in &plan.steps {
+        for op in &step.operands {
+            if !op.fusion.is_empty() && op.produced_dist != op.required_dist {
+                return Err(format!(
+                    "fused operand `{}` changes layout mid-fusion",
+                    op.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,287 @@
+//! Per-node solution sets for the §3.3 dynamic programming.
+//!
+//! Each solution at a node `v` records what the paper lists: the
+//! distribution of `v`, the loop fusion between `v` and its parent, the
+//! total communication cost of the subtree, and its memory usage — plus the
+//! largest message (the temporary send/receive buffer the paper adds to the
+//! memory requirement) and the decisions needed to reconstruct the plan.
+
+use std::collections::HashMap;
+
+use tce_dist::{CannonPattern, Distribution};
+use tce_expr::NodeId;
+use tce_fusion::FusionPrefix;
+
+/// How a child array arrives at its consuming contraction.
+#[derive(Clone, Debug)]
+pub struct ChildBinding {
+    /// The child node.
+    pub node: NodeId,
+    /// Index of the chosen solution in the child's final solution set
+    /// (`usize::MAX` for leaves, which have implicit zero-cost solutions).
+    pub sol_index: usize,
+    /// The distribution the child was produced in.
+    pub produced_dist: Distribution,
+    /// The distribution the contraction requires.
+    pub required_dist: Distribution,
+    /// The fusion prefix on this edge.
+    pub fusion: FusionPrefix,
+    /// Redistribution cost paid (zero when the layouts agree or the edge is
+    /// fused).
+    pub redist_cost: f64,
+    /// Rotation cost paid for this array at this contraction (its "final"
+    /// communication), zero when it stays fixed.
+    pub rotate_cost: f64,
+}
+
+/// The decision record attached to a non-leaf solution.
+#[derive(Clone, Debug)]
+pub struct Choice {
+    /// The communication pattern of the contraction (or `None` for
+    /// reduce/elementwise nodes handled outside the Cannon framework).
+    pub pattern: Option<CannonPattern>,
+    /// Bindings for the children (1 or 2).
+    pub children: Vec<ChildBinding>,
+    /// Rotation cost of the *result* array at this node (its "initial"
+    /// communication), zero when it stays fixed.
+    pub result_rotate_cost: f64,
+    /// The surrounding fused-loop prefix of this contraction.
+    pub surrounding: FusionPrefix,
+}
+
+/// One entry of a node's solution set.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Distribution in which this node's array is produced.
+    pub dist: Distribution,
+    /// Fusion prefix between this node and its parent (storage of this
+    /// array is reduced by these dimensions).
+    pub fusion: FusionPrefix,
+    /// Total communication cost (seconds) of the subtree, including this
+    /// node's contraction.
+    pub comm_cost: f64,
+    /// Per-processor words stored for all arrays of the subtree.
+    pub mem_words: u128,
+    /// Largest per-step message (words) anywhere in the subtree — the
+    /// send/receive staging buffer.
+    pub max_msg_words: u128,
+    /// Decision record (`None` for leaves).
+    pub choice: Option<Box<Choice>>,
+}
+
+impl Solution {
+    /// Memory footprint including the staging buffer, the quantity checked
+    /// against the per-processor limit (§4 "allowing for an extra
+    /// temporary send/receive buffer").
+    pub fn footprint_words(&self) -> u128 {
+        self.mem_words + self.max_msg_words
+    }
+
+    /// `self` dominates `other` within the same `(dist, fusion)` key:
+    /// no worse on cost, memory, and buffer.
+    pub fn dominates(&self, other: &Solution) -> bool {
+        self.comm_cost <= other.comm_cost
+            && self.mem_words <= other.mem_words
+            && self.max_msg_words <= other.max_msg_words
+    }
+}
+
+/// A node's solution set, indexed by `(dist, fusion)` with a small Pareto
+/// front per key.
+#[derive(Clone, Debug)]
+pub struct SolutionSet {
+    /// Flat storage; stable indices are used as back-pointers by parents.
+    pub all: Vec<Solution>,
+    by_key: HashMap<(Distribution, FusionPrefix), Vec<usize>>,
+    /// Candidates offered to `insert` (before pruning), for §3.3's
+    /// pruning-effectiveness statistics.
+    pub candidates_seen: u64,
+    /// Candidates rejected as dominated.
+    pub pruned_inferior: u64,
+    /// Candidates rejected for exceeding the memory limit.
+    pub pruned_memory: u64,
+    /// When `false`, dominated candidates are kept (the §3.3 pruning
+    /// ablation); memory-limit pruning stays active.
+    pruning_enabled: bool,
+}
+
+impl Default for SolutionSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolutionSet {
+    /// Empty set with dominance pruning on.
+    pub fn new() -> Self {
+        Self::with_pruning(true)
+    }
+
+    /// Empty set with dominance pruning switched on or off.
+    pub fn with_pruning(enabled: bool) -> Self {
+        Self {
+            all: Vec::new(),
+            by_key: HashMap::new(),
+            candidates_seen: 0,
+            pruned_inferior: 0,
+            pruned_memory: 0,
+            pruning_enabled: enabled,
+        }
+    }
+
+    /// Offer a candidate; it is kept only if it fits `mem_limit` and is not
+    /// dominated by an existing solution with the same key. Existing
+    /// solutions dominated by the newcomer are *marked dead* (their storage
+    /// index survives so back-pointers stay valid, but they are excluded
+    /// from key lookups).
+    pub fn insert(&mut self, sol: Solution, mem_limit: u128) -> bool {
+        self.candidates_seen += 1;
+        if sol.footprint_words() > mem_limit {
+            self.pruned_memory += 1;
+            return false;
+        }
+        let key = (sol.dist, sol.fusion.clone());
+        let slot = self.by_key.entry(key).or_default();
+        if self.pruning_enabled {
+            for &i in slot.iter() {
+                if self.all[i].dominates(&sol) {
+                    self.pruned_inferior += 1;
+                    return false;
+                }
+            }
+            slot.retain(|&i| !sol.dominates(&self.all[i]));
+        }
+        slot.push(self.all.len());
+        self.all.push(sol);
+        true
+    }
+
+    /// Live solutions for a `(dist, fusion)` key.
+    pub fn lookup(&self, dist: Distribution, fusion: &FusionPrefix) -> Vec<usize> {
+        self.by_key
+            .get(&(dist, fusion.clone())).cloned()
+            .unwrap_or_default()
+    }
+
+    /// Live solutions having the given fusion prefix (any distribution),
+    /// in insertion order (sorted — hash-map iteration order must not leak
+    /// into tie-breaking, or plans would differ between runs).
+    pub fn with_fusion(&self, fusion: &FusionPrefix) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .by_key
+            .iter()
+            .filter(|((_, f), _)| f == fusion)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The distinct fusion prefixes present.
+    pub fn fusions(&self) -> Vec<FusionPrefix> {
+        let mut v: Vec<FusionPrefix> =
+            self.by_key.keys().map(|(_, f)| f.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Number of live (non-dominated) solutions.
+    pub fn live_len(&self) -> usize {
+        self.by_key.values().map(|v| v.len()).sum()
+    }
+
+    /// Index of the cheapest live solution, optionally restricted to an
+    /// empty fusion (the root), or `None` when the set is empty.
+    pub fn best(&self) -> Option<usize> {
+        self.by_key
+            .values()
+            .flatten()
+            .copied()
+            .min_by(|&a, &b| {
+                self.all[a]
+                    .comm_cost
+                    .total_cmp(&self.all[b].comm_cost)
+                    .then(self.all[a].mem_words.cmp(&self.all[b].mem_words))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_expr::IndexSpace;
+
+    fn sol(dist: Distribution, cost: f64, mem: u128, msg: u128) -> Solution {
+        Solution {
+            dist,
+            fusion: FusionPrefix::empty(),
+            comm_cost: cost,
+            mem_words: mem,
+            max_msg_words: msg,
+            choice: None,
+        }
+    }
+
+    fn dists() -> (Distribution, Distribution) {
+        let mut sp = IndexSpace::new();
+        let a = sp.declare("a", 4);
+        let b = sp.declare("b", 4);
+        (Distribution::pair(a, b), Distribution::pair(b, a))
+    }
+
+    #[test]
+    fn dominated_candidates_are_pruned() {
+        let (d1, _) = dists();
+        let mut set = SolutionSet::new();
+        assert!(set.insert(sol(d1, 10.0, 100, 5), u128::MAX));
+        // Strictly worse on all axes: pruned.
+        assert!(!set.insert(sol(d1, 11.0, 120, 6), u128::MAX));
+        // Better cost, worse memory: kept (Pareto).
+        assert!(set.insert(sol(d1, 8.0, 150, 5), u128::MAX));
+        assert_eq!(set.live_len(), 2);
+        assert_eq!(set.pruned_inferior, 1);
+    }
+
+    #[test]
+    fn newcomer_can_evict() {
+        let (d1, _) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        set.insert(sol(d1, 9.0, 90, 4), u128::MAX); // dominates the first
+        assert_eq!(set.live_len(), 1);
+        assert_eq!(set.all.len(), 2, "dead storage survives for back-pointers");
+        assert_eq!(set.best(), Some(1));
+    }
+
+    #[test]
+    fn memory_limit_pruning() {
+        let (d1, _) = dists();
+        let mut set = SolutionSet::new();
+        assert!(!set.insert(sol(d1, 1.0, 100, 10), 105)); // 110 > 105
+        assert!(set.insert(sol(d1, 2.0, 95, 10), 105));
+        assert_eq!(set.pruned_memory, 1);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        // Same numbers, different distribution: both live.
+        assert!(set.insert(sol(d2, 10.0, 100, 5), u128::MAX));
+        assert_eq!(set.live_len(), 2);
+        assert_eq!(set.lookup(d1, &FusionPrefix::empty()).len(), 1);
+        assert_eq!(set.fusions().len(), 1);
+    }
+
+    #[test]
+    fn best_prefers_cost_then_memory() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        set.insert(sol(d2, 10.0, 50, 5), u128::MAX);
+        let best = set.best().unwrap();
+        assert_eq!(set.all[best].mem_words, 50);
+    }
+}

@@ -1,0 +1,30 @@
+//! # tce-cost — machine models and communication cost models
+//!
+//! The cost side of the IPPS 2003 reproduction:
+//!
+//! * [`MachineModel`] — latency / saturating-bandwidth / flop-rate model of
+//!   the target cluster, **calibrated against the paper's Tables 1–2** so
+//!   the stand-in reproduces the Itanium cluster's published behaviour;
+//! * [`rcost`] — the empirical `RCost` characterization
+//!   mechanism of §3.3 (measure once → serialize → interpolate);
+//! * [`rotate`] — `LoopRange`, `MsgFactor`, `RotateCost`,
+//!   and the surrounding-loop generalization;
+//! * [`redist`] — redistribution cost between Cannon steps;
+//! * [`compute`] — flop-time model for headline totals;
+//! * [`units`] — the paper's quirky MB/GB conventions, so
+//!   regenerated tables match digit for digit;
+//! * [`CostModel`] — the bundle handed to the optimizer.
+
+#![warn(missing_docs)]
+
+pub mod compute;
+mod machine;
+mod model;
+pub mod rcost;
+pub mod redist;
+pub mod rotate;
+pub mod units;
+
+pub use machine::MachineModel;
+pub use model::CostModel;
+pub use rcost::{characterize, Characterization, GridTable, RCostPoint};

@@ -1,0 +1,235 @@
+//! Empirical `RCost` characterization (§3.3).
+//!
+//! > "We empirically measure RCost for each distribution α and each
+//! > position of the index i, and for several different localsizes on the
+//! > target parallel computer. … once a characterization file is completed,
+//! > it can be used to predict, by interpolation or extrapolation, the
+//! > communication times for arbitrary array distributions and sizes."
+//!
+//! We implement the same mechanism: [`characterize`] "measures" full
+//! rotations at a ladder of block sizes against the machine model standing
+//! in for the real cluster (`tce-sim` charges time from the raw model, so
+//! any interpolation error in the optimizer's view is real and
+//! observable), the table serializes to JSON, and [`Characterization::rcost`]
+//! answers arbitrary sizes by piecewise-linear interpolation with linear
+//! extrapolation beyond the last point.
+
+use serde::{Deserialize, Serialize};
+use tce_dist::GridDim;
+
+use crate::machine::MachineModel;
+
+/// One measured point: a full rotation (all steps) of a local block.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RCostPoint {
+    /// Local block size in bytes.
+    pub bytes: f64,
+    /// Measured seconds for the complete rotation.
+    pub seconds: f64,
+}
+
+/// Measurements for one grid size, per rotation dimension. The paper keys
+/// the table by distribution and rotation-index position; on a symmetric
+/// torus the two dimensions coincide, but the file format keeps both so an
+/// asymmetric machine (e.g. faster intra-node links along one dimension)
+/// characterizes without format changes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridTable {
+    /// Rotation steps (`√P`, the grid extent along the travel dimension).
+    pub steps: u32,
+    /// Points for travel along grid dimension 1, ascending in size.
+    pub dim1: Vec<RCostPoint>,
+    /// Points for travel along grid dimension 2, ascending in size.
+    pub dim2: Vec<RCostPoint>,
+}
+
+/// A characterization file: the machine it was measured on plus one table
+/// per grid size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Name of the characterized machine.
+    pub machine: String,
+    /// Tables, one per measured grid size.
+    pub grids: Vec<GridTable>,
+}
+
+/// The ladder of block sizes measured per grid: 1 kB … 4 GB, ~4 points per
+/// decade. Dense enough that piecewise-linear interpolation of the
+/// (convex, nearly affine) rotation time is accurate to well under 1 %.
+fn size_ladder() -> Vec<f64> {
+    let mut sizes = Vec::new();
+    let mut s = 1024.0;
+    while s <= 4.0 * 1024.0 * 1024.0 * 1024.0 {
+        sizes.push(s);
+        s *= 1.7782794; // 10^(1/4)
+    }
+    sizes
+}
+
+/// "Measure" full-rotation times on `machine` for the given grid step
+/// counts (one table per entry). In the paper this is an MPI
+/// micro-benchmark run once per target cluster.
+pub fn characterize(machine: &MachineModel, step_counts: &[u32]) -> Characterization {
+    let grids = step_counts
+        .iter()
+        .map(|&q| {
+            let measure = |dim: GridDim| {
+                size_ladder()
+                    .into_iter()
+                    .map(|bytes| RCostPoint {
+                        bytes,
+                        seconds: q as f64
+                            * match dim {
+                                GridDim::Dim1 => machine.msg_time(bytes),
+                                GridDim::Dim2 => machine.msg_time_dim2(bytes),
+                            },
+                    })
+                    .collect::<Vec<_>>()
+            };
+            GridTable { steps: q, dim1: measure(GridDim::Dim1), dim2: measure(GridDim::Dim2) }
+        })
+        .collect();
+    Characterization { machine: machine.name.clone(), grids }
+}
+
+fn interpolate(points: &[RCostPoint], bytes: f64) -> f64 {
+    assert!(!points.is_empty(), "empty characterization table");
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    if points.len() == 1 {
+        // Degenerate table: scale proportionally.
+        return points[0].seconds * bytes / points[0].bytes;
+    }
+    // Find the surrounding segment; clamp to the outermost segments for
+    // extrapolation.
+    let seg = match points.iter().position(|p| p.bytes >= bytes) {
+        Some(0) | None if bytes < points[0].bytes => 0,
+        Some(0) => 0,
+        Some(i) => i - 1,
+        None => points.len() - 2,
+    };
+    let (a, b) = (points[seg], points[seg + 1]);
+    let t = (bytes - a.bytes) / (b.bytes - a.bytes);
+    (a.seconds + t * (b.seconds - a.seconds)).max(0.0)
+}
+
+impl Characterization {
+    /// Predicted seconds to fully rotate a local block of `bytes` along
+    /// `travel` on a grid with `steps` processors in that dimension.
+    ///
+    /// # Panics
+    /// Panics if `steps` was not characterized — the characterization run
+    /// must cover every grid the optimizer will consider.
+    pub fn rcost(&self, steps: u32, travel: GridDim, bytes: f64) -> f64 {
+        let table = self
+            .grids
+            .iter()
+            .find(|g| g.steps == steps)
+            .unwrap_or_else(|| panic!("grid with {steps} steps was not characterized"));
+        let points = match travel {
+            GridDim::Dim1 => &table.dim1,
+            GridDim::Dim2 => &table.dim2,
+        };
+        interpolate(points, bytes)
+    }
+
+    /// Serialize to the JSON characterization-file format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("characterization serializes")
+    }
+
+    /// Load from the JSON characterization-file format.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr() -> (MachineModel, Characterization) {
+        let m = MachineModel::itanium_cluster();
+        let c = characterize(&m, &[4, 8]);
+        (m, c)
+    }
+
+    #[test]
+    fn interpolation_matches_model_closely() {
+        let (m, c) = chr();
+        // Sizes off the ladder: interpolation error must stay tiny.
+        for bytes in [1500.0, 3.3e5, 7.7e6, 5.9e7, 4.7e8] {
+            for q in [4u32, 8] {
+                let exact = q as f64 * m.msg_time(bytes);
+                let est = c.rcost(q, GridDim::Dim1, bytes);
+                assert!(
+                    (est - exact).abs() / exact < 0.01,
+                    "q={q} bytes={bytes}: est {est} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolation_is_sane() {
+        let (m, c) = chr();
+        // Above the ladder: linear extension of the last segment.
+        let bytes = 16.0e9;
+        let exact = 8.0 * m.msg_time(bytes);
+        let est = c.rcost(8, GridDim::Dim2, bytes);
+        assert!((est - exact).abs() / exact < 0.02);
+        // Below the ladder.
+        let small = c.rcost(8, GridDim::Dim1, 100.0);
+        assert!(small > 0.0 && small < c.rcost(8, GridDim::Dim1, 2048.0));
+        // Zero size costs nothing.
+        assert_eq!(c.rcost(8, GridDim::Dim1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let (_, c) = chr();
+        let mut prev = 0.0;
+        let mut bytes = 512.0;
+        while bytes < 1e10 {
+            let t = c.rcost(4, GridDim::Dim1, bytes);
+            assert!(t >= prev);
+            prev = t;
+            bytes *= 1.37;
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (_, c) = chr();
+        let json = c.to_json();
+        let back = Characterization::from_json(&json).unwrap();
+        assert_eq!(c.machine, back.machine);
+        assert_eq!(c.grids.len(), back.grids.len());
+        for (a, b) in c.grids.iter().zip(&back.grids) {
+            assert_eq!(a.steps, b.steps);
+            for (pa, pb) in a.dim1.iter().zip(&b.dim1).chain(a.dim2.iter().zip(&b.dim2)) {
+                // JSON text round-trips floats to within an ULP.
+                assert!((pa.bytes - pb.bytes).abs() <= pa.bytes * 1e-12);
+                assert!((pa.seconds - pb.seconds).abs() <= pa.seconds * 1e-12);
+            }
+        }
+        assert!(json.contains("itanium"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not characterized")]
+    fn uncharacterized_grid_panics() {
+        let (_, c) = chr();
+        c.rcost(16, GridDim::Dim1, 1e6);
+    }
+
+    #[test]
+    fn table1_d_rotation_via_characterization() {
+        // D's Table-1 rotation (58.98 MB block, 8 steps) through the
+        // characterization must land near the paper's 35.7 s.
+        let (_, c) = chr();
+        let t = c.rcost(8, GridDim::Dim2, 7_372_800.0 * 8.0);
+        assert!((t - 35.7).abs() / 35.7 < 0.15, "got {t:.1}s");
+    }
+}

@@ -1,0 +1,145 @@
+//! Redistribution cost between contraction steps.
+//!
+//! The paper characterizes redistribution empirically alongside rotation;
+//! our stand-in model charges a block-cyclic exchange: for each grid
+//! dimension whose distributed index changes, every processor exchanges
+//! with the `ext(d)` processors along that dimension; the moved volume is
+//! [`tce_dist::Redistribution::moved_fraction`] of the local block and the
+//! per-peer message size sets the effective bandwidth.
+
+use tce_dist::{dist_size, Distribution, GridDim, ProcGrid, Redistribution};
+use tce_expr::{IndexSet, IndexSpace, Tensor};
+
+use crate::machine::MachineModel;
+use crate::units::WORD_BYTES;
+
+/// Number of peers a processor exchanges with under redistribution `r`.
+pub fn peer_count(r: Redistribution, grid: ProcGrid) -> u32 {
+    let mut peers = 1;
+    for d in GridDim::BOTH {
+        if r.from.at(d) != r.to.at(d) {
+            peers *= grid.extent(d);
+        }
+    }
+    peers.max(1)
+}
+
+/// Seconds to redistribute `tensor` (with fused dimensions `fused` already
+/// removed) from `r.from` to `r.to` on `grid`.
+pub fn redistribution_cost(
+    tensor: &Tensor,
+    space: &IndexSpace,
+    grid: ProcGrid,
+    r: Redistribution,
+    fused: &IndexSet,
+    machine: &MachineModel,
+) -> f64 {
+    let local_words = dist_size(tensor, space, grid, r.from, fused);
+    let moved_bytes = r.moved_fraction(grid) * (local_words * WORD_BYTES) as f64;
+    if moved_bytes <= 0.0 {
+        return 0.0;
+    }
+    let peers = peer_count(r, grid) as f64;
+    let msg_bytes = moved_bytes / peers;
+    peers * machine.latency_s + moved_bytes / machine.eff_bandwidth(msg_bytes)
+}
+
+/// Convenience: zero when `from == to`, the modeled cost otherwise.
+pub fn maybe_redistribution_cost(
+    tensor: &Tensor,
+    space: &IndexSpace,
+    grid: ProcGrid,
+    from: Distribution,
+    to: Distribution,
+    fused: &IndexSet,
+    machine: &MachineModel,
+) -> f64 {
+    match Redistribution::needed(from, to) {
+        None => 0.0,
+        Some(r) => redistribution_cost(tensor, space, grid, r, fused, machine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (IndexSpace, ProcGrid, MachineModel) {
+        let mut sp = IndexSpace::new();
+        sp.declare("b", 480);
+        sp.declare("e", 64);
+        sp.declare("f", 64);
+        sp.declare("l", 32);
+        (sp, ProcGrid::square(16).unwrap(), MachineModel::itanium_cluster())
+    }
+
+    #[test]
+    fn identity_redistribution_is_free() {
+        let (sp, g, m) = setup();
+        let b = sp.lookup("b").unwrap();
+        let f = sp.lookup("f").unwrap();
+        let t = Tensor::new("B", vec![b, sp.lookup("e").unwrap(), f, sp.lookup("l").unwrap()]);
+        let d = Distribution::pair(b, f);
+        assert_eq!(
+            maybe_redistribution_cost(&t, &sp, g, d, d, &IndexSet::new(), &m),
+            0.0
+        );
+    }
+
+    #[test]
+    fn one_dim_change_cheaper_than_two() {
+        let (sp, g, m) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let t = Tensor::new("B", vec![ix("b"), ix("e"), ix("f"), ix("l")]);
+        let from = Distribution::pair(ix("b"), ix("f"));
+        let one = maybe_redistribution_cost(
+            &t, &sp, g, from, Distribution::pair(ix("b"), ix("e")), &IndexSet::new(), &m,
+        );
+        let two = maybe_redistribution_cost(
+            &t, &sp, g, from, Distribution::pair(ix("e"), ix("b")), &IndexSet::new(), &m,
+        );
+        assert!(one > 0.0);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn cost_scales_with_block_size() {
+        let (sp, g, m) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let big = Tensor::new("B", vec![ix("b"), ix("e"), ix("f"), ix("l")]);
+        let small = Tensor::new("X", vec![ix("e"), ix("f"), ix("l")]);
+        let from_b = Distribution::pair(ix("b"), ix("f"));
+        let to_b = Distribution::pair(ix("b"), ix("e"));
+        let from_s = Distribution::pair(ix("e"), ix("f"));
+        let to_s = Distribution::pair(ix("e"), ix("l"));
+        let cb =
+            maybe_redistribution_cost(&big, &sp, g, from_b, to_b, &IndexSet::new(), &m);
+        let cs =
+            maybe_redistribution_cost(&small, &sp, g, from_s, to_s, &IndexSet::new(), &m);
+        assert!(cb > cs);
+    }
+
+    #[test]
+    fn fused_dims_shrink_the_cost() {
+        let (sp, g, m) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let t = Tensor::new("B", vec![ix("b"), ix("e"), ix("f"), ix("l")]);
+        let from = Distribution::pair(ix("b"), ix("e"));
+        let to = Distribution::pair(ix("b"), ix("l"));
+        let full = maybe_redistribution_cost(&t, &sp, g, from, to, &IndexSet::new(), &m);
+        let fused = IndexSet::from_iter([ix("f")]);
+        let less = maybe_redistribution_cost(&t, &sp, g, from, to, &fused, &m);
+        assert!(less < full);
+    }
+
+    #[test]
+    fn peer_counts() {
+        let (sp, g, _) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let from = Distribution::pair(ix("b"), ix("f"));
+        let r1 = Redistribution::needed(from, Distribution::pair(ix("b"), ix("e"))).unwrap();
+        assert_eq!(peer_count(r1, g), 4);
+        let r2 = Redistribution::needed(from, Distribution::pair(ix("e"), ix("l"))).unwrap();
+        assert_eq!(peer_count(r2, g), 16);
+    }
+}

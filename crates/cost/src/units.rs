@@ -1,0 +1,94 @@
+//! The paper's memory units.
+//!
+//! Tables 1–2 of the paper report sizes in a quirky convention,
+//! reverse-engineered from the exact values they print:
+//! `1 "MB" = 1,024,000 bytes` and `1 "GB" = 1000 "MB"`. For example
+//! `T1(b,c,d,f)` holds `480³·64 = 7,077,888,000` words of 8 bytes →
+//! `56,623,104,000 B / (1000·1,024,000) = 55.296` → the paper's "55.3GB".
+//! We reproduce the convention so that the regenerated tables match the
+//! paper digit for digit, and also provide plain decimal formatting.
+
+/// Bytes per double-precision word.
+pub const WORD_BYTES: u128 = 8;
+
+/// The paper's "MB": 1,024,000 bytes.
+pub const PAPER_MB: f64 = 1_024_000.0;
+
+/// The paper's "GB": 1000 of its MB (i.e. 1.024 × 10⁹ bytes).
+pub const PAPER_GB: f64 = 1000.0 * PAPER_MB;
+
+/// Bytes occupied by `words` double-precision elements.
+pub fn words_to_bytes(words: u128) -> u128 {
+    words * WORD_BYTES
+}
+
+/// Format a byte count in the paper's units, picking MB or GB like the
+/// paper does (`"115.2MB"`, `"1.728GB"`).
+pub fn fmt_paper_bytes(bytes: u128) -> String {
+    let b = bytes as f64;
+    if b >= PAPER_GB {
+        format!("{:.3}GB", b / PAPER_GB)
+    } else {
+        format!("{:.1}MB", b / PAPER_MB)
+    }
+}
+
+/// Format a word count in the paper's units.
+pub fn fmt_paper_words(words: u128) -> String {
+    fmt_paper_bytes(words_to_bytes(words))
+}
+
+/// Format a byte count in decimal megabytes/gigabytes for modern eyes.
+pub fn fmt_decimal_bytes(bytes: u128) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else {
+        format!("{:.1} kB", b / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_memory_cells_reproduce() {
+        // Per-node sizes in Table 1 are 2 processors × DistSize × 8 B.
+        // D(c,d,e,l) at <d,e> on 8×8: 7,372,800 words/proc.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 7_372_800)), "115.2MB");
+        // B: 983,040 words/proc → 15.4MB/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 983_040)), "15.4MB");
+        // C: 491,520 words/proc → 7.7MB/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 491_520)), "7.7MB");
+        // A and T2: 3,686,400 words/proc → 57.6MB/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 3_686_400)), "57.6MB");
+        // T1: 110,592,000 words/proc → 1.728GB/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 110_592_000)), "1.728GB");
+    }
+
+    #[test]
+    fn table2_memory_cells_reproduce() {
+        // 4×4 grid, 2 procs/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 29_491_200)), "460.8MB"); // D
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 3_932_160)), "61.4MB"); // B (paper: 61.6)
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 14_745_600)), "230.4MB"); // A, T2, S
+        // T1 reduced to (b,c,d): 6,912,000 words/proc → 108MB/node.
+        assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 6_912_000)), "108.0MB");
+    }
+
+    #[test]
+    fn t1_total_is_55_3_gb() {
+        let words: u128 = 480 * 480 * 480 * 64;
+        assert_eq!(fmt_paper_words(words), "55.296GB");
+    }
+
+    #[test]
+    fn decimal_formatting() {
+        assert_eq!(fmt_decimal_bytes(58_982_400), "58.98 MB");
+        assert_eq!(fmt_decimal_bytes(1_500), "1.5 kB");
+        assert_eq!(fmt_decimal_bytes(2_000_000_000), "2.00 GB");
+    }
+}

@@ -1,0 +1,44 @@
+//! Property tests of the cost models.
+
+use proptest::prelude::*;
+use tce_cost::{characterize, MachineModel};
+use tce_dist::GridDim;
+
+proptest! {
+    /// Characterization interpolation stays within 5 % of the underlying
+    /// model across the ladder's span, for both link speeds. (The slack is
+    /// dominated by the eager/rendezvous protocol knee, which a
+    /// piecewise-linear table necessarily smooths; away from the knee the
+    /// model is near-affine and the table is near-exact.)
+    #[test]
+    fn interpolation_tracks_model(bytes in 2048.0f64..3.0e9, q in 2u32..16) {
+        let m = MachineModel::itanium_asymmetric(2.5);
+        let chr = characterize(&m, &[q]);
+        for (dim, exact) in [
+            (GridDim::Dim1, q as f64 * m.msg_time(bytes)),
+            (GridDim::Dim2, q as f64 * m.msg_time_dim2(bytes)),
+        ] {
+            let est = chr.rcost(q, dim, bytes);
+            prop_assert!((est - exact).abs() / exact < 0.05,
+                "dim {dim:?}: est {est} vs exact {exact}");
+        }
+    }
+
+    /// Message time is monotone in size and superadditive-ish: sending one
+    /// big message never costs more than two halves (latency amortizes).
+    #[test]
+    fn msg_time_monotone_and_batching_pays(a in 1.0e3f64..1.0e8, b in 1.0e3f64..1.0e8) {
+        let m = MachineModel::itanium_cluster();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(m.msg_time(lo) <= m.msg_time(hi));
+        prop_assert!(m.msg_time(a + b) <= m.msg_time(a) + m.msg_time(b) + 1e-12);
+    }
+
+    /// Effective bandwidth never exceeds the peak and approaches it.
+    #[test]
+    fn eff_bandwidth_bounded(bytes in 1.0f64..1.0e12) {
+        let m = MachineModel::itanium_cluster();
+        let bw = m.eff_bandwidth(bytes);
+        prop_assert!(bw > 0.0 && bw < m.peak_bandwidth);
+    }
+}

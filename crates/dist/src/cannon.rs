@@ -1,0 +1,137 @@
+//! Block-index bookkeeping for executing a generalized Cannon contraction.
+//!
+//! On a square `q × q` grid, the rotating role's extent is split into `q`
+//! blocks that cycle through the processors. At step `t ∈ 0..q`, processor
+//! `(z1, z2)` works with the rotating block `(z1 + z2 + t) mod q`; the two
+//! rotating arrays are initially *skewed* so that this invariant holds, and
+//! each step shifts them one position along their travel dimensions. The
+//! fixed array's blocks never move.
+//!
+//! These little functions are the single source of truth shared by the
+//! simulator (`tce-sim`) and the schedule printer, and are property-tested
+//! here for the conformance invariant that makes Cannon correct.
+
+use crate::grid::{GridDim, ProcCoord, ProcGrid};
+
+/// The rotating-role block index held by processor `(z1, z2)` at step `t`.
+pub fn rot_block(coord: ProcCoord, t: u32, q: u32) -> u32 {
+    (coord.z1 + coord.z2 + t) % q
+}
+
+/// Number of rotation steps for a square grid (`√P`).
+pub fn num_steps(grid: ProcGrid) -> u32 {
+    debug_assert!(grid.is_square(), "Cannon execution requires a square grid");
+    grid.dim1
+}
+
+/// Where processor `coord` must fetch its *initial* (step-0) block of a
+/// rotating array from, given the array's natural (unskewed) block layout:
+/// the processor holding, in natural layout, the rotating block
+/// `rot_block(coord, 0, q)` at the same position along the non-travel
+/// dimension.
+pub fn alignment_source(coord: ProcCoord, travel: GridDim, grid: ProcGrid) -> ProcCoord {
+    let q = num_steps(grid);
+    let want = rot_block(coord, 0, q);
+    match travel {
+        GridDim::Dim1 => ProcCoord { z1: want, z2: coord.z2 },
+        GridDim::Dim2 => ProcCoord { z1: coord.z1, z2: want },
+    }
+}
+
+/// The neighbor a rotating array's block is *sent to* after each step.
+/// Shifting every block one position "backwards" along the travel
+/// dimension advances `rot_block` by one everywhere.
+pub fn rotation_target(coord: ProcCoord, travel: GridDim, grid: ProcGrid) -> ProcCoord {
+    grid.shift(coord, travel, -1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid4() -> ProcGrid {
+        ProcGrid::square(16).unwrap()
+    }
+
+    #[test]
+    fn rot_block_invariant_after_shift() {
+        // If every processor sends its block to `rotation_target`, the
+        // block that *arrives* at `c` came from `shift(c, travel, +1)`,
+        // whose step-t rot_block equals c's step-(t+1) rot_block.
+        let g = grid4();
+        let q = num_steps(g);
+        for c in g.coords() {
+            for travel in GridDim::BOTH {
+                let from = g.shift(c, travel, 1);
+                for t in 0..q {
+                    assert_eq!(rot_block(from, t, q), rot_block(c, t + 1, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_source_provides_step0_block() {
+        let g = grid4();
+        let q = num_steps(g);
+        for c in g.coords() {
+            for travel in GridDim::BOTH {
+                let src = alignment_source(c, travel, g);
+                // In natural layout, `src` holds rotating-block = its own
+                // coordinate along the travel dim.
+                let natural = match travel {
+                    GridDim::Dim1 => src.z1,
+                    GridDim::Dim2 => src.z2,
+                };
+                assert_eq!(natural, rot_block(c, 0, q));
+                // And the non-travel coordinate is preserved.
+                match travel {
+                    GridDim::Dim1 => assert_eq!(src.z2, c.z2),
+                    GridDim::Dim2 => assert_eq!(src.z1, c.z1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_processor_sees_every_rot_block_exactly_once() {
+        let g = grid4();
+        let q = num_steps(g);
+        for c in g.coords() {
+            let mut seen = vec![false; q as usize];
+            for t in 0..q {
+                let b = rot_block(c, t, q) as usize;
+                assert!(!seen[b], "block revisited");
+                seen[b] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn conformance_of_two_rotating_arrays() {
+        // The two rotating arrays travel along *different* dims but must
+        // hold the same rotating block at every (processor, step): both use
+        // rot_block, so this holds by construction; spot-check anyway.
+        let g = grid4();
+        let q = num_steps(g);
+        for c in g.coords() {
+            for t in 0..q {
+                let via_dim1 = rot_block(c, t, q);
+                let via_dim2 = rot_block(c, t, q);
+                assert_eq!(via_dim1, via_dim2);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_target_is_inverse_of_arrival() {
+        let g = grid4();
+        for c in g.coords() {
+            for travel in GridDim::BOTH {
+                let to = rotation_target(c, travel, g);
+                assert_eq!(g.shift(to, travel, 1), c);
+            }
+        }
+    }
+}

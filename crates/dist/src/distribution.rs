@@ -1,0 +1,273 @@
+//! Array distributions `⟨i, j⟩` and the `DistSize` / `DistRange` model
+//! of §3.2(i).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tce_expr::{IndexId, IndexSet, IndexSpace, Tensor};
+
+use crate::grid::{block_len, GridDim, ProcGrid};
+
+/// The distribution of an array on the 2-D grid: at most one array
+/// dimension per processor dimension (the paper's pair `α = ⟨i, j⟩`).
+/// `None` in a position means the array is *not* distributed along that
+/// processor dimension (replicated across it).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Index distributed along processor dimension 1 (`α[1]`).
+    pub d1: Option<IndexId>,
+    /// Index distributed along processor dimension 2 (`α[2]`).
+    pub d2: Option<IndexId>,
+}
+
+impl Distribution {
+    /// The fully replicated distribution `⟨⟩`.
+    pub const REPLICATED: Distribution = Distribution { d1: None, d2: None };
+
+    /// A full pair `⟨i, j⟩`. Panics if `i == j` (one array dimension cannot
+    /// live on both processor dimensions).
+    pub fn pair(i: IndexId, j: IndexId) -> Self {
+        assert_ne!(i, j, "distribution pair must use distinct indices");
+        Self { d1: Some(i), d2: Some(j) }
+    }
+
+    /// Distributed along dimension 1 only.
+    pub fn along_dim1(i: IndexId) -> Self {
+        Self { d1: Some(i), d2: None }
+    }
+
+    /// Distributed along dimension 2 only.
+    pub fn along_dim2(j: IndexId) -> Self {
+        Self { d1: None, d2: Some(j) }
+    }
+
+    /// The index at position `d` (the paper's `α[d]`).
+    pub fn at(&self, d: GridDim) -> Option<IndexId> {
+        match d {
+            GridDim::Dim1 => self.d1,
+            GridDim::Dim2 => self.d2,
+        }
+    }
+
+    /// If `id` is distributed, along which grid dimension?
+    pub fn position_of(&self, id: IndexId) -> Option<GridDim> {
+        if self.d1 == Some(id) {
+            Some(GridDim::Dim1)
+        } else if self.d2 == Some(id) {
+            Some(GridDim::Dim2)
+        } else {
+            None
+        }
+    }
+
+    /// True when `id` appears in the pair.
+    pub fn contains(&self, id: IndexId) -> bool {
+        self.position_of(id).is_some()
+    }
+
+    /// Every distribution of an array with dimension set `dims`: the full
+    /// pairs over distinct dimensions plus (optionally) the partial and
+    /// replicated ones.
+    pub fn enumerate(dims: &IndexSet, include_partial: bool) -> Vec<Distribution> {
+        let mut out = Vec::new();
+        for a in dims.iter() {
+            for b in dims.iter() {
+                if a != b {
+                    out.push(Distribution::pair(a, b));
+                }
+            }
+        }
+        if include_partial || dims.len() < 2 {
+            for a in dims.iter() {
+                out.push(Distribution::along_dim1(a));
+                out.push(Distribution::along_dim2(a));
+            }
+            out.push(Distribution::REPLICATED);
+        }
+        out
+    }
+
+    /// Validate against an array's dimensions: every distributed index must
+    /// be a dimension of the array.
+    pub fn is_valid_for(&self, tensor: &Tensor) -> bool {
+        self.d1.is_none_or(|i| tensor.has_dim(i))
+            && self.d2.is_none_or(|j| tensor.has_dim(j))
+            && (self.d1.is_none() || self.d1 != self.d2)
+    }
+
+    /// Render as `<d,b>` in the paper's notation.
+    pub fn render(&self, space: &IndexSpace) -> String {
+        let name = |o: Option<IndexId>| o.map(|i| space.name(i).to_owned()).unwrap_or_default();
+        format!("<{},{}>", name(self.d1), name(self.d2))
+    }
+}
+
+impl fmt::Debug for Distribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:?},{:?}>", self.d1, self.d2)
+    }
+}
+
+/// The paper's `DistRange(i, v, α, f)`: per-processor extent of dimension
+/// `i` of an array distributed by `α`, with fused index set `f`:
+/// `1` if fused, `N_i / (grid extent)` if distributed, `N_i` otherwise.
+pub fn dist_range(
+    i: IndexId,
+    space: &IndexSpace,
+    grid: ProcGrid,
+    alpha: Distribution,
+    fused: &IndexSet,
+) -> u64 {
+    if fused.contains(i) {
+        1
+    } else if let Some(d) = alpha.position_of(i) {
+        block_len(space.extent(i), grid.extent(d))
+    } else {
+        space.extent(i)
+    }
+}
+
+/// The paper's `DistSize(v, α, f)`: words of array `v` held per processor
+/// under distribution `α` once the dimensions in `f` are fused away.
+pub fn dist_size(
+    tensor: &Tensor,
+    space: &IndexSpace,
+    grid: ProcGrid,
+    alpha: Distribution,
+    fused: &IndexSet,
+) -> u128 {
+    tensor
+        .dims
+        .iter()
+        .map(|&i| dist_range(i, space, grid, alpha, fused) as u128)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_space() -> IndexSpace {
+        let mut sp = IndexSpace::new();
+        for n in ["a", "b", "c", "d"] {
+            sp.declare(n, 480);
+        }
+        for n in ["e", "f"] {
+            sp.declare(n, 64);
+        }
+        for n in ["i", "j", "k", "l"] {
+            sp.declare(n, 32);
+        }
+        sp
+    }
+
+    #[test]
+    fn pair_accessors() {
+        let sp = paper_space();
+        let b = sp.lookup("b").unwrap();
+        let f = sp.lookup("f").unwrap();
+        let d = Distribution::pair(b, f);
+        assert_eq!(d.at(GridDim::Dim1), Some(b));
+        assert_eq!(d.at(GridDim::Dim2), Some(f));
+        assert_eq!(d.position_of(f), Some(GridDim::Dim2));
+        assert!(d.contains(b) && !d.contains(sp.lookup("a").unwrap()));
+        assert_eq!(d.render(&sp), "<b,f>");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_rejects_equal() {
+        let sp = paper_space();
+        let b = sp.lookup("b").unwrap();
+        Distribution::pair(b, b);
+    }
+
+    #[test]
+    fn dist_size_matches_paper_example() {
+        // §3.2(i): T1(b,c,d,f) with α = <b,f>, fusion {c}, P = 16:
+        // N_b/4 × 1 × N_d × N_f/4 = 120·1·480·16 = 921,600 words.
+        let sp = paper_space();
+        let (b, c, d, f) =
+            (sp.lookup("b").unwrap(), sp.lookup("c").unwrap(), sp.lookup("d").unwrap(), sp.lookup("f").unwrap());
+        let t1 = Tensor::new("T1", vec![b, c, d, f]);
+        let grid = ProcGrid::square(16).unwrap();
+        let alpha = Distribution::pair(b, f);
+        let fused = IndexSet::from_iter([c]);
+        assert_eq!(dist_size(&t1, &sp, grid, alpha, &fused), 921_600);
+    }
+
+    #[test]
+    fn dist_size_table1_values() {
+        // Table 1 (64 procs, 8×8): per-processor words.
+        let sp = paper_space();
+        let ids = |s: &str| sp.lookup(s).unwrap();
+        let grid = ProcGrid::square(64).unwrap();
+        let none = IndexSet::new();
+        // D(c,d,e,l) at <d,e>: 480·60·8·32 = 921,600 words  (×8B×2procs = 115.2 paper-MB/node)
+        let dd = Tensor::new("D", vec![ids("c"), ids("d"), ids("e"), ids("l")]);
+        assert_eq!(
+            dist_size(&dd, &sp, grid, Distribution::pair(ids("d"), ids("e")), &none),
+            480 * 60 * 8 * 32
+        );
+        // T1(b,c,d,f) at <d,b>: 60·480·60·64 words (→1.728 paper-GB/node)
+        let t1 = Tensor::new("T1", vec![ids("b"), ids("c"), ids("d"), ids("f")]);
+        assert_eq!(
+            dist_size(&t1, &sp, grid, Distribution::pair(ids("d"), ids("b")), &none),
+            60 * 480 * 60 * 64
+        );
+    }
+
+    #[test]
+    fn replicated_and_partial_sizes() {
+        let sp = paper_space();
+        let b = sp.lookup("b").unwrap();
+        let e = sp.lookup("e").unwrap();
+        let t = Tensor::new("X", vec![b, e]);
+        let grid = ProcGrid::square(16).unwrap();
+        let none = IndexSet::new();
+        assert_eq!(dist_size(&t, &sp, grid, Distribution::REPLICATED, &none), 480 * 64);
+        assert_eq!(dist_size(&t, &sp, grid, Distribution::along_dim1(b), &none), 120 * 64);
+        assert_eq!(dist_size(&t, &sp, grid, Distribution::along_dim2(e), &none), 480 * 16);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        let sp = paper_space();
+        let dims = IndexSet::from_iter([
+            sp.lookup("b").unwrap(),
+            sp.lookup("c").unwrap(),
+            sp.lookup("d").unwrap(),
+        ]);
+        // Full pairs: 3·2 = 6; with partial: + 3·2 singles + 1 replicated.
+        assert_eq!(Distribution::enumerate(&dims, false).len(), 6);
+        assert_eq!(Distribution::enumerate(&dims, true).len(), 13);
+        // A 1-dim array always gets its partial options.
+        let one = IndexSet::from_iter([sp.lookup("b").unwrap()]);
+        assert_eq!(Distribution::enumerate(&one, false).len(), 3);
+    }
+
+    #[test]
+    fn validity() {
+        let sp = paper_space();
+        let b = sp.lookup("b").unwrap();
+        let z = sp.lookup("a").unwrap();
+        let t = Tensor::new("X", vec![b]);
+        assert!(Distribution::along_dim1(b).is_valid_for(&t));
+        assert!(!Distribution::pair(b, z).is_valid_for(&t));
+        assert!(Distribution::REPLICATED.is_valid_for(&t));
+    }
+
+    #[test]
+    fn dist_range_cases() {
+        let sp = paper_space();
+        let b = sp.lookup("b").unwrap();
+        let c = sp.lookup("c").unwrap();
+        let grid = ProcGrid::square(16).unwrap();
+        let alpha = Distribution::along_dim1(b);
+        let fused = IndexSet::from_iter([c]);
+        assert_eq!(dist_range(b, &sp, grid, alpha, &fused), 120); // distributed
+        assert_eq!(dist_range(c, &sp, grid, alpha, &fused), 1); // fused wins
+        let a = sp.lookup("a").unwrap();
+        assert_eq!(dist_range(a, &sp, grid, alpha, &fused), 480); // untouched
+    }
+}

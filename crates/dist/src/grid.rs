@@ -1,0 +1,203 @@
+//! The two-dimensional logical processor grid of §3.1.
+//!
+//! A logical view of the `P` processors as a `√P × √P` grid. The logical
+//! view imposes nothing on the physical topology — costs come from an
+//! empirical characterization (`tce-cost`) — but the grid defines block
+//! ownership and the neighbor relation used by the Cannon rotations.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the two logical processor dimensions. The paper writes `α[d]`
+/// with `d ∈ {1, 2}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GridDim {
+    /// The first processor dimension (`d = 1`).
+    Dim1,
+    /// The second processor dimension (`d = 2`).
+    Dim2,
+}
+
+impl GridDim {
+    /// Both dimensions, in order.
+    pub const BOTH: [GridDim; 2] = [GridDim::Dim1, GridDim::Dim2];
+
+    /// The other dimension.
+    pub fn other(self) -> GridDim {
+        match self {
+            GridDim::Dim1 => GridDim::Dim2,
+            GridDim::Dim2 => GridDim::Dim1,
+        }
+    }
+}
+
+/// A logical 2-D processor grid.
+///
+/// The paper uses square `√P × √P` grids; rectangular grids are supported
+/// for generality (every formula uses the per-dimension size rather than
+/// `√P`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcGrid {
+    /// Extent of grid dimension 1.
+    pub dim1: u32,
+    /// Extent of grid dimension 2.
+    pub dim2: u32,
+}
+
+/// Coordinates of one processor on the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProcCoord {
+    /// Position along [`GridDim::Dim1`], in `0..grid.dim1`.
+    pub z1: u32,
+    /// Position along [`GridDim::Dim2`], in `0..grid.dim2`.
+    pub z2: u32,
+}
+
+impl ProcGrid {
+    /// The square `√P × √P` grid for `P` processors.
+    ///
+    /// Returns `None` when `P` is not a perfect square.
+    pub fn square(p: u32) -> Option<Self> {
+        let s = (p as f64).sqrt().round() as u32;
+        (s * s == p).then_some(Self { dim1: s, dim2: s })
+    }
+
+    /// A rectangular grid.
+    pub fn rect(dim1: u32, dim2: u32) -> Self {
+        assert!(dim1 > 0 && dim2 > 0, "grid dimensions must be positive");
+        Self { dim1, dim2 }
+    }
+
+    /// Total number of processors.
+    pub fn num_procs(&self) -> u32 {
+        self.dim1 * self.dim2
+    }
+
+    /// Extent along one grid dimension.
+    pub fn extent(&self, d: GridDim) -> u32 {
+        match d {
+            GridDim::Dim1 => self.dim1,
+            GridDim::Dim2 => self.dim2,
+        }
+    }
+
+    /// Linear rank of a coordinate (row-major in `Dim1`).
+    pub fn rank(&self, c: ProcCoord) -> u32 {
+        debug_assert!(c.z1 < self.dim1 && c.z2 < self.dim2);
+        c.z1 * self.dim2 + c.z2
+    }
+
+    /// Coordinate of a linear rank.
+    pub fn coord(&self, rank: u32) -> ProcCoord {
+        debug_assert!(rank < self.num_procs());
+        ProcCoord { z1: rank / self.dim2, z2: rank % self.dim2 }
+    }
+
+    /// All coordinates in rank order.
+    pub fn coords(&self) -> impl Iterator<Item = ProcCoord> + '_ {
+        (0..self.num_procs()).map(|r| self.coord(r))
+    }
+
+    /// Cyclic neighbor `steps` away along `d` (the rotation send target).
+    pub fn shift(&self, c: ProcCoord, d: GridDim, steps: i64) -> ProcCoord {
+        let n = self.extent(d) as i64;
+        let wrap = |v: u32| ((v as i64 + steps).rem_euclid(n)) as u32;
+        match d {
+            GridDim::Dim1 => ProcCoord { z1: wrap(c.z1), z2: c.z2 },
+            GridDim::Dim2 => ProcCoord { z1: c.z1, z2: wrap(c.z2) },
+        }
+    }
+
+    /// True when the grid is square (required by classical Cannon).
+    pub fn is_square(&self) -> bool {
+        self.dim1 == self.dim2
+    }
+}
+
+/// Block ownership: the `z`-th of `p` consecutive chunks of `0..n`
+/// (the paper's `myrange(z, N, p)`, 0-based). When `p` does not divide `n`,
+/// the first `n mod p` chunks are one element longer.
+pub fn myrange(z: u32, n: u64, p: u32) -> std::ops::Range<u64> {
+    let (z, p) = (z as u64, p as u64);
+    debug_assert!(z < p);
+    let base = n / p;
+    let rem = n % p;
+    let start = z * base + z.min(rem);
+    let len = base + u64::from(z < rem);
+    start..start + len
+}
+
+/// Largest local chunk size when `0..n` is split into `p` blocks —
+/// `⌈n/p⌉`. This is the per-processor extent used in all size formulas
+/// (equals `n/p` exactly in the paper's always-dividing configurations).
+pub fn block_len(n: u64, p: u32) -> u64 {
+    n.div_ceil(p as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grids() {
+        assert_eq!(ProcGrid::square(64), Some(ProcGrid { dim1: 8, dim2: 8 }));
+        assert_eq!(ProcGrid::square(16), Some(ProcGrid { dim1: 4, dim2: 4 }));
+        assert_eq!(ProcGrid::square(1), Some(ProcGrid { dim1: 1, dim2: 1 }));
+        assert_eq!(ProcGrid::square(12), None);
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcGrid::rect(3, 5);
+        for r in 0..g.num_procs() {
+            assert_eq!(g.rank(g.coord(r)), r);
+        }
+        assert_eq!(g.coords().count(), 15);
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let g = ProcGrid::square(16).unwrap();
+        let c = ProcCoord { z1: 3, z2: 0 };
+        assert_eq!(g.shift(c, GridDim::Dim1, 1).z1, 0);
+        assert_eq!(g.shift(c, GridDim::Dim2, -1).z2, 3);
+        assert_eq!(g.shift(c, GridDim::Dim2, 4), c);
+        assert_eq!(g.shift(c, GridDim::Dim1, -7).z1, 0);
+    }
+
+    #[test]
+    fn myrange_partitions_exactly() {
+        for (n, p) in [(480u64, 8u32), (32, 4), (10, 3), (3, 5)] {
+            let mut total = 0;
+            let mut next = 0;
+            for z in 0..p {
+                let r = myrange(z, n, p);
+                assert_eq!(r.start, next, "blocks must be contiguous");
+                next = r.end;
+                total += r.end - r.start;
+            }
+            assert_eq!(total, n);
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn myrange_matches_paper_example() {
+        // §3.1: B(b,…) on a 4×4 grid, N_b = 480: processor z gets the z-th
+        // chunk of 120.
+        let r = myrange(2, 480, 4);
+        assert_eq!(r, 240..360);
+    }
+
+    #[test]
+    fn block_len_is_ceiling() {
+        assert_eq!(block_len(480, 8), 60);
+        assert_eq!(block_len(10, 3), 4);
+        assert_eq!(block_len(3, 5), 1);
+    }
+
+    #[test]
+    fn grid_dim_other() {
+        assert_eq!(GridDim::Dim1.other(), GridDim::Dim2);
+        assert_eq!(GridDim::Dim2.other(), GridDim::Dim1);
+    }
+}

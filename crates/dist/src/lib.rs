@@ -1,0 +1,28 @@
+//! # tce-dist — processor grids, array distributions, generalized Cannon
+//!
+//! The data-partitioning substrate of the IPPS 2003 reproduction:
+//!
+//! * [`ProcGrid`] — the `√P × √P` logical processor view and the
+//!   `myrange` block-ownership rule of §3.1;
+//! * [`Distribution`] — the pair `⟨i, j⟩` notation, plus the paper's
+//!   `DistSize`/`DistRange` per-processor size model ([`dist_size`],
+//!   [`dist_range`]);
+//! * [`patterns`] — the `3·NI·NJ·NK` generalized-Cannon
+//!   communication patterns of a contraction and the distributions they
+//!   induce on all three participating arrays;
+//! * [`cannon`] — the skew/rotation block bookkeeping used
+//!   to *execute* a pattern;
+//! * [`Redistribution`] — layout changes between contraction steps.
+
+#![warn(missing_docs)]
+
+pub mod cannon;
+mod distribution;
+mod grid;
+pub mod patterns;
+mod redistribution;
+
+pub use distribution::{dist_range, dist_size, Distribution};
+pub use grid::{block_len, myrange, GridDim, ProcCoord, ProcGrid};
+pub use patterns::{enumerate_patterns, CannonPattern, Operand, Role, RoleAssignment};
+pub use redistribution::{placement_words, Redistribution};

@@ -1,0 +1,126 @@
+//! Redistribution between Cannon steps (§3.1, last paragraph).
+//!
+//! When the distribution in which an array was produced (or initially
+//! placed) differs from the distribution the next contraction requires, the
+//! array must be re-distributed. This module *describes* redistributions
+//! (who needs what); the cost lives in `tce-cost` and the data movement in
+//! `tce-sim`.
+
+use tce_expr::{IndexSpace, Tensor};
+
+use crate::distribution::Distribution;
+use crate::grid::ProcGrid;
+
+/// A required change of distribution for one array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Redistribution {
+    /// Layout the array currently has.
+    pub from: Distribution,
+    /// Layout the next contraction requires.
+    pub to: Distribution,
+}
+
+impl Redistribution {
+    /// `None` when the array is already in the required layout.
+    pub fn needed(from: Distribution, to: Distribution) -> Option<Self> {
+        (from != to).then_some(Self { from, to })
+    }
+
+    /// Fraction of each processor's block that must leave the processor,
+    /// in `[0, 1]`: dimensions that keep their grid placement contribute
+    /// nothing; each changed placement forces all data whose target block
+    /// lives elsewhere to move. Used by the cost model.
+    ///
+    /// The estimate: a processor keeps `1/extent(d)` of its data for every
+    /// grid dimension `d` whose distributed index changed, and everything
+    /// for unchanged dimensions. (Exact for block layouts with dividing
+    /// extents; a safe upper bound otherwise.)
+    pub fn moved_fraction(&self, grid: ProcGrid) -> f64 {
+        let mut keep = 1.0;
+        for d in crate::grid::GridDim::BOTH {
+            if self.from.at(d) != self.to.at(d) {
+                keep /= grid.extent(d) as f64;
+            }
+        }
+        1.0 - keep
+    }
+
+    /// Render as `<d,b> -> <e,b>`.
+    pub fn render(&self, space: &IndexSpace) -> String {
+        format!("{} -> {}", self.from.render(space), self.to.render(space))
+    }
+}
+
+/// Check that a distribution can physically hold the array (valid indices)
+/// and report the per-processor word count it implies.
+pub fn placement_words(
+    tensor: &Tensor,
+    space: &IndexSpace,
+    grid: ProcGrid,
+    dist: Distribution,
+) -> Option<u128> {
+    dist.is_valid_for(tensor).then(|| {
+        crate::distribution::dist_size(tensor, space, grid, dist, &tce_expr::IndexSet::new())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_expr::IndexSpace;
+
+    fn space() -> IndexSpace {
+        let mut sp = IndexSpace::new();
+        sp.declare("b", 480);
+        sp.declare("e", 64);
+        sp.declare("f", 64);
+        sp.declare("l", 32);
+        sp
+    }
+
+    #[test]
+    fn no_redistribution_when_equal() {
+        let sp = space();
+        let b = sp.lookup("b").unwrap();
+        let f = sp.lookup("f").unwrap();
+        let d = Distribution::pair(b, f);
+        assert_eq!(Redistribution::needed(d, d), None);
+    }
+
+    #[test]
+    fn moved_fraction_cases() {
+        let sp = space();
+        let g = ProcGrid::square(16).unwrap();
+        let b = sp.lookup("b").unwrap();
+        let e = sp.lookup("e").unwrap();
+        let f = sp.lookup("f").unwrap();
+        // Change one dimension: keep 1/4 of the data.
+        let r = Redistribution::needed(Distribution::pair(b, f), Distribution::pair(b, e)).unwrap();
+        assert!((r.moved_fraction(g) - 0.75).abs() < 1e-12);
+        // Change both dimensions: keep 1/16.
+        let r2 =
+            Redistribution::needed(Distribution::pair(b, f), Distribution::pair(e, b)).unwrap();
+        assert!((r2.moved_fraction(g) - (1.0 - 1.0 / 16.0)).abs() < 1e-12);
+        // §3.1's example: B from <b,f> to <b,e> touches only dim 2.
+        assert_eq!(r.render(&sp), "<b,f> -> <b,e>");
+    }
+
+    #[test]
+    fn placement_words_checks_validity() {
+        let sp = space();
+        let b = sp.lookup("b").unwrap();
+        let e = sp.lookup("e").unwrap();
+        let f = sp.lookup("f").unwrap();
+        let l = sp.lookup("l").unwrap();
+        let t = Tensor::new("B", vec![b, e, f, l]);
+        let g = ProcGrid::square(16).unwrap();
+        assert_eq!(
+            placement_words(&t, &sp, g, Distribution::pair(b, f)),
+            Some(120 * 64 * 16 * 32)
+        );
+        // `z` is not a dimension of B.
+        let mut sp2 = space();
+        let z = sp2.declare("z", 8);
+        assert_eq!(placement_words(&t, &sp2, g, Distribution::pair(b, z)), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests of distributions and Cannon patterns.
+
+use proptest::prelude::*;
+use tce_dist::cannon::{alignment_source, num_steps, rot_block, rotation_target};
+use tce_dist::{
+    dist_size, enumerate_patterns, Distribution, GridDim, Operand, ProcGrid,
+};
+use tce_expr::{ContractionGroups, IndexSet, IndexSpace, Tensor};
+
+fn groups(ni: usize, nj: usize, nk: usize) -> (IndexSpace, ContractionGroups) {
+    let mut sp = IndexSpace::new();
+    let mk = |sp: &mut IndexSpace, p: &str, n: usize| -> IndexSet {
+        (0..n).map(|i| sp.declare(&format!("{p}{i}"), 4 + i as u64)).collect()
+    };
+    let i = mk(&mut sp, "i", ni);
+    let j = mk(&mut sp, "j", nj);
+    let k = mk(&mut sp, "k", nk);
+    (sp, ContractionGroups { i, j, k })
+}
+
+proptest! {
+    /// Every enumerated pattern satisfies the §3.1 structural invariants:
+    /// distributions draw from the operand's own roles, rotated pairs
+    /// travel opposite dims, and a distributed summation index always has
+    /// a rotation to combine its partials.
+    #[test]
+    fn patterns_are_structurally_sound(ni in 1usize..3, nj in 1usize..3, nk in 0usize..3,
+                                       replication in proptest::bool::ANY) {
+        let (_, g) = groups(ni, nj, nk);
+        for pat in enumerate_patterns(&g, replication) {
+            if pat.k.is_some() {
+                prop_assert!(pat.rotation_index().is_some());
+            }
+            let rotated = pat.rotated_operands();
+            prop_assert!(rotated.is_empty() || rotated.len() == 2);
+            if rotated.len() == 2 {
+                prop_assert_ne!(
+                    pat.travel_dim(rotated[0]),
+                    pat.travel_dim(rotated[1])
+                );
+            }
+            for op in [Operand::Left, Operand::Right, Operand::Result] {
+                let d = pat.operand_dist(op);
+                if let (Some(a), Some(b)) = (d.d1, d.d2) {
+                    prop_assert_ne!(a, b, "one index cannot sit on both dims");
+                }
+            }
+        }
+    }
+
+    /// Over a full rotation every processor sees every rotating block
+    /// exactly once, and the shift bookkeeping is consistent with the
+    /// alignment bookkeeping.
+    #[test]
+    fn cannon_rotation_is_a_latin_square(qe in 1u32..7) {
+        let q = qe + 1; // 2..=7
+        let grid = ProcGrid::rect(q, q);
+        for c in grid.coords() {
+            let mut seen = vec![false; q as usize];
+            for t in 0..num_steps(grid) {
+                let b = rot_block(c, t, q) as usize;
+                prop_assert!(!seen[b]);
+                seen[b] = true;
+            }
+            for travel in GridDim::BOTH {
+                let src = alignment_source(c, travel, grid);
+                // Rotating q times returns the block home.
+                let mut cur = src;
+                for _ in 0..q {
+                    cur = rotation_target(cur, travel, grid);
+                }
+                prop_assert_eq!(cur, src);
+            }
+        }
+    }
+
+    /// Full distribution over both dims tiles the array exactly when the
+    /// extents divide the grid.
+    #[test]
+    fn dist_size_tiles(e1 in 1u64..20, e2 in 1u64..20, q in 1u32..6) {
+        let mut sp = IndexSpace::new();
+        let i = sp.declare("i", e1 * u64::from(q));
+        let j = sp.declare("j", e2 * u64::from(q));
+        let t = Tensor::new("X", vec![i, j]);
+        let grid = ProcGrid::rect(q, q);
+        let per = dist_size(&t, &sp, grid, Distribution::pair(i, j), &IndexSet::new());
+        prop_assert_eq!(per * u128::from(q) * u128::from(q), t.num_elements(&sp));
+    }
+}

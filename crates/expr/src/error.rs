@@ -1,0 +1,57 @@
+//! Error type for expression construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprError {
+    /// A formula violates well-formedness (§2 of the paper).
+    Malformed(String),
+    /// A node was asked for its `(I,J,K)` groups but is not a generalized
+    /// matrix multiplication.
+    NotAContraction(String),
+    /// A name was referenced before being defined.
+    Undefined(String),
+    /// A name was defined twice.
+    Redefined(String),
+    /// Syntax error while parsing, with a line number.
+    Parse {
+        /// 1-based source line of the error.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Malformed(m) => write!(f, "malformed formula: {m}"),
+            ExprError::NotAContraction(m) => {
+                write!(f, "not a generalized matrix multiplication: {m}")
+            }
+            ExprError::Undefined(n) => write!(f, "undefined array `{n}`"),
+            ExprError::Redefined(n) => write!(f, "array `{n}` defined more than once"),
+            ExprError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExprError::Parse { line: 3, msg: "expected `]`".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(ExprError::Undefined("Q".into()).to_string().contains("`Q`"));
+        assert!(ExprError::Redefined("T1".into()).to_string().contains("T1"));
+        assert!(ExprError::Malformed("x".into()).to_string().contains("malformed"));
+        assert!(ExprError::NotAContraction("y".into())
+            .to_string()
+            .contains("matrix multiplication"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Pretty-printers: formula sequences in the paper's mathematical notation
+//! and the direct (unfused) loop code of Fig. 2(b).
+
+use crate::formula::{Formula, FormulaSequence};
+use crate::index::IndexSpace;
+use crate::tree::{ExprTree, NodeKind};
+
+/// Render a formula sequence in the style of Fig. 2(a):
+///
+/// ```text
+/// T1(b,c,d,f) = sum_{e,l} B(b,e,f,l) * D(c,d,e,l)
+/// ```
+pub fn render_sequence(seq: &FormulaSequence) -> String {
+    let sp = &seq.space;
+    let mut out = String::new();
+    for f in &seq.formulas {
+        match f {
+            Formula::Mul { result, lhs, rhs } => {
+                out.push_str(&format!("{} = {} * {}\n", result.render(sp), lhs, rhs));
+            }
+            Formula::Sum { result, operand, sum } => {
+                out.push_str(&format!(
+                    "{} = sum_{{{}}} {}\n",
+                    result.render(sp),
+                    sp.name(*sum),
+                    operand
+                ));
+            }
+            Formula::Contract { result, lhs, rhs, sum } => {
+                out.push_str(&format!(
+                    "{} = sum_{{{}}} {} * {}\n",
+                    result.render(sp),
+                    sp.render(sum.as_slice()),
+                    lhs,
+                    rhs
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Render the *unfused* loop code of an expression tree, one perfectly
+/// nested loop per internal node in post order — the shape of Fig. 2(b):
+///
+/// ```text
+/// T1=0; T2=0; S=0
+/// for b, c, d, e, f, l
+///   T1[b,c,d,f] += B[b,e,f,l] * D[c,d,e,l]
+/// ...
+/// ```
+pub fn render_unfused_loops(tree: &ExprTree) -> String {
+    let sp: &IndexSpace = &tree.space;
+    let mut out = String::new();
+    let internals: Vec<_> = tree
+        .postorder()
+        .into_iter()
+        .filter(|&id| !tree.node(id).is_leaf())
+        .collect();
+    // Initialization line.
+    for (n, &id) in internals.iter().enumerate() {
+        if n > 0 {
+            out.push_str("; ");
+        }
+        out.push_str(&format!("{}=0", tree.node(id).tensor.name));
+    }
+    out.push('\n');
+    for &id in &internals {
+        let node = tree.node(id);
+        let loops = node.loop_indices();
+        out.push_str(&format!("for {}\n", sp.render(loops.as_slice())));
+        indent(&mut out, 1);
+        match &node.kind {
+            NodeKind::Contract { left, right, .. } => {
+                let l = &tree.node(*left).tensor;
+                let r = &tree.node(*right).tensor;
+                out.push_str(&format!(
+                    "{}[{}] += {}[{}] * {}[{}]\n",
+                    node.tensor.name,
+                    sp.render(&node.tensor.dims),
+                    l.name,
+                    sp.render(&l.dims),
+                    r.name,
+                    sp.render(&r.dims)
+                ));
+            }
+            NodeKind::Reduce { child, .. } => {
+                let c = &tree.node(*child).tensor;
+                out.push_str(&format!(
+                    "{}[{}] += {}[{}]\n",
+                    node.tensor.name,
+                    sp.render(&node.tensor.dims),
+                    c.name,
+                    sp.render(&c.dims)
+                ));
+            }
+            NodeKind::Leaf => unreachable!("leaves were filtered out"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FIG2_SOURCE};
+
+    #[test]
+    fn sequence_rendering_matches_fig2a() {
+        let seq = parse(FIG2_SOURCE).unwrap().to_sequence().unwrap();
+        let text = render_sequence(&seq);
+        assert!(text.contains("T1(b,c,d,f) = sum_{e,l} B * D"));
+        assert!(text.contains("S(a,b,i,j) = sum_{c,k} T2 * A"));
+    }
+
+    #[test]
+    fn unfused_loops_match_fig2b_shape() {
+        let tree = parse(FIG2_SOURCE).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let code = render_unfused_loops(&tree);
+        assert!(code.starts_with("T1=0; T2=0; S=0\n"));
+        assert!(code.contains("for b,c,d,e,f,l\n  T1[b,c,d,f] += B[b,e,f,l] * D[c,d,e,l]"));
+        assert!(code.contains("for a,b,c,i,j,k\n  S[a,b,i,j] += T2[b,c,j,k] * A[a,c,i,k]"));
+        // Three loop nests, in dependency order.
+        assert_eq!(code.matches("for ").count(), 3);
+        let p1 = code.find("T1[b,c,d,f] +=").unwrap();
+        let p3 = code.find("S[a,b,i,j] +=").unwrap();
+        assert!(p1 < p3);
+    }
+
+    #[test]
+    fn reduce_nodes_print() {
+        let src = "range i = 2; range t = 3; input A[i,t]; S[t] = sum[i] A[i,t];";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let code = render_unfused_loops(&tree);
+        assert!(code.contains("S[t] += A[i,t]"));
+    }
+}
+
+/// Render the expression tree in Graphviz dot format: leaves are boxes,
+/// contraction nodes are ellipses labeled with their summation indices.
+pub fn render_dot(tree: &ExprTree) -> String {
+    let sp = &tree.space;
+    let mut out = String::from("digraph expr {\n  rankdir=BT;\n");
+    for id in tree.ids() {
+        let node = tree.node(id);
+        match &node.kind {
+            NodeKind::Leaf => {
+                out.push_str(&format!(
+                    "  n{} [shape=box, label=\"{}\"];\n",
+                    id.0,
+                    node.tensor.render(sp)
+                ));
+            }
+            NodeKind::Contract { sum, .. } => {
+                out.push_str(&format!(
+                    "  n{} [shape=ellipse, label=\"{}\\nsum {{{}}}\"];\n",
+                    id.0,
+                    node.tensor.render(sp),
+                    sp.render(sum.as_slice())
+                ));
+            }
+            NodeKind::Reduce { sum, .. } => {
+                out.push_str(&format!(
+                    "  n{} [shape=ellipse, label=\"{}\\nsum {{{}}}\"];\n",
+                    id.0,
+                    node.tensor.render(sp),
+                    sp.name(*sum)
+                ));
+            }
+        }
+        if let Some(parent) = node.parent {
+            out.push_str(&format!("  n{} -> n{};\n", id.0, parent.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::parser::{parse, FIG2_SOURCE};
+
+    #[test]
+    fn dot_export_has_all_nodes_and_edges() {
+        let tree = parse(FIG2_SOURCE).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let dot = render_dot(&tree);
+        assert!(dot.starts_with("digraph expr {"));
+        // 7 nodes, 6 edges.
+        assert_eq!(dot.matches("label=").count(), 7);
+        assert_eq!(dot.matches(" -> ").count(), 6);
+        assert!(dot.contains("T1(b,c,d,f)"));
+        assert!(dot.contains("sum {e,l}"));
+        assert!(dot.contains("shape=box"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests of the expression IR and parser.
+
+use proptest::prelude::*;
+use tce_expr::{parse, IndexSet, IndexSpace, Tensor};
+
+/// Strategy: a small set of index names with extents.
+fn names() -> Vec<&'static str> {
+    vec!["a", "b", "c", "d", "e"]
+}
+
+proptest! {
+    /// Round trip: a generated single-contraction program parses, builds,
+    /// and reports the algebraically correct op count.
+    #[test]
+    fn parse_roundtrip_single_contraction(
+        na in 1u64..9, nb in 1u64..9, nc in 1u64..9,
+    ) {
+        let src = format!(
+            "range a = {na}; range b = {nb}; range c = {nc};\n\
+             input A[a,b]; input B[b,c];\n\
+             C[a,c] = sum[b] A[a,b] * B[b,c];\n"
+        );
+        let tree = parse(&src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        prop_assert!(tree.is_contraction_tree());
+        prop_assert_eq!(tree.total_op_count(), 2 * u128::from(na * nb * nc));
+    }
+
+    /// IndexSet laws: union/intersection/difference behave like sets.
+    #[test]
+    fn index_set_laws(xs in proptest::collection::vec(0usize..5, 0..8),
+                      ys in proptest::collection::vec(0usize..5, 0..8)) {
+        let mut sp = IndexSpace::new();
+        let ids: Vec<_> = names().iter().map(|n| sp.declare(n, 2)).collect();
+        let a: IndexSet = xs.iter().map(|&i| ids[i]).collect();
+        let b: IndexSet = ys.iter().map(|&i| ids[i]).collect();
+        let u = a.union(&b);
+        let n = a.intersection(&b);
+        let d = a.difference(&b);
+        prop_assert!(a.is_subset(&u) && b.is_subset(&u));
+        prop_assert!(n.is_subset(&a) && n.is_subset(&b));
+        prop_assert!(d.is_subset(&a) && d.is_disjoint(&b));
+        prop_assert_eq!(n.len() + d.len(), a.len());
+        prop_assert_eq!(u.len() + n.len(), a.len() + b.len());
+    }
+
+    /// Tensor volume is permutation-invariant in its dims.
+    #[test]
+    fn tensor_volume_permutation_invariant(perm in 0usize..6) {
+        let mut sp = IndexSpace::new();
+        let i = sp.declare("i", 3);
+        let j = sp.declare("j", 5);
+        let k = sp.declare("k", 7);
+        let orders = [
+            vec![i, j, k], vec![i, k, j], vec![j, i, k],
+            vec![j, k, i], vec![k, i, j], vec![k, j, i],
+        ];
+        let t = Tensor::new("T", orders[perm].clone());
+        prop_assert_eq!(t.num_elements(&sp), 105);
+    }
+}
+
+proptest! {
+    /// The parser never panics on arbitrary input — it returns errors.
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9\\[\\]=,;*# \\n]{0,120}") {
+        let _ = parse(&src);
+    }
+
+    /// Nor on inputs that look *almost* valid.
+    #[test]
+    fn parser_never_panics_on_near_valid(extent in 0u64..10, dup in proptest::bool::ANY) {
+        let dims = if dup { "a,a" } else { "a,b" };
+        let src = format!(
+            "range a = {extent}; range b = 3;\ninput A[{dims}];\nS[] = sum[a,b] A[{dims}];\n"
+        );
+        let _ = parse(&src);
+    }
+}

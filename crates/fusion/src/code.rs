@@ -1,0 +1,311 @@
+//! Render the fused loop structure of a configuration — the shape of the
+//! paper's Fig. 2(c).
+//!
+//! Edges with an empty prefix cut the tree into *clusters*; each cluster
+//! becomes one imperfectly nested loop nest, emitted in dependency order.
+//! Within a cluster the loop structure is a *trie* of fused prefixes
+//! (sibling sub-nests may extend a shared prefix with different loops):
+//! a node's reduced array is initialized where its parent-edge prefix
+//! completes, its body statement sits under its full surrounding prefix,
+//! and producers always precede consumers at equal depth.
+
+use std::collections::HashMap;
+
+use tce_expr::{ExprTree, IndexId, IndexSpace, NodeId, NodeKind};
+
+use crate::config::FusionConfig;
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn subscript(space: &IndexSpace, dims: &[IndexId]) -> String {
+    if dims.is_empty() {
+        String::new()
+    } else {
+        format!("[{}]", space.render(dims))
+    }
+}
+
+/// One node of the loop trie: fused loops plus whatever hangs below.
+#[derive(Default)]
+struct Trie {
+    /// Child loops in first-insertion order.
+    loops: Vec<(IndexId, Trie)>,
+    /// Array initializations placed just inside this trie position.
+    inits: Vec<NodeId>,
+    /// Kernels (body statements) placed at this position.
+    kernels: Vec<NodeId>,
+}
+
+impl Trie {
+    fn descend(&mut self, path: &[IndexId]) -> &mut Trie {
+        match path.split_first() {
+            None => self,
+            Some((&head, rest)) => {
+                let pos = match self.loops.iter().position(|(id, _)| *id == head) {
+                    Some(p) => p,
+                    None => {
+                        self.loops.push((head, Trie::default()));
+                        self.loops.len() - 1
+                    }
+                };
+                self.loops[pos].1.descend(rest)
+            }
+        }
+    }
+
+    /// Smallest dependency rank of any kernel in this subtree (producers
+    /// have smaller ranks than their consumers).
+    fn min_rank(&self, rank: &HashMap<NodeId, usize>) -> usize {
+        let own = self.kernels.iter().map(|n| rank[n]).min();
+        let below = self.loops.iter().map(|(_, t)| t.min_rank(rank)).min();
+        own.into_iter().chain(below).min().unwrap_or(usize::MAX)
+    }
+}
+
+/// Render the whole tree under `cfg` as pseudo-code.
+///
+/// # Panics
+/// Panics if the configuration is illegal for the tree.
+pub fn render_fused(tree: &ExprTree, cfg: &FusionConfig) -> String {
+    cfg.validate(tree).expect("fusion configuration must be legal");
+    let mut out = String::new();
+    emit_cluster(tree, cfg, tree.root(), &mut out);
+    out
+}
+
+/// Emit the cluster rooted at `root` (whose parent edge, if any, is
+/// unfused), after first emitting every cluster it depends on.
+fn emit_cluster(tree: &ExprTree, cfg: &FusionConfig, root: NodeId, out: &mut String) {
+    // Cluster membership: follow fused edges downward.
+    let mut cluster = Vec::new();
+    collect_cluster(tree, cfg, root, &mut cluster);
+    // Dependencies first: unfused internal children are separate clusters.
+    for &n in &cluster {
+        for c in tree.children(n) {
+            if !tree.node(c).is_leaf() && cfg.prefix(c).is_empty() {
+                emit_cluster(tree, cfg, c, out);
+            }
+        }
+    }
+    // Build the loop trie. `cluster` is in parent-before-child order;
+    // kernels must run children-first, so insert them in reverse.
+    let mut trie = Trie::default();
+    let mut surroundings: HashMap<NodeId, Vec<IndexId>> = HashMap::new();
+    for &n in &cluster {
+        surroundings.insert(n, cfg.surrounding(tree, n).iter().collect());
+    }
+    for &n in cluster.iter() {
+        // Init where the parent-edge prefix completes (the storage scope).
+        let init_path: Vec<IndexId> = if n == root {
+            Vec::new()
+        } else {
+            cfg.prefix(n).iter().collect()
+        };
+        trie.descend(&init_path).inits.push(n);
+    }
+    for &n in cluster.iter().rev() {
+        trie.descend(&surroundings[&n]).kernels.push(n);
+    }
+    // Dependency ranks: postorder of the tree (producers before consumers).
+    let rank: HashMap<NodeId, usize> =
+        tree.postorder().into_iter().enumerate().map(|(i, n)| (n, i)).collect();
+    emit_trie(tree, cfg, &trie, &rank, 0, out);
+}
+
+fn collect_cluster(tree: &ExprTree, cfg: &FusionConfig, node: NodeId, out: &mut Vec<NodeId>) {
+    out.push(node);
+    for c in tree.children(node) {
+        if !tree.node(c).is_leaf() && !cfg.prefix(c).is_empty() {
+            collect_cluster(tree, cfg, c, out);
+        }
+    }
+}
+
+fn emit_trie(
+    tree: &ExprTree,
+    cfg: &FusionConfig,
+    trie: &Trie,
+    rank: &HashMap<NodeId, usize>,
+    depth: usize,
+    out: &mut String,
+) {
+    for &n in &trie.inits {
+        let reduced = cfg.reduced_tensor(tree, n);
+        indent(out, depth);
+        out.push_str(&format!("{} = 0\n", reduced.name));
+    }
+    // Interleave kernels and sub-loops by dependency rank: a producer's
+    // statement precedes the loop consuming its array, and vice versa.
+    enum Item<'a> {
+        Kernel(NodeId),
+        Loop(IndexId, &'a Trie),
+    }
+    let mut items: Vec<(usize, Item)> = trie
+        .kernels
+        .iter()
+        .map(|&n| (rank[&n], Item::Kernel(n)))
+        .chain(trie.loops.iter().map(|(id, t)| (t.min_rank(rank), Item::Loop(*id, t))))
+        .collect();
+    items.sort_by_key(|(r, _)| *r);
+    for (_, item) in items {
+        match item {
+            Item::Kernel(n) => emit_body(tree, cfg, n, depth, out),
+            Item::Loop(id, sub) => {
+                indent(out, depth);
+                out.push_str(&format!("for {}\n", tree.space.name(id)));
+                emit_trie(tree, cfg, sub, rank, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn emit_body(tree: &ExprTree, cfg: &FusionConfig, node: NodeId, depth: usize, out: &mut String) {
+    let n = tree.node(node);
+    let reduced = cfg.reduced_tensor(tree, node);
+    // The node's own (non-fused) loops enclose just its statement.
+    let surrounding = cfg.surrounding(tree, node).as_set();
+    let own: Vec<IndexId> =
+        n.loop_indices().iter().filter(|&i| !surrounding.contains(i)).collect();
+    let mut d = depth;
+    for &i in &own {
+        indent(out, d);
+        out.push_str(&format!("for {}\n", tree.space.name(i)));
+        d += 1;
+    }
+    indent(out, d);
+    match &n.kind {
+        NodeKind::Contract { left, right, .. } => {
+            let lt = cfg.reduced_tensor(tree, *left);
+            let rt = cfg.reduced_tensor(tree, *right);
+            let lsub = if tree.node(*left).is_leaf() {
+                subscript(&tree.space, &tree.node(*left).tensor.dims)
+            } else {
+                subscript(&tree.space, &lt.dims)
+            };
+            let rsub = if tree.node(*right).is_leaf() {
+                subscript(&tree.space, &tree.node(*right).tensor.dims)
+            } else {
+                subscript(&tree.space, &rt.dims)
+            };
+            out.push_str(&format!(
+                "{}{} += {}{} * {}{}\n",
+                reduced.name,
+                subscript(&tree.space, &reduced.dims),
+                lt.name,
+                lsub,
+                rt.name,
+                rsub
+            ));
+        }
+        NodeKind::Reduce { child, .. } => {
+            let ct = cfg.reduced_tensor(tree, *child);
+            out.push_str(&format!(
+                "{}{} += {}{}\n",
+                reduced.name,
+                subscript(&tree.space, &reduced.dims),
+                ct.name,
+                subscript(&tree.space, &ct.dims)
+            ));
+        }
+        NodeKind::Leaf => unreachable!("leaves are never emitted"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::FusionPrefix;
+    use tce_expr::examples::{ccsd_tree, PAPER_EXTENTS};
+
+    fn ix(t: &ExprTree, s: &str) -> IndexId {
+        t.space.lookup(s).unwrap()
+    }
+
+    #[test]
+    fn unfused_renders_three_separate_nests() {
+        let t = ccsd_tree(PAPER_EXTENTS);
+        let code = render_fused(&t, &FusionConfig::unfused());
+        assert!(code.contains("T1[b,c,d,f] += B[b,e,f,l] * D[c,d,e,l]"), "{code}");
+        assert!(code.contains("S[a,b,i,j] += T2[b,c,j,k] * A[a,c,i,k]"), "{code}");
+        let t1_pos = code.find("T1[b,c,d,f] +=").unwrap();
+        let t2_pos = code.find("T2[b,c,j,k] +=").unwrap();
+        let s_pos = code.find("S[a,b,i,j] +=").unwrap();
+        assert!(t1_pos < t2_pos && t2_pos < s_pos);
+    }
+
+    #[test]
+    fn fig2c_structure() {
+        let t = ccsd_tree(PAPER_EXTENTS);
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(
+            t.find("T1").unwrap(),
+            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c"), ix(&t, "d"), ix(&t, "f")]),
+        );
+        cfg.set(
+            t.find("T2").unwrap(),
+            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
+        );
+        let code = render_fused(&t, &cfg);
+        assert!(code.contains("T1 += B[b,e,f,l] * D[c,d,e,l]"), "{code}");
+        assert!(code.contains("T2[j,k] += T1 * C[d,f,j,k]"), "{code}");
+        assert!(code.contains("S[a,b,i,j] += T2[j,k] * A[a,c,i,k]"), "{code}");
+        let fb = code.find("for b").unwrap();
+        let fc = code.find("for c").unwrap();
+        let fd = code.find("for d").unwrap();
+        assert!(fb < fc && fc < fd);
+        // T1's init resets inside the d,f loops; T2's only inside b,c.
+        let lead = |s: &str| s.len() - s.trim_start().len();
+        let t1_init = code.lines().find(|l| l.trim_start() == "T1 = 0").unwrap();
+        let t2_init = code.lines().find(|l| l.trim_start() == "T2 = 0").unwrap();
+        assert!(lead(t1_init) > lead(t2_init), "{code}");
+    }
+
+    #[test]
+    fn single_fused_edge() {
+        let t = ccsd_tree(PAPER_EXTENTS);
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "f")]));
+        let code = render_fused(&t, &cfg);
+        assert!(code.contains("T1[b,c,d] += B[b,e,f,l] * D[c,d,e,l]"), "{code}");
+        assert!(code.contains("T2[b,c,j,k] += T1[b,c,d] * C[d,f,j,k]"), "{code}");
+        assert_eq!(code.matches("for f\n").count(), 1, "{code}");
+    }
+
+    #[test]
+    fn hoisted_child_prints_at_its_own_depth() {
+        // T1 fused (b) with T2, T2 fused (b,c) with S: T1's slice must be
+        // produced inside b but OUTSIDE c (no recomputation per c).
+        let t = ccsd_tree(PAPER_EXTENTS);
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "b")]));
+        cfg.set(
+            t.find("T2").unwrap(),
+            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
+        );
+        cfg.validate(&t).unwrap();
+        let code = render_fused(&t, &cfg);
+        // T1's init at depth 1 (inside b); T2's at depth 2 (inside c).
+        let lead = |s: &str| s.len() - s.trim_start().len();
+        let t1_init = code.lines().find(|l| l.trim_start() == "T1 = 0").unwrap();
+        let t2_init = code.lines().find(|l| l.trim_start() == "T2 = 0").unwrap();
+        assert_eq!(lead(t1_init), 2, "{code}");
+        assert_eq!(lead(t2_init), 4, "{code}");
+        // Producer before consumer: T1's body precedes T2's.
+        let t1_body = code.find("T1[c,d,f] +=").expect("reduced T1 body");
+        let t2_body = code.find("T2[j,k] +=").expect("reduced T2 body");
+        assert!(t1_body < t2_body, "{code}");
+    }
+
+    #[test]
+    #[should_panic(expected = "legal")]
+    fn illegal_config_panics() {
+        let t = ccsd_tree(PAPER_EXTENTS);
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "a")]));
+        render_fused(&t, &cfg);
+    }
+}

@@ -1,0 +1,233 @@
+//! Whole-tree fusion configurations and their legality.
+
+use std::collections::HashMap;
+
+use tce_expr::{ExprTree, IndexSet, NodeId, Tensor};
+
+use crate::prefix::FusionPrefix;
+
+/// The loops fusable on the edge from `child` to its parent: they must be
+/// dimensions of the child's array (so the fused loop slices it) and loops
+/// of the parent's producing nest (so the parent can share them). For the
+/// tree root this is empty (no parent).
+pub fn edge_candidates(tree: &ExprTree, child: NodeId) -> IndexSet {
+    match tree.node(child).parent {
+        None => IndexSet::new(),
+        Some(parent) => tree
+            .node(child)
+            .tensor
+            .dim_set()
+            .intersection(&tree.node(parent).loop_indices()),
+    }
+}
+
+/// A fusion configuration: one prefix per edge, keyed by the child node.
+/// (The root has no parent edge and must not appear.)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FusionConfig {
+    prefixes: HashMap<NodeId, FusionPrefix>,
+}
+
+impl FusionConfig {
+    /// The all-unfused configuration.
+    pub fn unfused() -> Self {
+        Self::default()
+    }
+
+    /// Set the fusion prefix on the edge above `child`.
+    pub fn set(&mut self, child: NodeId, prefix: FusionPrefix) {
+        if prefix.is_empty() {
+            self.prefixes.remove(&child);
+        } else {
+            self.prefixes.insert(child, prefix);
+        }
+    }
+
+    /// The prefix on the edge above `child` (empty when unset).
+    pub fn prefix(&self, child: NodeId) -> FusionPrefix {
+        self.prefixes.get(&child).cloned().unwrap_or_default()
+    }
+
+    /// The fused loops *surrounding the producing nest of `node`*: the join
+    /// of the prefixes on all edges incident to the node (its parent edge
+    /// and its child edges) — legal configurations make these a chain.
+    pub fn surrounding(&self, tree: &ExprTree, node: NodeId) -> FusionPrefix {
+        let mut longest = self.prefix(node);
+        for c in tree.children(node) {
+            let p = self.prefix(c);
+            if longest.is_prefix_of(&p) {
+                longest = p;
+            }
+        }
+        longest
+    }
+
+    /// Check the whole configuration:
+    /// 1. every fused index is a valid candidate for its edge;
+    /// 2. at every node, the incident prefixes are pairwise chain
+    ///    compatible (a single loop order realizes them all).
+    pub fn validate(&self, tree: &ExprTree) -> Result<(), String> {
+        for (&child, prefix) in &self.prefixes {
+            let cands = edge_candidates(tree, child);
+            for id in prefix.iter() {
+                if !cands.contains(id) {
+                    return Err(format!(
+                        "index `{}` cannot be fused on the edge above `{}`",
+                        tree.space.name(id),
+                        tree.node(child).tensor.name
+                    ));
+                }
+            }
+        }
+        for node in tree.ids() {
+            let mut incident: Vec<FusionPrefix> = vec![self.prefix(node)];
+            incident.extend(tree.children(node).into_iter().map(|c| self.prefix(c)));
+            for a in 0..incident.len() {
+                for b in a + 1..incident.len() {
+                    if !incident[a].chain_compatible(&incident[b]) {
+                        return Err(format!(
+                            "prefixes {:?} and {:?} at node `{}` are not chain compatible",
+                            incident[a],
+                            incident[b],
+                            tree.node(node).tensor.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The *reduced* array stored at `node` under this configuration: its
+    /// tensor with the parent-edge fused dimensions removed (Fig. 2c's
+    /// `T1(b,c,d,f) → T1f` scalar). Input leaves are stored in full, as the
+    /// paper assumes.
+    pub fn reduced_tensor(&self, tree: &ExprTree, node: NodeId) -> Tensor {
+        let n = tree.node(node);
+        if n.is_leaf() {
+            return n.tensor.clone();
+        }
+        let fused = self.prefix(node).as_set();
+        let dims = n.tensor.dims.iter().copied().filter(|&d| !fused.contains(d)).collect();
+        Tensor::new(n.tensor.name.clone(), dims)
+    }
+
+    /// Total words of all *intermediate* (non-leaf, non-root-output
+    /// included) arrays after reduction — the sequential memory objective
+    /// of the prior work this paper builds on.
+    pub fn intermediate_words(&self, tree: &ExprTree) -> u128 {
+        tree.ids()
+            .filter(|&id| !tree.node(id).is_leaf())
+            .map(|id| self.reduced_tensor(tree, id).num_elements(&tree.space))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_expr::examples::{ccsd_tree, PaperExtents, PAPER_EXTENTS};
+
+    fn tree() -> ExprTree {
+        ccsd_tree(PAPER_EXTENTS)
+    }
+
+    fn ix(t: &ExprTree, s: &str) -> tce_expr::IndexId {
+        t.space.lookup(s).unwrap()
+    }
+
+    #[test]
+    fn edge_candidates_match_paper() {
+        let t = tree();
+        let t1 = t.find("T1").unwrap();
+        // T1's dims {b,c,d,f} ∩ T2's loops {b,c,j,k,d,f} = {b,c,d,f}.
+        assert_eq!(edge_candidates(&t, t1).len(), 4);
+        let t2 = t.find("T2").unwrap();
+        // T2's dims {b,c,j,k} ∩ S's loops {a,b,i,j,c,k} = {b,c,j,k}.
+        assert_eq!(edge_candidates(&t, t2).len(), 4);
+        // The root has no parent edge.
+        assert!(edge_candidates(&t, t.root()).is_empty());
+        // A leaf's candidates are its dims ∩ parent loops.
+        let b = t.find("B").unwrap();
+        assert_eq!(edge_candidates(&t, b).len(), 4); // {b,e,f,l} all loops of T1's nest
+    }
+
+    #[test]
+    fn fig2c_configuration_is_legal_and_reduces_memory() {
+        // Fig. 2(c): T1 fused (b,c,d,f) → scalar; T2 fused (b,c) → (j,k).
+        let t = tree();
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(
+            t.find("T1").unwrap(),
+            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c"), ix(&t, "d"), ix(&t, "f")]),
+        );
+        cfg.set(
+            t.find("T2").unwrap(),
+            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
+        );
+        cfg.validate(&t).unwrap();
+        let t1r = cfg.reduced_tensor(&t, t.find("T1").unwrap());
+        assert_eq!(t1r.arity(), 0, "T1 reduces to a scalar");
+        let t2r = cfg.reduced_tensor(&t, t.find("T2").unwrap());
+        assert_eq!(t2r.arity(), 2, "T2 reduces to (j,k)");
+        // Memory falls from T1-dominated (≈7.1e9 words) to S-dominated.
+        let unfused = FusionConfig::unfused().intermediate_words(&t);
+        let fused = cfg.intermediate_words(&t);
+        assert!(unfused > 7_000_000_000);
+        let s_words = 480u128 * 480 * 32 * 32;
+        assert_eq!(fused, 1 + 32 * 32 + s_words);
+    }
+
+    #[test]
+    fn incompatible_chain_rejected() {
+        let t = tree();
+        let mut cfg = FusionConfig::unfused();
+        // T1 fused (c) but T2 fused (b): at node T2 the child-edge prefix
+        // (c) and parent-edge prefix (b) cannot share one loop order.
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "c")]));
+        cfg.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b")]));
+        assert!(cfg.validate(&t).is_err());
+        // But T1 fused (b,c) with T2 fused (b) chains fine.
+        let mut ok = FusionConfig::unfused();
+        ok.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]));
+        ok.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b")]));
+        ok.validate(&t).unwrap();
+    }
+
+    #[test]
+    fn invalid_candidate_rejected() {
+        let t = tree();
+        let mut cfg = FusionConfig::unfused();
+        // `a` is not a dimension of T1.
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "a")]));
+        assert!(cfg.validate(&t).is_err());
+        // `e` is a loop of T1's nest but not a dimension of the T1 array.
+        let mut cfg2 = FusionConfig::unfused();
+        cfg2.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "e")]));
+        assert!(cfg2.validate(&t).is_err());
+    }
+
+    #[test]
+    fn surrounding_is_longest_incident_prefix() {
+        let t = tree();
+        let mut cfg = FusionConfig::unfused();
+        let p_t1 = FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c"), ix(&t, "d")]);
+        cfg.set(t.find("T1").unwrap(), p_t1.clone());
+        cfg.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b")]));
+        let t2 = t.find("T2").unwrap();
+        assert_eq!(cfg.surrounding(&t, t2), p_t1);
+        // At T1's node, only the parent edge is fused.
+        let t1 = t.find("T1").unwrap();
+        assert_eq!(cfg.surrounding(&t, t1), p_t1);
+    }
+
+    #[test]
+    fn tiny_extents_share_structure() {
+        let t = ccsd_tree(PaperExtents::tiny());
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "f")]));
+        cfg.validate(&t).unwrap();
+        let t1r = cfg.reduced_tensor(&t, t.find("T1").unwrap());
+        assert_eq!(t1r.arity(), 3);
+    }
+}

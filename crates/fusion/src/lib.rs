@@ -1,0 +1,30 @@
+//! # tce-fusion — loop fusion for array contraction
+//!
+//! The loop-fusion substrate of the IPPS 2003 reproduction. Fusing the loop
+//! producing an intermediate array with the loop consuming it eliminates
+//! the fused dimensions of the array (array contraction), trading loop
+//! structure for memory (§2, Fig. 2c).
+//!
+//! * [`FusionPrefix`] — an ordered outermost-first fused-loop sequence on a
+//!   tree edge, with the *chain compatibility* relation that makes a set of
+//!   fusions realizable by a single loop order per node;
+//! * [`FusionConfig`] — whole-tree configurations, legality checking,
+//!   reduced array shapes, and memory accounting;
+//! * [`code`] — a renderer producing the fused pseudo-code of
+//!   Fig. 2(c);
+//! * [`memmin`] — the *sequential* memory-minimal fusion
+//!   dynamic programming of the prior work (refs [14–16]), used as the
+//!   fusion-first baseline.
+
+#![warn(missing_docs)]
+
+pub mod code;
+mod config;
+pub mod liveness;
+pub mod memmin;
+mod prefix;
+
+pub use config::{edge_candidates, FusionConfig};
+pub use liveness::peak_words;
+pub use memmin::{minimize_memory, MemMinResult};
+pub use prefix::{enumerate_prefixes, FusionPrefix};

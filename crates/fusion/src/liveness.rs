@@ -1,0 +1,123 @@
+//! Live-memory analysis of a fusion configuration.
+//!
+//! The prior-work objective (and [`minimize_memory`](crate::minimize_memory))
+//! counts the *sum* of all reduced arrays, which is what the paper's tables
+//! report. A sequential execution does not actually hold everything at
+//! once: an intermediate is live from the start of its producing cluster
+//! until its consuming cluster finishes. This module computes the true
+//! sequential peak for a configuration — useful for honest single-node
+//! memory reporting and for quantifying how conservative the sum objective
+//! is.
+
+use std::collections::HashMap;
+
+use tce_expr::{ExprTree, NodeId};
+
+use crate::config::FusionConfig;
+
+/// Cluster id: the root node of the maximal fused region a node belongs to
+/// (clusters are separated by unfused edges).
+fn cluster_of(tree: &ExprTree, cfg: &FusionConfig, mut node: NodeId) -> NodeId {
+    while let Some(parent) = tree.node(node).parent {
+        if cfg.prefix(node).is_empty() {
+            break;
+        }
+        node = parent;
+    }
+    node
+}
+
+/// Peak sequential memory (words) over the execution of the tree under
+/// `cfg`: clusters execute in postorder of their roots; an intermediate's
+/// reduced array is counted live from its producing cluster through its
+/// consuming cluster (inclusive). Input leaves are excluded, matching
+/// [`FusionConfig::intermediate_words`].
+pub fn peak_words(tree: &ExprTree, cfg: &FusionConfig) -> u128 {
+    // Execution order: cluster roots in postorder.
+    let cluster_roots: Vec<NodeId> = tree
+        .postorder()
+        .into_iter()
+        .filter(|&n| {
+            !tree.node(n).is_leaf()
+                && (tree.node(n).parent.is_none() || cfg.prefix(n).is_empty())
+        })
+        .collect();
+    let order: HashMap<NodeId, usize> =
+        cluster_roots.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+    // Every internal node: live interval [produced_at, consumed_at].
+    let mut peak = 0u128;
+    for (t, _) in cluster_roots.iter().enumerate() {
+        let mut live = 0u128;
+        for n in tree.ids().filter(|&n| !tree.node(n).is_leaf()) {
+            let produced = order[&cluster_of(tree, cfg, n)];
+            let consumed = tree
+                .node(n)
+                .parent
+                .map(|p| order[&cluster_of(tree, cfg, p)])
+                .unwrap_or(usize::MAX); // the root output stays live
+            let consumed = if consumed == usize::MAX { cluster_roots.len() - 1 } else { consumed };
+            if produced <= t && t <= consumed {
+                live += cfg.reduced_tensor(tree, n).num_elements(&tree.space);
+            }
+        }
+        peak = peak.max(live);
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize_memory;
+    use crate::prefix::FusionPrefix;
+    use tce_expr::examples::{ccsd_tree, PAPER_EXTENTS};
+    use tce_expr::parse;
+
+    #[test]
+    fn peak_never_exceeds_sum() {
+        let tree = ccsd_tree(PAPER_EXTENTS);
+        for cfg in [FusionConfig::unfused(), minimize_memory(&tree, usize::MAX).config] {
+            assert!(peak_words(&tree, &cfg) <= cfg.intermediate_words(&tree));
+        }
+    }
+
+    #[test]
+    fn unfused_peak_drops_dead_intermediates() {
+        // In A·B·C·D chained as ((T1)(T2))S, T1 dies once T2 is computed:
+        // the peak holds T1+T2 or T2+S, never all three.
+        let tree = ccsd_tree(PAPER_EXTENTS);
+        let cfg = FusionConfig::unfused();
+        let t1: u128 = 480u128.pow(3) * 64;
+        let t2: u128 = 480u128.pow(2) * 32 * 32;
+        let s: u128 = 480u128.pow(2) * 32 * 32;
+        let sum = cfg.intermediate_words(&tree);
+        let peak = peak_words(&tree, &cfg);
+        assert_eq!(sum, t1 + t2 + s);
+        assert_eq!(peak, t1 + t2, "T1+T2 is the high-water mark");
+    }
+
+    #[test]
+    fn fused_cluster_counts_its_slices_together() {
+        let tree = ccsd_tree(PAPER_EXTENTS);
+        let t1 = tree.find("T1").unwrap();
+        let f = tree.space.lookup("f").unwrap();
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t1, FusionPrefix::new(vec![f]));
+        // T1 reduced to (b,c,d) lives inside T2's cluster (slice + T2),
+        // then T2 coexists with S; the latter is the high-water mark here.
+        let t1_red: u128 = 480u128.pow(3);
+        let t2: u128 = 480u128.pow(2) * 32 * 32;
+        let s: u128 = t2;
+        let peak = peak_words(&tree, &cfg);
+        assert_eq!(peak, (t1_red + t2).max(t2 + s));
+        assert!(peak < 480u128.pow(3) * 64, "far below the unfused T1");
+    }
+
+    #[test]
+    fn single_contraction_peak_is_its_result() {
+        let src = "range i = 8; range j = 8; range k = 8;\ninput A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        assert_eq!(peak_words(&tree, &FusionConfig::unfused()), 64);
+    }
+}

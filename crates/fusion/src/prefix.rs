@@ -1,0 +1,207 @@
+//! Fusion prefixes.
+//!
+//! Fusing loops between a node and its parent merges their loop nests over
+//! a shared *outermost* sequence of loops. A fusion on a tree edge is
+//! therefore an **ordered prefix** of both nodes' loop orders
+//! (outermost-first). Two fusions touching the same node are legal together
+//! exactly when they are *chain compatible*: one is a prefix of the other,
+//! so a single loop order at the node can realize both. This is the
+//! "loop nesting at v" the paper stores in each solution (§3.3).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tce_expr::{IndexId, IndexSet, IndexSpace};
+
+/// An ordered, duplicate-free sequence of fused loop indices,
+/// outermost-first. The empty prefix means "not fused".
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FusionPrefix(Vec<IndexId>);
+
+impl FusionPrefix {
+    /// The empty (unfused) prefix.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from an ordered sequence; panics on duplicates (a loop cannot
+    /// be fused twice on one edge).
+    pub fn new(order: Vec<IndexId>) -> Self {
+        let set = IndexSet::from_iter(order.iter().copied());
+        assert_eq!(set.len(), order.len(), "fusion prefix has duplicate indices");
+        Self(order)
+    }
+
+    /// Number of fused loops.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing is fused.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The fused indices as an (unordered) set — what the array-size
+    /// formulas consume.
+    pub fn as_set(&self) -> IndexSet {
+        IndexSet::from_iter(self.0.iter().copied())
+    }
+
+    /// Outermost-first iteration.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = IndexId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Borrow the ordered indices.
+    pub fn as_slice(&self) -> &[IndexId] {
+        &self.0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: IndexId) -> bool {
+        self.0.contains(&id)
+    }
+
+    /// `self` is a (possibly equal) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &FusionPrefix) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Chain compatibility: one of the two is a prefix of the other, so
+    /// both can be outermost sequences of a single loop order.
+    pub fn chain_compatible(&self, other: &FusionPrefix) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// The longer of two chain-compatible prefixes.
+    ///
+    /// # Panics
+    /// Panics if the prefixes are not chain compatible.
+    pub fn join<'a>(&'a self, other: &'a FusionPrefix) -> &'a FusionPrefix {
+        assert!(self.chain_compatible(other), "prefixes are not chain compatible");
+        if self.0.len() >= other.0.len() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Render as `(b,c,d,f)`.
+    pub fn render(&self, space: &IndexSpace) -> String {
+        format!("({})", space.render(&self.0))
+    }
+}
+
+impl fmt::Debug for FusionPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.0.iter()).finish()
+    }
+}
+
+impl FromIterator<IndexId> for FusionPrefix {
+    fn from_iter<T: IntoIterator<Item = IndexId>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// Every ordered prefix over subsets of `candidates`, up to `max_len`
+/// loops: the empty prefix, each single index, each ordered pair, … —
+/// `Σ_{m=0..max_len} k!/(k−m)!` prefixes for `k` candidates.
+pub fn enumerate_prefixes(candidates: &IndexSet, max_len: usize) -> Vec<FusionPrefix> {
+    let cands: Vec<IndexId> = candidates.iter().collect();
+    let mut out = vec![FusionPrefix::empty()];
+    let mut frontier: Vec<Vec<IndexId>> = vec![vec![]];
+    for _ in 0..max_len.min(cands.len()) {
+        let mut next = Vec::new();
+        for seq in &frontier {
+            for &c in &cands {
+                if !seq.contains(&c) {
+                    let mut s = seq.clone();
+                    s.push(c);
+                    out.push(FusionPrefix::new(s.clone()));
+                    next.push(s);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: usize) -> (IndexSpace, Vec<IndexId>) {
+        let mut sp = IndexSpace::new();
+        let v = (0..n).map(|i| sp.declare(&format!("x{i}"), 4)).collect();
+        (sp, v)
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let (_, v) = ids(4);
+        let p = FusionPrefix::new(vec![v[0], v[1]]);
+        let q = FusionPrefix::new(vec![v[0], v[1], v[2]]);
+        let r = FusionPrefix::new(vec![v[1], v[0]]);
+        assert!(p.is_prefix_of(&q));
+        assert!(!q.is_prefix_of(&p));
+        assert!(p.chain_compatible(&q));
+        assert!(!p.chain_compatible(&r));
+        assert!(FusionPrefix::empty().is_prefix_of(&p));
+        assert!(FusionPrefix::empty().chain_compatible(&r));
+        assert_eq!(p.join(&q), &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "not chain compatible")]
+    fn join_incompatible_panics() {
+        let (_, v) = ids(2);
+        let p = FusionPrefix::new(vec![v[0]]);
+        let r = FusionPrefix::new(vec![v[1]]);
+        p.join(&r);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        let (_, v) = ids(3);
+        let set = IndexSet::from_iter(v.iter().copied());
+        // 1 + 3 + 6 + 6 = 16 ordered prefixes of a 3-set.
+        assert_eq!(enumerate_prefixes(&set, 3).len(), 16);
+        assert_eq!(enumerate_prefixes(&set, 1).len(), 4);
+        assert_eq!(enumerate_prefixes(&set, 0).len(), 1);
+        // 4 candidates, full depth: 1+4+12+24+24 = 65.
+        let (_, v4) = ids(4);
+        let set4 = IndexSet::from_iter(v4.iter().copied());
+        assert_eq!(enumerate_prefixes(&set4, 4).len(), 65);
+    }
+
+    #[test]
+    fn enumerate_has_no_duplicates() {
+        let (_, v) = ids(3);
+        let set = IndexSet::from_iter(v.iter().copied());
+        let all = enumerate_prefixes(&set, 3);
+        let mut uniq = all.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), all.len());
+    }
+
+    #[test]
+    fn set_view() {
+        let (_, v) = ids(3);
+        let p = FusionPrefix::new(vec![v[2], v[0]]);
+        assert_eq!(p.as_set(), IndexSet::from_iter([v[0], v[2]]));
+        assert!(p.contains(v[2]));
+        assert!(!p.contains(v[1]));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_rejected() {
+        let (_, v) = ids(2);
+        FusionPrefix::new(vec![v[0], v[0]]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests of fusion legality and memory accounting.
+
+use proptest::prelude::*;
+use tce_expr::examples::{ccsd_tree, PaperExtents};
+use tce_fusion::{edge_candidates, enumerate_prefixes, FusionConfig, peak_words};
+
+proptest! {
+    /// Any single-edge fusion drawn from the edge's candidate set is legal,
+    /// monotonically shrinks the stored array, and never increases either
+    /// memory metric.
+    #[test]
+    fn any_candidate_prefix_is_legal(which in 0usize..200) {
+        let tree = ccsd_tree(PaperExtents::tiny());
+        let t1 = tree.find("T1").unwrap();
+        let all = enumerate_prefixes(&edge_candidates(&tree, t1), 4);
+        let prefix = all[which % all.len()].clone();
+        let mut cfg = FusionConfig::unfused();
+        cfg.set(t1, prefix.clone());
+        prop_assert!(cfg.validate(&tree).is_ok());
+        let reduced = cfg.reduced_tensor(&tree, t1);
+        prop_assert_eq!(reduced.arity(), 4 - prefix.len());
+        let base = FusionConfig::unfused();
+        prop_assert!(cfg.intermediate_words(&tree) <= base.intermediate_words(&tree));
+        prop_assert!(peak_words(&tree, &cfg) <= cfg.intermediate_words(&tree));
+    }
+
+    /// Deeper prefixes on the same order never increase memory.
+    #[test]
+    fn longer_prefix_never_costs_memory(cut in 0usize..5) {
+        let tree = ccsd_tree(PaperExtents::tiny());
+        let t1 = tree.find("T1").unwrap();
+        let full: Vec<_> = ["b", "c", "d", "f"]
+            .iter()
+            .map(|s| tree.space.lookup(s).unwrap())
+            .collect();
+        let cut = cut.min(full.len());
+        let mut shorter = FusionConfig::unfused();
+        shorter.set(t1, tce_fusion::FusionPrefix::new(full[..cut].to_vec()));
+        let mut longer = FusionConfig::unfused();
+        longer.set(t1, tce_fusion::FusionPrefix::new(full.clone()));
+        prop_assert!(longer.intermediate_words(&tree) <= shorter.intermediate_words(&tree));
+    }
+}

@@ -1,0 +1,19 @@
+//! # tce-opmin — operation minimization
+//!
+//! The algebraic front end of the IPPS 2003 reproduction (the paper's
+//! ref \[13\]): given a term `result = Σ f1 × … × fn`, choose the binary
+//! order of pairwise contractions minimizing flop count. The problem is
+//! NP-complete; for practical term sizes an exact subset dynamic
+//! programming (equivalent in results to the paper's pruning search) is
+//! fast. Reproduces the §2 rewriting of the four-factor term from `4N^10`
+//! direct flops to the `Θ(N^6)` tree of Fig. 2(a).
+
+#![warn(missing_docs)]
+
+mod greedy;
+mod program;
+mod single_term;
+
+pub use greedy::{greedy_sequence, minimize_operations_greedy, GreedyResult};
+pub use program::lower_program;
+pub use single_term::{minimize_operations, to_sequence, OpMinResult, Pairing};

@@ -1,0 +1,89 @@
+//! Time, volume, and memory accounting for the virtual cluster.
+
+/// One recorded communication event (when tracing is on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommEvent {
+    /// Name of the plan step the event belongs to.
+    pub step: String,
+    /// What moved.
+    pub kind: CommKind,
+    /// Bytes per processor in this lockstep round.
+    pub bytes: u128,
+    /// Seconds charged.
+    pub seconds: f64,
+}
+
+/// The kind of a communication event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommKind {
+    /// Cannon alignment fetch.
+    Align,
+    /// One rotation shift.
+    Shift,
+    /// Result homing after a rotating-result contraction.
+    Home,
+    /// Array redistribution between steps.
+    Redistribute,
+    /// Reduction combine across a grid dimension.
+    Reduce,
+}
+
+/// Running counters of a simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Simulated communication seconds (lockstep: per round, the cost of
+    /// one processor's sends — all processors transfer concurrently).
+    pub comm_seconds: f64,
+    /// Simulated computation seconds (max over processors per step).
+    pub compute_seconds: f64,
+    /// Messages sent per processor.
+    pub messages: u64,
+    /// Bytes sent per processor.
+    pub volume_bytes: u128,
+    /// Floating-point operations executed (whole machine).
+    pub total_flops: u128,
+    /// Peak per-processor live words (stored blocks + in-flight buffers).
+    pub peak_words: u128,
+}
+
+impl Metrics {
+    /// Charge one lockstep communication round: every processor sends one
+    /// message of `bytes` concurrently.
+    pub fn charge_round(&mut self, bytes: u128, msg_time: f64) {
+        self.comm_seconds += msg_time;
+        self.messages += 1;
+        self.volume_bytes += bytes;
+    }
+
+    /// Charge a compute step.
+    pub fn charge_compute(&mut self, per_proc_flops: u128, total_flops: u128, rate: f64) {
+        self.compute_seconds += per_proc_flops as f64 / rate;
+        self.total_flops += total_flops;
+    }
+
+    /// Record the current per-processor footprint.
+    pub fn observe_words(&mut self, words: u128) {
+        self.peak_words = self.peak_words.max(words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.charge_round(100, 0.5);
+        m.charge_round(50, 0.25);
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.volume_bytes, 150);
+        assert!((m.comm_seconds - 0.75).abs() < 1e-12);
+        m.charge_compute(1000, 16_000, 1e6);
+        assert!((m.compute_seconds - 1e-3).abs() < 1e-12);
+        assert_eq!(m.total_flops, 16_000);
+        m.observe_words(10);
+        m.observe_words(5);
+        assert_eq!(m.peak_words, 10);
+    }
+}

@@ -1,0 +1,379 @@
+//! Dense tensors and distributed blocks for the virtual cluster.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tce_expr::{IndexId, IndexSpace, Tensor};
+
+/// Iterate over every point of a multi-dimensional index box.
+pub struct BoxIter {
+    ranges: Vec<Range<u64>>,
+    current: Vec<u64>,
+    done: bool,
+}
+
+impl BoxIter {
+    /// Iterate the given ranges, last dimension fastest.
+    pub fn new(ranges: Vec<Range<u64>>) -> Self {
+        let done = ranges.iter().any(|r| r.is_empty());
+        let current = ranges.iter().map(|r| r.start).collect();
+        Self { ranges, current, done }
+    }
+}
+
+impl Iterator for BoxIter {
+    type Item = Vec<u64>;
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        for d in (0..self.ranges.len()).rev() {
+            self.current[d] += 1;
+            if self.current[d] < self.ranges[d].end {
+                return Some(out);
+            }
+            self.current[d] = self.ranges[d].start;
+        }
+        self.done = true;
+        Some(out)
+    }
+}
+
+/// A rectangular block of a conceptual global array: global index `ranges`
+/// per dimension, dense row-major storage. A block whose ranges span the
+/// whole extent of every dimension *is* the full array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Dimension index variables, in storage order.
+    pub dims: Vec<IndexId>,
+    /// Global index range held per dimension.
+    pub ranges: Vec<Range<u64>>,
+    /// Row-major data over the local lengths.
+    pub data: Vec<f64>,
+}
+
+impl Block {
+    /// A zero-filled block.
+    pub fn zeros(dims: Vec<IndexId>, ranges: Vec<Range<u64>>) -> Self {
+        assert_eq!(dims.len(), ranges.len());
+        let len: usize = ranges.iter().map(|r| (r.end - r.start) as usize).product();
+        Self { dims, ranges, data: vec![0.0; len] }
+    }
+
+    /// The full array of `tensor`, zero-filled.
+    pub fn full(tensor: &Tensor, space: &IndexSpace) -> Self {
+        let ranges = tensor.dims.iter().map(|&d| 0..space.extent(d)).collect();
+        Self::zeros(tensor.dims.clone(), ranges)
+    }
+
+    /// The full array of `tensor`, filled with reproducible pseudo-random
+    /// values in `[-1, 1)`.
+    pub fn random(tensor: &Tensor, space: &IndexSpace, seed: u64) -> Self {
+        let mut b = Self::full(tensor, space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in &mut b.data {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        b
+    }
+
+    /// Words stored.
+    pub fn words(&self) -> u128 {
+        self.data.len() as u128
+    }
+
+    /// Local lengths per dimension.
+    pub fn lens(&self) -> Vec<u64> {
+        self.ranges.iter().map(|r| r.end - r.start).collect()
+    }
+
+    fn offset(&self, global: &[u64]) -> usize {
+        debug_assert_eq!(global.len(), self.dims.len());
+        let mut off = 0usize;
+        for (d, &g) in global.iter().enumerate() {
+            let r = &self.ranges[d];
+            debug_assert!(r.contains(&g), "index {g} outside block range {r:?}");
+            off = off * (r.end - r.start) as usize + (g - r.start) as usize;
+        }
+        off
+    }
+
+    /// Read by global indices (must lie within the ranges).
+    pub fn get(&self, global: &[u64]) -> f64 {
+        self.data[self.offset(global)]
+    }
+
+    /// Write by global indices.
+    pub fn set(&mut self, global: &[u64], v: f64) {
+        let off = self.offset(global);
+        self.data[off] = v;
+    }
+
+    /// Accumulate by global indices.
+    pub fn add(&mut self, global: &[u64], v: f64) {
+        let off = self.offset(global);
+        self.data[off] += v;
+    }
+
+    /// The position of dimension `id`, if present.
+    pub fn dim_pos(&self, id: IndexId) -> Option<usize> {
+        self.dims.iter().position(|&d| d == id)
+    }
+
+    /// Extract the sub-block with the given ranges (must be contained in
+    /// this block's ranges, same dimension order).
+    pub fn sub_block(&self, ranges: Vec<Range<u64>>) -> Block {
+        assert_eq!(ranges.len(), self.dims.len());
+        for (mine, req) in self.ranges.iter().zip(&ranges) {
+            assert!(
+                req.start >= mine.start && req.end <= mine.end,
+                "sub-block {req:?} outside {mine:?}"
+            );
+        }
+        let mut out = Block::zeros(self.dims.clone(), ranges.clone());
+        for idx in BoxIter::new(ranges) {
+            out.set(&idx, self.get(&idx));
+        }
+        out
+    }
+
+    /// Add every element of `other` (same dims, ranges ⊆ ours) into self.
+    pub fn accumulate(&mut self, other: &Block) {
+        assert_eq!(self.dims, other.dims);
+        for idx in BoxIter::new(other.ranges.clone()) {
+            self.add(&idx, other.get(&idx));
+        }
+    }
+
+    /// Largest absolute difference on the intersection of ranges.
+    pub fn max_abs_diff(&self, other: &Block) -> f64 {
+        assert_eq!(self.dims, other.dims);
+        assert_eq!(self.ranges, other.ranges);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Generic block contraction: `result[I ∪ J] += Σ_K left × right`, where
+/// shared loop ranges are the *intersection* of the blocks' ranges for that
+/// dimension and result writes stay within the result block's ranges. In a
+/// correctly aligned Cannon step all shared ranges coincide; the
+/// intersection semantics makes misalignment produce wrong *values* (caught
+/// by verification) rather than panics.
+pub fn contract_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 {
+    // Collect the loop dimensions: union of left and right dims.
+    let mut loop_dims: Vec<IndexId> = left.dims.clone();
+    for &d in &right.dims {
+        if !loop_dims.contains(&d) {
+            loop_dims.push(d);
+        }
+    }
+    let ranges: Vec<Range<u64>> = loop_dims
+        .iter()
+        .map(|&d| {
+            let l = left.dim_pos(d).map(|p| left.ranges[p].clone());
+            let r = right.dim_pos(d).map(|p| right.ranges[p].clone());
+            let res = result.dim_pos(d).map(|p| result.ranges[p].clone());
+            let mut range = l.or(r.clone()).unwrap();
+            for other in [r, res].into_iter().flatten() {
+                range.start = range.start.max(other.start);
+                range.end = range.end.min(other.end);
+            }
+            range
+        })
+        .collect();
+    let mut flops = 0u128;
+    let pick = |b: &Block, point: &[u64]| -> Vec<u64> {
+        b.dims
+            .iter()
+            .map(|&d| point[loop_dims.iter().position(|&x| x == d).unwrap()])
+            .collect()
+    };
+    for point in BoxIter::new(ranges) {
+        let lv = left.get(&pick(left, &point));
+        let rv = right.get(&pick(right, &point));
+        let ridx = pick(result, &point);
+        result.add(&ridx, lv * rv);
+        flops += 2;
+    }
+    flops
+}
+
+/// Reduce a block over one dimension: `result[dims∖{sum}] += Σ_sum block`.
+pub fn reduce_block(block: &Block, sum: IndexId, result: &mut Block) -> u128 {
+    let mut flops = 0u128;
+    for point in BoxIter::new(block.ranges.clone()) {
+        let ridx: Vec<u64> = block
+            .dims
+            .iter()
+            .zip(&point)
+            .filter(|(&d, _)| d != sum)
+            .map(|(_, &v)| v)
+            .collect();
+        result.add(&ridx, block.get(&point));
+        flops += 1;
+    }
+    flops
+}
+
+/// Element-wise multiply: `result[dims] += left × right` over the
+/// intersection of the blocks' ranges (operand dims ⊆ result dims; fused
+/// operand slices may be narrower than the result block).
+pub fn elementwise_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 {
+    let mut flops = 0u128;
+    let ranges: Vec<std::ops::Range<u64>> = result
+        .dims
+        .iter()
+        .zip(&result.ranges)
+        .map(|(&d, r)| {
+            let mut out = r.clone();
+            for b in [left, right] {
+                if let Some(p) = b.dim_pos(d) {
+                    out.start = out.start.max(b.ranges[p].start);
+                    out.end = out.end.min(b.ranges[p].end);
+                }
+            }
+            out
+        })
+        .collect();
+    for point in BoxIter::new(ranges) {
+        let pick = |b: &Block| -> Vec<u64> {
+            b.dims
+                .iter()
+                .map(|&d| point[result.dim_pos(d).unwrap()])
+                .collect()
+        };
+        let v = left.get(&pick(left)) * right.get(&pick(right));
+        result.add(&point, v);
+        flops += 1;
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_expr::IndexSpace;
+
+    fn space() -> (IndexSpace, IndexId, IndexId, IndexId) {
+        let mut sp = IndexSpace::new();
+        let i = sp.declare("i", 4);
+        let j = sp.declare("j", 5);
+        let k = sp.declare("k", 6);
+        (sp, i, j, k)
+    }
+
+    #[test]
+    fn box_iter_covers_all_points() {
+        let pts: Vec<_> = BoxIter::new(vec![0..2, 3..5]).collect();
+        assert_eq!(pts, vec![vec![0, 3], vec![0, 4], vec![1, 3], vec![1, 4]]);
+        assert_eq!(BoxIter::new(vec![0..0, 1..3]).count(), 0);
+        assert_eq!(BoxIter::new(vec![]).count(), 1, "empty box has one point");
+    }
+
+    #[test]
+    fn block_get_set_roundtrip() {
+        let (sp, i, j, _) = space();
+        let t = Tensor::new("X", vec![i, j]);
+        let mut b = Block::full(&t, &sp);
+        b.set(&[2, 3], 7.5);
+        assert_eq!(b.get(&[2, 3]), 7.5);
+        assert_eq!(b.get(&[0, 0]), 0.0);
+        assert_eq!(b.words(), 20);
+    }
+
+    #[test]
+    fn sub_block_extracts_ranges() {
+        let (sp, i, j, _) = space();
+        let t = Tensor::new("X", vec![i, j]);
+        let mut b = Block::full(&t, &sp);
+        for idx in BoxIter::new(b.ranges.clone()) {
+            let v = (idx[0] * 10 + idx[1]) as f64;
+            b.set(&idx, v);
+        }
+        let s = b.sub_block(vec![1..3, 2..4]);
+        assert_eq!(s.get(&[1, 2]), 12.0);
+        assert_eq!(s.get(&[2, 3]), 23.0);
+        assert_eq!(s.words(), 4);
+    }
+
+    #[test]
+    fn contract_matches_manual_matmul() {
+        let (sp, i, j, k) = space();
+        let a = Tensor::new("A", vec![i, k]);
+        let b = Tensor::new("B", vec![k, j]);
+        let c = Tensor::new("C", vec![i, j]);
+        let ab = Block::random(&a, &sp, 1);
+        let bb = Block::random(&b, &sp, 2);
+        let mut cb = Block::full(&c, &sp);
+        let flops = contract_blocks(&ab, &bb, &mut cb);
+        assert_eq!(flops, 2 * 4 * 5 * 6);
+        // Manual check at one point.
+        let mut want = 0.0;
+        for kk in 0..6 {
+            want += ab.get(&[1, kk]) * bb.get(&[kk, 3]);
+        }
+        assert!((cb.get(&[1, 3]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contract_partial_blocks_accumulate() {
+        // Split the k range in two; the two partial contractions must sum
+        // to the full one — the essence of Cannon's accumulation.
+        let (sp, i, j, k) = space();
+        let a = Tensor::new("A", vec![i, k]);
+        let b = Tensor::new("B", vec![k, j]);
+        let c = Tensor::new("C", vec![i, j]);
+        let ab = Block::random(&a, &sp, 3);
+        let bb = Block::random(&b, &sp, 4);
+        let mut full = Block::full(&c, &sp);
+        contract_blocks(&ab, &bb, &mut full);
+        let mut partial = Block::full(&c, &sp);
+        let a1 = ab.sub_block(vec![0..4, 0..3]);
+        let b1 = bb.sub_block(vec![0..3, 0..5]);
+        let a2 = ab.sub_block(vec![0..4, 3..6]);
+        let b2 = bb.sub_block(vec![3..6, 0..5]);
+        contract_blocks(&a1, &b1, &mut partial);
+        contract_blocks(&a2, &b2, &mut partial);
+        assert!(full.max_abs_diff(&partial) < 1e-12);
+    }
+
+    #[test]
+    fn reduce_block_sums_dimension() {
+        let (sp, i, j, _) = space();
+        let t = Tensor::new("X", vec![i, j]);
+        let b = Block::random(&t, &sp, 5);
+        let r = Tensor::new("R", vec![j]);
+        let mut out = Block::full(&r, &sp);
+        reduce_block(&b, i, &mut out);
+        let mut want = 0.0;
+        for ii in 0..4 {
+            want += b.get(&[ii, 2]);
+        }
+        assert!((out.get(&[2]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elementwise_matches() {
+        let (sp, i, j, _) = space();
+        let t = Tensor::new("X", vec![i, j]);
+        let x = Block::random(&t, &sp, 6);
+        let y = Block::random(&Tensor::new("Y", vec![i, j]), &sp, 7);
+        let mut out = Block::full(&Tensor::new("Z", vec![i, j]), &sp);
+        elementwise_blocks(&x, &y, &mut out);
+        assert!((out.get(&[1, 2]) - x.get(&[1, 2]) * y.get(&[1, 2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let (sp, i, j, _) = space();
+        let t = Tensor::new("X", vec![i, j]);
+        assert_eq!(Block::random(&t, &sp, 9), Block::random(&t, &sp, 9));
+        assert_ne!(Block::random(&t, &sp, 9), Block::random(&t, &sp, 10));
+    }
+}

@@ -1,0 +1,289 @@
+//! End-to-end: optimize → plan → execute on the virtual cluster → compare
+//! against the sequential reference, and check the simulated communication
+//! time against the optimizer's prediction.
+
+use tce_core::{extract_plan, optimize, OptimizerConfig};
+use tce_cost::{CostModel, MachineModel};
+use tce_expr::examples::{ccsd_tree, fig1_sequence, PaperExtents};
+use tce_expr::parse;
+use tce_sim::simulate;
+
+fn cm(procs: u32) -> CostModel {
+    CostModel::for_square(MachineModel::itanium_cluster(), procs).unwrap()
+}
+
+fn run(tree: &tce_expr::ExprTree, cm: &CostModel, cfg: &OptimizerConfig) -> tce_sim::SimReport {
+    let opt = optimize(tree, cm, cfg).unwrap();
+    let plan = extract_plan(tree, &opt);
+    tce_core::validate_plan(tree, &plan).unwrap();
+    let report = simulate(tree, &plan, cm, 0xC0FFEE).unwrap();
+    // Simulated communication must track the optimizer's prediction: same
+    // message counts, interpolated vs exact message times.
+    let rel = (report.metrics.comm_seconds - plan.comm_cost).abs() / plan.comm_cost.max(1e-9);
+    assert!(
+        rel < 0.05,
+        "simulated comm {:.4}s vs predicted {:.4}s",
+        report.metrics.comm_seconds,
+        plan.comm_cost
+    );
+    report
+}
+
+#[test]
+fn single_matmul_verifies() {
+    let src = "\
+range i = 8; range j = 8; range k = 8;
+input A[i,k]; input B[k,j];
+C[i,j] = sum[k] A[i,k] * B[k,j];
+";
+    let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+    let cm = cm(4);
+    let report = run(&tree, &cm, &OptimizerConfig::default());
+    assert!(report.max_abs_err < 1e-12, "err {}", report.max_abs_err);
+    assert_eq!(report.result_words, 64);
+    // 2·8³ flops.
+    assert_eq!(report.metrics.total_flops, 2 * 8 * 8 * 8);
+}
+
+#[test]
+fn ccsd_tiny_unconstrained_verifies_on_4_procs() {
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let cm = cm(4);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let report = run(&tree, &cm, &cfg);
+    assert!(report.max_abs_err < 1e-10, "err {}", report.max_abs_err);
+    // All three contractions executed: full flop count.
+    assert_eq!(report.metrics.total_flops, tree.total_op_count());
+}
+
+#[test]
+fn ccsd_tiny_verifies_on_16_procs() {
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let cm = cm(16);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let report = run(&tree, &cm, &cfg);
+    assert!(report.max_abs_err < 1e-10, "err {}", report.max_abs_err);
+}
+
+#[test]
+fn forced_fusion_still_verifies_and_shrinks_memory() {
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let cm = cm(4);
+    // First, the unconstrained optimum and its footprint.
+    let free = optimize(
+        &tree,
+        &cm,
+        &OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() },
+    )
+    .unwrap();
+    let free_plan = extract_plan(&tree, &free);
+    let free_report = simulate(&tree, &free_plan, &cm, 7).unwrap();
+    assert!(free_report.max_abs_err < 1e-10);
+
+    // Now squeeze: force the optimizer to fuse.
+    let limit = free.mem_words - 1;
+    let tight = optimize(
+        &tree,
+        &cm,
+        &OptimizerConfig { mem_limit_words: Some(limit), ..Default::default() },
+    )
+    .unwrap();
+    assert!(tight.mem_words + tight.max_msg_words <= limit);
+    let tight_plan = extract_plan(&tree, &tight);
+    let fused_edges = tight_plan
+        .steps
+        .iter()
+        .filter(|s| !s.result_fusion.is_empty())
+        .count();
+    assert!(fused_edges > 0, "the tight limit must force fusion");
+    let tight_report = simulate(&tree, &tight_plan, &cm, 7).unwrap();
+    // Numerically identical computation.
+    assert!(tight_report.max_abs_err < 1e-10, "err {}", tight_report.max_abs_err);
+    // The observed peak footprint really shrinks relative to the free plan.
+    assert!(
+        tight_report.metrics.peak_words < free_report.metrics.peak_words,
+        "fused peak {} !< unfused peak {}",
+        tight_report.metrics.peak_words,
+        free_report.metrics.peak_words
+    );
+    // And the observed peak respects the model's accounting (stored arrays
+    // plus staging buffers; the simulator may hold up to three in-flight
+    // blocks per processor).
+    assert!(
+        tight_report.metrics.peak_words <= tight.mem_words + 3 * tight.max_msg_words,
+        "peak {} vs model {} + buffers",
+        tight_report.metrics.peak_words,
+        tight.mem_words
+    );
+    // Fusion costs communication: tighter memory, more time.
+    let tight_pred = tight_plan.comm_cost;
+    assert!(tight_pred >= free_plan.comm_cost);
+}
+
+#[test]
+fn fig1_tree_simulates_and_verifies() {
+    let tree = fig1_sequence(8, 8, 8, 8).to_tree().unwrap();
+    let cm = cm(4);
+    let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let report = simulate(&tree, &plan, &cm, 3).unwrap();
+    assert!(report.max_abs_err < 1e-10, "err {}", report.max_abs_err);
+}
+
+#[test]
+fn different_seeds_change_data_not_structure() {
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let cm = cm(4);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let opt = optimize(&tree, &cm, &cfg).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let r1 = simulate(&tree, &plan, &cm, 1).unwrap();
+    let r2 = simulate(&tree, &plan, &cm, 2).unwrap();
+    assert!(r1.max_abs_err < 1e-10 && r2.max_abs_err < 1e-10);
+    assert_eq!(r1.metrics.messages, r2.metrics.messages);
+    assert_eq!(r1.metrics.volume_bytes, r2.metrics.volume_bytes);
+    assert_eq!(r1.metrics.total_flops, r2.metrics.total_flops);
+}
+
+#[test]
+fn replication_extension_verifies() {
+    // The beyond-paper replicated-distribution search must still execute
+    // correctly when it picks a partial distribution.
+    let src = "\
+range i = 8; range j = 8; range k = 8;
+input A[i,k]; input B[k,j];
+C[i,j] = sum[k] A[i,k] * B[k,j];
+";
+    let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+    let cm = cm(4);
+    let cfg = OptimizerConfig {
+        allow_replication: true,
+        mem_limit_words: Some(u128::MAX),
+        ..Default::default()
+    };
+    let opt = optimize(&tree, &cm, &cfg).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let report = simulate(&tree, &plan, &cm, 5).unwrap();
+    assert!(report.max_abs_err < 1e-12, "err {}", report.max_abs_err);
+}
+
+#[test]
+fn asymmetric_machine_prediction_matches_execution() {
+    // Per-dimension link speeds flow through both the characterization the
+    // optimizer sees and the rounds the simulator charges.
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let machine = MachineModel::itanium_asymmetric(3.0);
+    let cm = CostModel::for_square(machine, 4).unwrap();
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let report = run(&tree, &cm, &cfg);
+    assert!(report.max_abs_err < 1e-10);
+}
+
+#[test]
+fn trace_accounts_for_every_second() {
+    use tce_sim::{simulate_traced, CommKind};
+    let tree = ccsd_tree(PaperExtents::tiny());
+    let cm = cm(4);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let opt = optimize(&tree, &cm, &cfg).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let (report, events) = simulate_traced(&tree, &plan, &cm, 11, true).unwrap();
+    assert!(!events.is_empty());
+    // The trace's seconds sum to the metric total.
+    let traced: f64 = events.iter().map(|e| e.seconds).sum();
+    assert!((traced - report.metrics.comm_seconds).abs() < 1e-9);
+    // Every event belongs to a known step.
+    for e in &events {
+        assert!(plan.steps.iter().any(|s| s.result_name == e.step), "{e:?}");
+    }
+    // Rotations produce q-1 shifts per alignment round on a 2×2 grid.
+    let aligns = events.iter().filter(|e| e.kind == CommKind::Align).count();
+    let shifts = events.iter().filter(|e| e.kind == CommKind::Shift).count();
+    assert!(aligns > 0 && shifts > 0);
+    // Untraced runs return no events but identical metrics.
+    let (r2, empty) = simulate_traced(&tree, &plan, &cm, 11, false).unwrap();
+    assert!(empty.is_empty());
+    assert_eq!(r2.metrics.messages, report.metrics.messages);
+}
+
+#[test]
+fn forced_redistribution_executes_and_verifies() {
+    use std::collections::HashMap;
+    use tce_dist::{enumerate_patterns, Operand};
+    // Force step 2 to require T different from how step 1 produces it, so
+    // the executor's redistribution path (assemble + re-split + charge)
+    // actually runs.
+    let src = "\
+range a = 8; range b = 8; range c = 8; range d = 8;
+input A[a,b]; input B[b,c]; input C[c,d];
+T[a,c] = sum[b] A[a,b] * B[b,c];
+S[a,d] = sum[c] T[a,c] * C[c,d];
+";
+    let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+    let cm = cm(4);
+    let t_node = tree.find("T").unwrap();
+    let s_node = tree.find("S").unwrap();
+    let gt = tree.contraction_groups(t_node).unwrap();
+    let gs = tree.contraction_groups(s_node).unwrap();
+    // Pick patterns whose produced/required T distributions differ.
+    let pt = enumerate_patterns(&gt, false)[0];
+    let produced = pt.operand_dist(Operand::Result);
+    let ps = enumerate_patterns(&gs, false)
+        .into_iter()
+        .find(|p| p.operand_dist(Operand::Left) != produced)
+        .expect("a mismatching consumer pattern exists");
+    let mut fixed = HashMap::new();
+    fixed.insert(t_node, pt);
+    fixed.insert(s_node, ps);
+    let cfg = OptimizerConfig {
+        fixed_patterns: Some(fixed),
+        max_prefix_len: 0,
+        mem_limit_words: Some(u128::MAX),
+        ..Default::default()
+    };
+    let opt = optimize(&tree, &cm, &cfg).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let redist: f64 = plan
+        .steps
+        .iter()
+        .flat_map(|s| &s.operands)
+        .map(|o| o.redist_cost)
+        .sum();
+    assert!(redist > 0.0, "the fixed patterns must force a redistribution");
+    let report = simulate(&tree, &plan, &cm, 77).unwrap();
+    assert!(report.max_abs_err < 1e-12, "err {}", report.max_abs_err);
+    // The redistribution seconds are charged.
+    assert!((report.metrics.comm_seconds - plan.comm_cost).abs() < 1e-9);
+}
+
+#[test]
+fn larger_blocks_cross_the_parallel_kernel_threshold() {
+    // Extents sized so the per-round work exceeds the executor's
+    // thread-spawn threshold — exercising the crossbeam path — while
+    // keeping the test fast.
+    let tree = ccsd_tree(PaperExtents { occupied: 4, virtual_small: 8, virtual_large: 24 });
+    let cm = cm(4);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let report = run(&tree, &cm, &cfg);
+    assert!(report.max_abs_err < 1e-9, "err {}", report.max_abs_err);
+    assert_eq!(report.metrics.total_flops, tree.total_op_count());
+}
+
+#[test]
+fn uneven_blocks_still_verify() {
+    // 9 and 10 do not divide the 2×2 grid: myrange hands out uneven
+    // blocks, which must stay conformant through alignment and rotation.
+    let src = "\
+range i = 9; range j = 10; range k = 7;
+input A[i,k]; input B[k,j];
+C[i,j] = sum[k] A[i,k] * B[k,j];
+";
+    let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+    let cm = cm(4);
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+    let opt = optimize(&tree, &cm, &cfg).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let report = simulate(&tree, &plan, &cm, 21).unwrap();
+    assert!(report.max_abs_err < 1e-12, "err {}", report.max_abs_err);
+    assert_eq!(report.metrics.total_flops, 2 * 9 * 10 * 7);
+}

@@ -1,0 +1,78 @@
+//! Capacity planning with the optimizer: given a workload, how do memory
+//! per node, processor count, and link speed trade against communication
+//! time? Uses the Pareto-frontier API, the characterization-file workflow,
+//! and the asymmetric machine model.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use tensor_contraction_opt::core::{optimize, root_frontier, OptimizerConfig};
+use tensor_contraction_opt::cost::units::{fmt_paper_bytes, words_to_bytes};
+use tensor_contraction_opt::cost::{characterize, CostModel, MachineModel};
+use tensor_contraction_opt::dist::ProcGrid;
+use tensor_contraction_opt::expr::examples::{ccsd_tree, PAPER_EXTENTS};
+
+fn main() {
+    let tree = ccsd_tree(PAPER_EXTENTS);
+
+    // One characterization run covers every configuration we will price —
+    // the paper's measure-once workflow.
+    let machine = MachineModel::itanium_cluster();
+    let chr = characterize(&machine, &[4, 8, 16]);
+
+    println!("Q1: what does more memory per node buy at 16 processors?\n");
+    let cm = CostModel::with_characterization(
+        machine.clone(),
+        chr.clone(),
+        ProcGrid::square(16).unwrap(),
+    );
+    let free = optimize(
+        &tree,
+        &cm,
+        &OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() },
+    )
+    .unwrap();
+    println!("  {:>14}  {:>12}  verdict at 2 GB/proc", "need/proc", "comm (s)");
+    for p in root_frontier(&tree, &free) {
+        println!(
+            "  {:>14}  {:>12.1}  {}",
+            fmt_paper_bytes(words_to_bytes(p.footprint_words)),
+            p.comm_cost,
+            if p.footprint_words <= cm.mem_limit_words() {
+                "affordable"
+            } else {
+                "needs a bigger node"
+            }
+        );
+    }
+
+    println!("\nQ2: is it worth paying for 4x faster links on one switch dimension?\n");
+    for (label, m) in [
+        ("symmetric".to_string(), MachineModel::itanium_cluster()),
+        ("dim2 x4 faster".to_string(), MachineModel::itanium_asymmetric(4.0)),
+    ] {
+        let cm = CostModel::for_square(m, 16).unwrap();
+        let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+        println!("  {label:<16} {:.1} s communication", opt.comm_cost);
+    }
+
+    println!("\nQ3: scale out or scale up? (same workload)\n");
+    for procs in [16u32, 64, 256] {
+        let cm = CostModel::for_square(MachineModel::itanium_cluster(), procs).unwrap();
+        match optimize(&tree, &cm, &OptimizerConfig::default()) {
+            Err(e) => println!("  {procs:>4} procs: {e}"),
+            Ok(opt) => {
+                let compute = tensor_contraction_opt::cost::compute::tree_compute_time(
+                    &tree, procs, &cm.machine,
+                );
+                println!(
+                    "  {procs:>4} procs: total {:>7.1} s ({:>6.1} comm + {:>7.1} compute)",
+                    opt.comm_cost + compute,
+                    opt.comm_cost,
+                    compute
+                );
+            }
+        }
+    }
+}

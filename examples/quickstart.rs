@@ -1,0 +1,66 @@
+//! Quickstart: parse a tensor contraction expression, optimize it for a
+//! parallel machine under a memory limit, and print the plan.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tensor_contraction_opt::core::{
+    build_report, extract_plan, optimize, render_report, OptimizerConfig,
+};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::parse;
+
+fn main() {
+    // 1. Describe the computation in the text notation: index ranges,
+    //    input arrays, and a sequence of contractions.
+    let source = "
+        range a, b, c, d = 480;
+        range e, f = 64;
+        range i, j, k, l = 32;
+        input A[a,c,i,k];  input B[b,e,f,l];
+        input C[d,f,j,k];  input D[c,d,e,l];
+        T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l];
+        T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k];
+        S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k];
+    ";
+    let tree = parse(source)
+        .expect("source parses")
+        .to_sequence()
+        .expect("well-formed formula sequence")
+        .to_tree()
+        .expect("tree builds");
+    println!(
+        "parsed {} contractions, {:.2e} flops total\n",
+        tree.postorder().len() - 4,
+        tree.total_op_count() as f64
+    );
+
+    // 2. Pick a machine: 16 processors of the calibrated Itanium-cluster
+    //    stand-in (8 nodes × 2 processors, 4 GB/node).
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16)
+        .expect("16 is a perfect square");
+
+    // 3. Jointly optimize loop fusion and data distribution under the
+    //    per-processor memory limit (§3.3 of the paper).
+    let opt = optimize(&tree, &cm, &OptimizerConfig::default()).expect("feasible");
+    let plan = extract_plan(&tree, &opt);
+
+    // 4. Inspect the result.
+    println!("{}", render_report(&build_report(&tree, &plan, &cm)));
+    println!("step-by-step plan:");
+    for step in &plan.steps {
+        let fused = if step.result_fusion.is_empty() {
+            String::from("unfused")
+        } else {
+            format!("fused on ({})", tree.space.render(step.result_fusion.as_slice()))
+        };
+        println!(
+            "  {} produced in {} — {}, step communication {:.1} s",
+            step.result_name,
+            step.result_dist.render(&tree.space),
+            fused,
+            step.step_comm()
+        );
+    }
+}

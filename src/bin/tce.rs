@@ -1,0 +1,370 @@
+//! `tce` — the command-line front end to the whole pipeline.
+//!
+//! ```text
+//! tce optimize <file.tce> --procs 16 [--mem-gb 4] [--asym F] [options]
+//! tce compile  <file.tce>                 # opmin + fused loop code
+//! tce simulate <file.tce> --procs 4      # execute & verify (small extents)
+//! tce frontier <file.tce> --procs 16     # memory/comm Pareto frontier
+//! ```
+//!
+//! The input format is the `tce-expr` text notation (see README):
+//! `range`/`input` declarations followed by contraction statements; terms
+//! with three or more factors are decomposed by operation minimization
+//! automatically.
+
+use std::process::ExitCode;
+
+use tensor_contraction_opt::core::{
+    build_report, extract_plan, optimize, render_plan_dot, render_report, root_frontier,
+    validate_plan, OptimizerConfig,
+};
+use tensor_contraction_opt::cost::units::{fmt_paper_bytes, words_to_bytes};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::printer::{render_sequence, render_unfused_loops};
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::fusion::{code::render_fused, minimize_memory};
+use tensor_contraction_opt::opmin::lower_program;
+use tensor_contraction_opt::sim::simulate_traced;
+
+struct Args {
+    command: String,
+    file: String,
+    procs: u32,
+    mem_gb: Option<f64>,
+    asym: f64,
+    allow_replication: bool,
+    allow_unrelated_rotation: bool,
+    dot: bool,
+    json: bool,
+    spmd: bool,
+    plan_file: Option<String>,
+    /// `NAME=d1,d2` pinned input layouts.
+    pin_inputs: Vec<(String, String)>,
+    /// `d1,d2` required output layout.
+    output_dist: Option<String>,
+    seed: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tce <optimize|compile|simulate|frontier> <file.tce> \
+         [--procs N] [--mem-gb G] [--asym F] [--replication] \
+         [--unrelated-rotation] [--dot] [--json] [--spmd] [--plan plan.json] \
+         [--pin-input NAME=d1,d2]... [--output-dist d1,d2] [--seed S]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let file = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        file,
+        procs: 16,
+        mem_gb: None,
+        asym: 1.0,
+        allow_replication: false,
+        allow_unrelated_rotation: false,
+        dot: false,
+        json: false,
+        spmd: false,
+        plan_file: None,
+        pin_inputs: Vec::new(),
+        output_dist: None,
+        seed: 42,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            argv.next().ok_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--procs" => args.procs = value("--procs")?.parse().map_err(|_| usage())?,
+            "--mem-gb" => {
+                args.mem_gb = Some(value("--mem-gb")?.parse().map_err(|_| usage())?)
+            }
+            "--asym" => args.asym = value("--asym")?.parse().map_err(|_| usage())?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| usage())?,
+            "--replication" => args.allow_replication = true,
+            "--unrelated-rotation" => args.allow_unrelated_rotation = true,
+            "--dot" => args.dot = true,
+            "--json" => args.json = true,
+            "--spmd" => args.spmd = true,
+            "--plan" => args.plan_file = Some(value("--plan")?),
+            "--pin-input" => {
+                let v = value("--pin-input")?;
+                let (name, dist) = v.split_once('=').ok_or_else(|| {
+                    eprintln!("--pin-input expects NAME=d1,d2");
+                    usage()
+                })?;
+                args.pin_inputs.push((name.to_string(), dist.to_string()));
+            }
+            "--output-dist" => args.output_dist = Some(value("--output-dist")?),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn load_tree(path: &str) -> Result<ExprTree, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let seq = lower_program(&prog).map_err(|e| e.to_string())?;
+    seq.to_tree().map_err(|e| e.to_string())
+}
+
+fn cost_model(args: &Args) -> Result<CostModel, String> {
+    let mut machine = if args.asym == 1.0 {
+        MachineModel::itanium_cluster()
+    } else {
+        MachineModel::itanium_asymmetric(args.asym)
+    };
+    if let Some(gb) = args.mem_gb {
+        machine.mem_per_node_bytes =
+            (gb * 1024.0 * tensor_contraction_opt::cost::units::PAPER_MB) as u64;
+    }
+    CostModel::for_square(machine, args.procs)
+        .ok_or_else(|| format!("{} is not a perfect square", args.procs))
+}
+
+fn parse_dist(
+    spec: &str,
+    tree: &ExprTree,
+) -> Result<tensor_contraction_opt::dist::Distribution, String> {
+    let (a, b) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("distribution `{spec}` must be `d1,d2`"))?;
+    let look = |n: &str| {
+        tree.space
+            .lookup(n.trim())
+            .ok_or_else(|| format!("unknown index `{n}` in distribution `{spec}`"))
+    };
+    Ok(tensor_contraction_opt::dist::Distribution::pair(look(a)?, look(b)?))
+}
+
+fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
+    let mut cfg = OptimizerConfig {
+        allow_replication: args.allow_replication,
+        allow_unrelated_rotation: args.allow_unrelated_rotation,
+        ..Default::default()
+    };
+    for (name, spec) in &args.pin_inputs {
+        cfg.input_dists.insert(name.clone(), parse_dist(spec, tree)?);
+    }
+    if let Some(spec) = &args.output_dist {
+        cfg.output_dist = Some(parse_dist(spec, tree)?);
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let result = match args.command.as_str() {
+        "optimize" => cmd_optimize(&args),
+        "compile" => cmd_compile(&args),
+        "simulate" => cmd_simulate(&args),
+        "frontier" => cmd_frontier(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tce: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let tree = load_tree(&args.file)?;
+    let cm = cost_model(args)?;
+    let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+    let plan = extract_plan(&tree, &opt);
+    validate_plan(&tree, &plan)?;
+    if opt.output_redist_cost > 0.0 {
+        println!(
+            "(final output redistribution into the requested layout: {:.1} s)",
+            opt.output_redist_cost
+        );
+    }
+    if args.dot {
+        print!("{}", render_plan_dot(&tree, &plan));
+        return Ok(());
+    }
+    if args.json {
+        println!("{}", plan.to_json());
+        return Ok(());
+    }
+    if args.spmd {
+        print!(
+            "{}",
+            tensor_contraction_opt::core::render_spmd(&tree, &plan, args.procs)
+        );
+        return Ok(());
+    }
+    print!("{}", render_report(&build_report(&tree, &plan, &cm)));
+    if let Ok(e) = tensor_contraction_opt::core::explain(&tree, &cm, &opt_config(args, &tree)?) {
+        println!("\n{}", e.text);
+    }
+    println!("\nplan:");
+    for step in &plan.steps {
+        let fusion = if step.result_fusion.is_empty() {
+            String::new()
+        } else {
+            format!(" fused ({})", tree.space.render(step.result_fusion.as_slice()))
+        };
+        println!(
+            "  {} in {}{} — step comm {:.3} s",
+            step.result_name,
+            step.result_dist.render(&tree.space),
+            fusion,
+            step.step_comm()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let tree = load_tree(&args.file)?;
+    println!("--- formula sequence ---");
+    let src = std::fs::read_to_string(&args.file).map_err(|e| e.to_string())?;
+    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let seq = lower_program(&prog).map_err(|e| e.to_string())?;
+    print!("{}", render_sequence(&seq));
+    println!("\n--- unfused loops ---");
+    print!("{}", render_unfused_loops(&tree));
+    let mm = minimize_memory(&tree, usize::MAX);
+    println!("\n--- memory-minimal fused loops ---");
+    print!("{}", render_fused(&tree, &mm.config));
+    println!("\nintermediate words after fusion: {}", mm.words);
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let tree = load_tree(&args.file)?;
+    let cm = cost_model(args)?;
+    // Either replay a saved plan artifact or optimize fresh.
+    let plan = match &args.plan_file {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let plan = tensor_contraction_opt::core::ExecutionPlan::from_json(&json)
+                .map_err(|e| e.to_string())?;
+            validate_plan(&tree, &plan)?;
+            plan
+        }
+        None => {
+            let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+            extract_plan(&tree, &opt)
+        }
+    };
+    let (report, events) =
+        simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} processors: comm {:.4} s (predicted {:.4} s), compute {:.4} s",
+        args.procs, report.metrics.comm_seconds, plan.comm_cost, report.metrics.compute_seconds
+    );
+    println!(
+        "messages/proc {}, volume/proc {} B, peak {} words/proc, flops {}",
+        report.metrics.messages,
+        report.metrics.volume_bytes,
+        report.metrics.peak_words,
+        report.metrics.total_flops
+    );
+    println!("max |error| vs sequential reference: {:.3e}", report.max_abs_err);
+    // Per-step communication breakdown.
+    let mut by_step: Vec<(String, f64)> = Vec::new();
+    for e in &events {
+        match by_step.iter_mut().find(|(s, _)| *s == e.step) {
+            Some((_, t)) => *t += e.seconds,
+            None => by_step.push((e.step.clone(), e.seconds)),
+        }
+    }
+    println!("per-step communication:");
+    for (step, secs) in by_step {
+        println!("  {step}: {secs:.4} s");
+    }
+    if report.max_abs_err > 1e-9 {
+        return Err("verification failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_frontier(args: &Args) -> Result<(), String> {
+    let tree = load_tree(&args.file)?;
+    let cm = cost_model(args)?;
+    let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..opt_config(args, &tree)? };
+    let opt = optimize(&tree, &cm, &cfg).map_err(|e| e.to_string())?;
+    println!("{:>16} {:>14}   fits", "footprint/proc", "comm (s)");
+    for p in root_frontier(&tree, &opt) {
+        println!(
+            "{:>16} {:>14.2}   {}",
+            fmt_paper_bytes(words_to_bytes(p.footprint_words)),
+            p.comm_cost,
+            if p.footprint_words <= cm.mem_limit_words() { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tree() -> ExprTree {
+        parse(
+            "range i = 8; range j = 8; range k = 8;\n\
+             input A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n",
+        )
+        .unwrap()
+        .to_sequence()
+        .unwrap()
+        .to_tree()
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_dist_accepts_pairs_and_rejects_junk() {
+        let tree = demo_tree();
+        let d = parse_dist("i,j", &tree).unwrap();
+        assert_eq!(d.render(&tree.space), "<i,j>");
+        let d = parse_dist(" k , i ", &tree).unwrap();
+        assert_eq!(d.render(&tree.space), "<k,i>");
+        assert!(parse_dist("i", &tree).is_err());
+        assert!(parse_dist("i,zz", &tree).is_err());
+    }
+
+    #[test]
+    fn opt_config_collects_pins() {
+        let tree = demo_tree();
+        let args = Args {
+            command: "optimize".into(),
+            file: String::new(),
+            procs: 4,
+            mem_gb: None,
+            asym: 1.0,
+            allow_replication: false,
+            allow_unrelated_rotation: true,
+            dot: false,
+            json: false,
+            spmd: false,
+            plan_file: None,
+            pin_inputs: vec![("A".into(), "i,k".into())],
+            output_dist: Some("i,j".into()),
+            seed: 1,
+        };
+        let cfg = opt_config(&args, &tree).unwrap();
+        assert!(cfg.allow_unrelated_rotation);
+        assert!(cfg.input_dists.contains_key("A"));
+        assert!(cfg.output_dist.is_some());
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole workspace.
+pub use tce_core as core;
+pub use tce_cost as cost;
+pub use tce_dist as dist;
+pub use tce_expr as expr;
+pub use tce_fusion as fusion;
+pub use tce_opmin as opmin;
+pub use tce_sim as sim;

@@ -1,0 +1,50 @@
+//! Golden-output regression tests: the regenerated paper tables are pinned
+//! byte-for-byte. Any change to the cost model, the search, or the
+//! rendering that shifts the reproduced numbers fails here first, with a
+//! readable diff — update `golden/` only after re-validating against the
+//! paper (EXPERIMENTS.md).
+
+use tensor_contraction_opt::core::{build_report, extract_plan, optimize, render_report, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::examples::{ccsd_tree, PAPER_EXTENTS};
+
+fn report_for(procs: u32) -> String {
+    let tree = ccsd_tree(PAPER_EXTENTS);
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), procs).unwrap();
+    let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    render_report(&build_report(&tree, &plan, &cm))
+}
+
+fn assert_matches_golden(rendered: &str, golden_path: &str) {
+    let golden = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("reading {golden_path}: {e}"));
+    // The golden files are full binary outputs; the report must appear
+    // verbatim inside them.
+    assert!(
+        golden.contains(rendered),
+        "regenerated report diverged from {golden_path}.\n--- regenerated ---\n{rendered}\n--- golden ---\n{golden}"
+    );
+}
+
+#[test]
+fn table1_report_is_pinned() {
+    assert_matches_golden(&report_for(64), "golden/table1.txt");
+}
+
+#[test]
+fn table2_report_is_pinned() {
+    assert_matches_golden(&report_for(16), "golden/table2.txt");
+}
+
+#[test]
+fn golden_files_contain_the_paper_landmarks() {
+    let t1 = std::fs::read_to_string("golden/table1.txt").unwrap();
+    assert!(t1.contains("1.728GB"), "T1's per-node size");
+    assert!(t1.contains("Fusions chosen:   0 (paper: 0)"));
+    let t2 = std::fs::read_to_string("golden/table2.txt").unwrap();
+    assert!(t2.contains("T1(b,c,d)"), "the fused T1");
+    assert!(t2.contains("108.0MB"));
+    let f1 = std::fs::read_to_string("golden/fig1.txt").unwrap();
+    assert!(f1.contains("99.0x"), "Fig. 1 speedup at N=100");
+}

@@ -1,0 +1,245 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+use tce_bench::randtree;
+use tensor_contraction_opt::core::exhaustive::exhaustive_min;
+use tensor_contraction_opt::core::{extract_plan, optimize, OptimizeError, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::dist::{block_len, dist_size, myrange, Distribution, ProcGrid};
+use tensor_contraction_opt::expr::{IndexSet, IndexSpace, Tensor};
+use tensor_contraction_opt::fusion::{enumerate_prefixes, FusionPrefix};
+use tensor_contraction_opt::sim::simulate;
+
+fn cm4() -> CostModel {
+    CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap()
+}
+
+proptest! {
+    /// `myrange` always partitions `0..n` into contiguous disjoint chunks.
+    #[test]
+    fn myrange_partitions(n in 1u64..10_000, p in 1u32..64) {
+        let mut next = 0u64;
+        for z in 0..p {
+            let r = myrange(z, n, p);
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end - r.start <= block_len(n, p));
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// Distributing can only shrink a block; fusing shrinks it further;
+    /// and the fully distributed sizes tile the array when extents divide.
+    #[test]
+    fn dist_size_monotonicity(e1 in 1u64..64, e2 in 1u64..64, q in 1u32..8) {
+        let mut sp = IndexSpace::new();
+        let i = sp.declare("i", e1 * u64::from(q));
+        let j = sp.declare("j", e2 * u64::from(q));
+        let t = Tensor::new("X", vec![i, j]);
+        let grid = ProcGrid::rect(q, q);
+        let none = IndexSet::new();
+        let full = dist_size(&t, &sp, grid, Distribution::REPLICATED, &none);
+        let half = dist_size(&t, &sp, grid, Distribution::along_dim1(i), &none);
+        let both = dist_size(&t, &sp, grid, Distribution::pair(i, j), &none);
+        prop_assert!(both <= half && half <= full);
+        prop_assert_eq!(both * u128::from(q) * u128::from(q), full);
+        let fused = IndexSet::from_iter([i]);
+        let f = dist_size(&t, &sp, grid, Distribution::pair(i, j), &fused);
+        prop_assert!(f <= both);
+    }
+
+    /// Chain compatibility is symmetric, reflexive, and preserved by
+    /// truncation; `join` returns one of its arguments.
+    #[test]
+    fn prefix_chain_properties(len_a in 0usize..4, len_b in 0usize..4, k in 2usize..5) {
+        let mut sp = IndexSpace::new();
+        let ids: Vec<_> = (0..k).map(|n| sp.declare(&format!("x{n}"), 4)).collect();
+        let set = IndexSet::from_iter(ids.iter().copied());
+        let all = enumerate_prefixes(&set, k);
+        for a in all.iter().filter(|p| p.len() == len_a.min(k)) {
+            prop_assert!(a.chain_compatible(a));
+            for b in all.iter().filter(|p| p.len() == len_b.min(k)) {
+                prop_assert_eq!(a.chain_compatible(b), b.chain_compatible(a));
+                if a.chain_compatible(b) {
+                    let j = a.join(b);
+                    prop_assert!(j == a || j == b);
+                    prop_assert!(a.is_prefix_of(j) && b.is_prefix_of(j));
+                }
+            }
+        }
+        // Truncation: any prefix of a prefix stays compatible.
+        if let Some(p) = all.iter().find(|p| p.len() == k) {
+            let shorter = FusionPrefix::new(p.as_slice()[..k - 1].to_vec());
+            prop_assert!(shorter.chain_compatible(p));
+        }
+    }
+
+    /// The DP equals independent brute force on random 2-contraction
+    /// chains across memory limits (S3 as a property).
+    #[test]
+    fn dp_matches_exhaustive_on_random_chains(seed in 0u64..40, frac in 1u32..4) {
+        let tree = randtree::random_chain(seed, 2, 6);
+        let cm = cm4();
+        let free = optimize(&tree, &cm, &OptimizerConfig {
+            mem_limit_words: Some(u128::MAX), max_prefix_len: 2, ..Default::default()
+        }).unwrap();
+        let limit = (free.mem_words + free.max_msg_words) * u128::from(frac) / 3;
+        let cfg = OptimizerConfig {
+            mem_limit_words: Some(limit), max_prefix_len: 2, ..Default::default()
+        };
+        let dp = optimize(&tree, &cm, &cfg);
+        let ex = exhaustive_min(&tree, &cm, limit, 2, false, false);
+        match (dp, ex) {
+            (Ok(dp), Some(ex)) => {
+                prop_assert!((dp.comm_cost - ex.comm_cost).abs()
+                    <= 1e-9 * ex.comm_cost.max(1.0),
+                    "dp {} vs ex {}", dp.comm_cost, ex.comm_cost);
+            }
+            (Err(OptimizeError::NoFeasibleSolution{..}), None) => {}
+            (dp, ex) => prop_assert!(false, "disagree: {dp:?} vs {ex:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every optimized random chain executes on the virtual cluster and
+    /// matches the sequential reference (extents forced even so the 2×2
+    /// grid divides them).
+    #[test]
+    fn random_chain_plans_verify(seed in 0u64..200) {
+        let tree = even_chain(seed);
+        let cm = cm4();
+        let cfg = OptimizerConfig {
+            mem_limit_words: Some(u128::MAX),
+            max_prefix_len: 2,
+            ..Default::default()
+        };
+        let opt = optimize(&tree, &cm, &cfg).unwrap();
+        let plan = extract_plan(&tree, &opt);
+        let report = simulate(&tree, &plan, &cm, seed).unwrap();
+        prop_assert!(report.max_abs_err < 1e-9, "err {}", report.max_abs_err);
+        // Replicated result dimensions (empty I/J groups) recompute their
+        // replicas — real redundant work, never less than the logical count.
+        prop_assert!(report.metrics.total_flops >= tree.total_op_count());
+        prop_assert!(report.metrics.total_flops <= tree.total_op_count() * 4);
+    }
+}
+
+/// A random chain whose extents are all even (divisible by the 2×2 grid).
+fn even_chain(seed: u64) -> tensor_contraction_opt::expr::ExprTree {
+    use tensor_contraction_opt::expr::{ExprTree, NodeKind};
+    // Rebuild the randtree chain with doubled extents.
+    let base = randtree::random_chain(seed, 2, 4);
+    let mut sp = IndexSpace::new();
+    for id in base.space.iter() {
+        sp.declare(base.space.name(id), base.space.extent(id) * 2);
+    }
+    let mut out = ExprTree::new(sp);
+    let mut map = std::collections::HashMap::new();
+    let mut root = None;
+    for id in base.ids() {
+        let n = base.node(id);
+        let new = match &n.kind {
+            NodeKind::Leaf => out.add_leaf(n.tensor.clone()),
+            NodeKind::Contract { sum, left, right } => out
+                .add_contract(n.tensor.clone(), sum.clone(), map[left], map[right])
+                .unwrap(),
+            NodeKind::Reduce { sum, child } => {
+                out.add_reduce(n.tensor.clone(), *sum, map[child]).unwrap()
+            }
+        };
+        map.insert(id, new);
+        root = Some(new);
+    }
+    out.set_root(root.unwrap());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Force arbitrary legal fusion prefixes through the optimizer and
+    /// execute the resulting plans: fusion must never change the value.
+    #[test]
+    fn forced_fusions_preserve_values(seed in 0u64..100, pick in 0usize..64) {
+        use tensor_contraction_opt::fusion::{
+            edge_candidates, enumerate_prefixes, FusionConfig,
+        };
+        let tree = even_chain(seed);
+        let cm = cm4();
+        // Choose a random prefix on the mid edge (T0 -> T1).
+        let t0 = tree.find("T0").unwrap();
+        let prefixes = enumerate_prefixes(&edge_candidates(&tree, t0), 2);
+        let prefix = prefixes[pick % prefixes.len()].clone();
+        let mut fixed = FusionConfig::unfused();
+        fixed.set(t0, prefix.clone());
+        let cfg = OptimizerConfig {
+            fixed_fusion: Some(fixed),
+            mem_limit_words: Some(u128::MAX),
+            max_prefix_len: 2,
+            ..Default::default()
+        };
+        // Some prefixes admit no legal rotation pattern (paper-faithful
+        // restriction); those report infeasibility rather than wrong plans.
+        if let Ok(opt) = optimize(&tree, &cm, &cfg) {
+            let plan = extract_plan(&tree, &opt);
+            let got = plan.step_for("T0").unwrap().result_fusion.clone();
+            prop_assert_eq!(got, prefix);
+            let report = simulate(&tree, &plan, &cm, seed).unwrap();
+            prop_assert!(report.max_abs_err < 1e-9, "err {}", report.max_abs_err);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Monotonicity in the memory limit: loosening the limit never makes
+    /// the optimal communication worse (the frontier is downward-sloping).
+    #[test]
+    fn comm_cost_is_monotone_in_memory(seed in 0u64..60) {
+        let tree = randtree::random_chain(seed, 3, 6);
+        let cm = cm4();
+        let cfg = |limit| OptimizerConfig {
+            mem_limit_words: Some(limit),
+            max_prefix_len: 2,
+            ..Default::default()
+        };
+        let free = optimize(&tree, &cm, &cfg(u128::MAX)).unwrap();
+        let base = free.mem_words + free.max_msg_words;
+        let mut last = f64::INFINITY;
+        // Sweep limits upward; cost must be non-increasing.
+        for mul in [2u128, 3, 4, 8] {
+            let limit = base * mul / 4;
+            if let Ok(opt) = optimize(&tree, &cm, &cfg(limit)) {
+                prop_assert!(
+                    opt.comm_cost <= last + 1e-9,
+                    "limit {limit}: cost {} rose above {last}",
+                    opt.comm_cost
+                );
+                last = opt.comm_cost;
+            }
+        }
+        prop_assert!(free.comm_cost <= last + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(15))]
+
+    /// Mixed reduce/element-wise trees (the Fig. 1 node kinds) optimize,
+    /// execute, and verify — the non-Cannon paths at scale.
+    #[test]
+    fn mixed_trees_verify(seed in 0u64..500) {
+        let tree = randtree::random_mixed(seed, 8);
+        let cm = cm4();
+        let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+        let plan = extract_plan(&tree, &opt);
+        tensor_contraction_opt::core::validate_plan(&tree, &plan).unwrap();
+        let report = simulate(&tree, &plan, &cm, seed).unwrap();
+        prop_assert!(report.max_abs_err < 1e-9, "err {}", report.max_abs_err);
+    }
+}
