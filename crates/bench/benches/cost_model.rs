@@ -21,12 +21,8 @@ fn bench_cost(c: &mut Criterion) {
     let cm = paper_cost_model(16);
     let (sp, t1, alpha, fused) = setup();
     let mut g = c.benchmark_group("cost");
-    g.bench_function("rcost-interpolate", |b| {
-        b.iter(|| cm.chr.rcost(4, GridDim::Dim1, 55.3e6))
-    });
-    g.bench_function("dist-size", |b| {
-        b.iter(|| dist_size(&t1, &sp, cm.grid, alpha, &fused))
-    });
+    g.bench_function("rcost-interpolate", |b| b.iter(|| cm.chr.rcost(4, GridDim::Dim1, 55.3e6)));
+    g.bench_function("dist-size", |b| b.iter(|| dist_size(&t1, &sp, cm.grid, alpha, &fused)));
     g.bench_function("rotate-cost", |b| {
         b.iter(|| rotate::rotate_cost(&t1, &sp, cm.grid, alpha, GridDim::Dim2, &fused, &cm.chr))
     });

@@ -9,18 +9,12 @@ use tce_opmin::minimize_operations;
 fn chain_term(factors: usize) -> (IndexSpace, SumOfProducts) {
     // A chain of matrices: S(i0, i_n) = Σ A1(i0,i1) A2(i1,i2) … An(i_{n-1},i_n).
     let mut sp = IndexSpace::new();
-    let ids: Vec<_> = (0..=factors)
-        .map(|i| sp.declare(&format!("i{i}"), 10 + (i as u64 * 7) % 30))
-        .collect();
-    let fs = (0..factors)
-        .map(|i| Tensor::new(format!("A{i}"), vec![ids[i], ids[i + 1]]))
-        .collect();
+    let ids: Vec<_> =
+        (0..=factors).map(|i| sp.declare(&format!("i{i}"), 10 + (i as u64 * 7) % 30)).collect();
+    let fs = (0..factors).map(|i| Tensor::new(format!("A{i}"), vec![ids[i], ids[i + 1]])).collect();
     let sum = IndexSet::from_iter(ids[1..factors].iter().copied());
-    let term = SumOfProducts {
-        result: Tensor::new("S", vec![ids[0], ids[factors]]),
-        sum,
-        factors: fs,
-    };
+    let term =
+        SumOfProducts { result: Tensor::new("S", vec![ids[0], ids[factors]]), sum, factors: fs };
     (sp, term)
 }
 
@@ -28,9 +22,7 @@ fn bench_opmin(c: &mut Criterion) {
     let mut g = c.benchmark_group("opmin");
     g.sample_size(20);
     let (space, term) = ccsd_sum_of_products(PAPER_EXTENTS);
-    g.bench_function("ccsd-4-factor", |b| {
-        b.iter(|| minimize_operations(&space, &term).flops)
-    });
+    g.bench_function("ccsd-4-factor", |b| b.iter(|| minimize_operations(&space, &term).flops));
     for n in [6usize, 8, 10] {
         let (space, term) = chain_term(n);
         g.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {

@@ -29,13 +29,9 @@ fn bench_pruning_ablation(c: &mut Criterion) {
     });
     g.bench_function("off", |b| {
         b.iter(|| {
-            optimize(
-                &tree,
-                &cm,
-                &OptimizerConfig { disable_pruning: true, ..Default::default() },
-            )
-            .unwrap()
-            .comm_cost
+            optimize(&tree, &cm, &OptimizerConfig { disable_pruning: true, ..Default::default() })
+                .unwrap()
+                .comm_cost
         })
     });
     g.finish();

@@ -36,8 +36,7 @@ fn main() {
             checked += 1;
             match (dp, ex) {
                 (Ok(dp), Some(ex)) => {
-                    let agree =
-                        (dp.comm_cost - ex.comm_cost).abs() <= 1e-9 * ex.comm_cost.max(1.0);
+                    let agree = (dp.comm_cost - ex.comm_cost).abs() <= 1e-9 * ex.comm_cost.max(1.0);
                     if agree {
                         agreements += 1;
                     } else {

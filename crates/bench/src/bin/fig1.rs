@@ -25,8 +25,5 @@ fn main() {
     println!("\n--- the paper's hand-written Fig. 1(a) sequence ---");
     let seq = fig1_sequence(ni, nj, nk, nt);
     print!("{}", render_sequence(&seq));
-    println!(
-        "\nhand-written sequence flops: {} (identical cost)",
-        seq.total_op_count().unwrap()
-    );
+    println!("\nhand-written sequence flops: {} (identical cost)", seq.total_op_count().unwrap());
 }

@@ -14,10 +14,7 @@ fn main() {
     let res = minimize_operations(&space, &term);
     println!("direct evaluation:    {:>22} flops (4 N^10 scale)", res.direct_flops);
     println!("operation-minimized:  {:>22} flops (6 N^6 scale)", res.flops);
-    println!(
-        "speedup:              {:>22.2e}x\n",
-        res.direct_flops as f64 / res.flops as f64
-    );
+    println!("speedup:              {:>22.2e}x\n", res.direct_flops as f64 / res.flops as f64);
 
     let seq = to_sequence(&space, &term, &res).unwrap();
     println!("--- Fig. 2(a): formula sequence ---");

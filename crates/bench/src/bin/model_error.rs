@@ -55,8 +55,7 @@ fn main() {
         let report = simulate(&tree, &plan, &cm, seed).expect("plans execute");
         max_num_err = max_num_err.max(report.max_abs_err);
         if plan.comm_cost > 1e-9 {
-            rel_errors
-                .push((report.metrics.comm_seconds - plan.comm_cost).abs() / plan.comm_cost);
+            rel_errors.push((report.metrics.comm_seconds - plan.comm_cost).abs() / plan.comm_cost);
         }
     }
     rel_errors.sort_by(f64::total_cmp);

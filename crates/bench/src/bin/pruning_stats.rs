@@ -2,18 +2,21 @@
 //! size of the solution set in each node small". Runs the DP with and
 //! without dominance pruning on the paper workload and on random chains,
 //! reporting candidates generated vs solutions kept.
+//!
+//! The per-node table is rendered by [`tce_core::render_search_stats`] —
+//! the same formatter behind `tce optimize --stats` — and the totals come
+//! from the run's `tce-obs` counters, so this binary and the CLI always
+//! report identical pruning numbers for the same workload.
 
-use tce_bench::{paper_cost_model, paper_tree, randtree};
-use tce_core::{optimize, OptimizerConfig};
+use tce_bench::{paper_cost_model, paper_tree, randtree, workload_tree};
+use tce_core::{optimize, render_search_stats, OptimizerConfig};
+use tce_obs::names;
 
 fn report(name: &str, tree: &tce_expr::ExprTree, procs: u32) {
     let cm = paper_cost_model(procs);
     let pruned = optimize(tree, &cm, &OptimizerConfig::default());
-    let unpruned = optimize(
-        tree,
-        &cm,
-        &OptimizerConfig { disable_pruning: true, ..Default::default() },
-    );
+    let unpruned =
+        optimize(tree, &cm, &OptimizerConfig { disable_pruning: true, ..Default::default() });
     let (Ok(p), Ok(u)) = (pruned, unpruned) else {
         println!("{name}: infeasible");
         return;
@@ -23,26 +26,26 @@ fn report(name: &str, tree: &tce_expr::ExprTree, procs: u32) {
         "pruning must not change the optimum"
     );
     println!("--- {name} ({procs} procs) ---");
+    print!("{}", render_search_stats(&p));
+
+    // The cross-check against the unpruned run uses the SolutionSet
+    // accessors and the counters bag interchangeably; they must agree.
+    let kept_on: u64 = p.sets.values().map(|s| s.total_live()).sum();
+    let kept_off: u64 = u.sets.values().map(|s| s.total_live()).sum();
+    assert_eq!(kept_on, p.counters.get(names::FRONTIER));
+    assert_eq!(kept_off, u.counters.get(names::FRONTIER));
     println!(
-        "{:<10} {:>12} {:>10} {:>10} {:>12}",
-        "node", "candidates", "kept", "kept(off)", "pruned-dom"
-    );
-    for (sp, su) in p.stats.iter().zip(&u.stats) {
-        println!(
-            "{:<10} {:>12} {:>10} {:>10} {:>12}",
-            sp.name, sp.candidates, sp.live, su.live, sp.pruned_inferior
-        );
-    }
-    let total_p: usize = p.stats.iter().map(|s| s.live).sum();
-    let total_u: usize = u.stats.iter().map(|s| s.live).sum();
-    println!(
-        "total kept: {total_p} vs {total_u} without pruning ({:.1}x reduction)\n",
-        total_u as f64 / total_p.max(1) as f64
+        "vs pruning off: {kept_on} kept vs {kept_off} ({:.1}x reduction)\n",
+        kept_off as f64 / kept_on.max(1) as f64
     );
 }
 
 fn main() {
     println!("=== S2: dominance-pruning effectiveness ===\n");
+    match workload_tree("workloads/fig1.tce") {
+        Ok(tree) => report("fig1.tce", &tree, 16),
+        Err(e) => println!("skipping fig1.tce: {e}\n"),
+    }
     report("paper CCSD", &paper_tree(), 16);
     for seed in [3u64, 11] {
         let tree = randtree::random_chain(seed, 3, 8);

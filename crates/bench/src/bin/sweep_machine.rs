@@ -31,10 +31,7 @@ fn main() {
     println!("=== X4: sensitivity to machine parameters (16 processors) ===\n");
 
     println!("-- peak bandwidth sweep (latency fixed at 1 ms) --");
-    println!(
-        "{:>12} {:>14} {:>10} {:>24}",
-        "bandwidth", "comm (s)", "comm %", "structure"
-    );
+    println!("{:>12} {:>14} {:>10} {:>24}", "bandwidth", "comm (s)", "comm %", "structure");
     for mult in [0.25f64, 1.0, 10.0, 100.0, 1000.0] {
         let mut m = MachineModel::itanium_cluster();
         m.peak_bandwidth *= mult;
@@ -55,22 +52,14 @@ fn main() {
     }
 
     println!("\n-- latency sweep (bandwidth fixed) --");
-    println!(
-        "{:>12} {:>14} {:>24}",
-        "latency", "comm (s)", "structure"
-    );
+    println!("{:>12} {:>14} {:>24}", "latency", "comm (s)", "structure");
     for lat in [1e-6f64, 1e-4, 1e-3, 1e-2, 1e-1] {
         let mut m = MachineModel::itanium_cluster();
         m.latency_s = lat;
         let cm = CostModel::for_square(m, 16).unwrap();
         let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
         let plan = extract_plan(&tree, &opt);
-        println!(
-            "{:>11.0e}s {:>14.1} {:>24}",
-            lat,
-            plan.comm_cost,
-            describe(&plan, &tree)
-        );
+        println!("{:>11.0e}s {:>14.1} {:>24}", lat, plan.comm_cost, describe(&plan, &tree));
     }
     println!(
         "\nFinding: on this workload the chosen structure (fuse f, rotate\n\

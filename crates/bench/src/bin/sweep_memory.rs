@@ -10,21 +10,14 @@ fn main() {
     let tree = paper_tree();
     let cm = paper_cost_model(16);
     println!("=== S4: comm cost vs per-processor memory limit (16 procs) ===\n");
-    println!(
-        "{:>14} {:>14} {:>12} {:>28}",
-        "limit/proc", "comm (s)", "fused edges", "fusions"
-    );
+    println!("{:>14} {:>14} {:>12} {:>28}", "limit/proc", "comm (s)", "fused edges", "fusions");
     // From plentiful (the unfused optimum fits) down to starvation.
     let mut limit = 6_000_000_000u128 / 8; // 6 GB per processor, in words
     while limit > 10_000_000 {
         let cfg = OptimizerConfig { mem_limit_words: Some(limit), ..Default::default() };
         match optimize(&tree, &cm, &cfg) {
             Err(_) => {
-                println!(
-                    "{:>14} {:>14}",
-                    fmt_paper_bytes(words_to_bytes(limit)),
-                    "infeasible"
-                );
+                println!("{:>14} {:>14}", fmt_paper_bytes(words_to_bytes(limit)), "infeasible");
             }
             Ok(opt) => {
                 let plan = extract_plan(&tree, &opt);

@@ -25,8 +25,7 @@ fn main() {
                     comm_s: plan.comm_cost,
                     compute_s: tree_compute_time(&tree, procs, &cm.machine),
                 };
-                let fusions =
-                    plan.steps.iter().filter(|s| !s.result_fusion.is_empty()).count();
+                let fusions = plan.steps.iter().filter(|s| !s.result_fusion.is_empty()).count();
                 println!(
                     "{procs:>6} {:>8} {:>14.1} {:>14.1} {:>9.1}% {fusions:>8}",
                     procs / 2,

@@ -29,8 +29,6 @@ fn main() {
     println!(
         "T1 fusion:        ({}) (paper: f); stored T1 arity {} (paper: 3)",
         tree.space.render(t1.result_fusion.as_slice()),
-        plan.fusion_config()
-            .reduced_tensor(&tree, tree.find("T1").unwrap())
-            .arity()
+        plan.fusion_config().reduced_tensor(&tree, tree.find("T1").unwrap()).arity()
     );
 }

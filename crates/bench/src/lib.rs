@@ -41,6 +41,18 @@ pub fn tiny_tree() -> ExprTree {
     ccsd_tree(PaperExtents::tiny())
 }
 
+/// Parse a `.tce` workload file into a contraction tree, the same
+/// lowering the `tce` CLI applies (parse → formula sequence → tree).
+pub fn workload_tree(path: &str) -> Result<ExprTree, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    tce_expr::parse(&src)
+        .map_err(|e| format!("{path}: {e}"))?
+        .to_sequence()
+        .map_err(|e| format!("{path}: {e}"))?
+        .to_tree()
+        .map_err(|e| format!("{path}: {e}"))
+}
+
 /// Optimize the paper workload on `procs` processors and render the
 /// Table 1/2-style report.
 pub fn paper_table(procs: u32, cfg: &OptimizerConfig) -> String {

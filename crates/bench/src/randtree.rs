@@ -111,20 +111,12 @@ pub fn random_mixed(seed: u64, max_extent: u64) -> ExprTree {
     let b = tree.add_leaf(Tensor::new("B", vec![j, k, t]));
     let t1 = tree.add_reduce(Tensor::new("T1", vec![j, t]), i, a).unwrap();
     let t2 = tree.add_reduce(Tensor::new("T2", vec![j, t]), k, b).unwrap();
-    let t3 = tree
-        .add_contract(Tensor::new("T3", vec![j, t]), IndexSet::new(), t1, t2)
-        .unwrap();
+    let t3 = tree.add_contract(Tensor::new("T3", vec![j, t]), IndexSet::new(), t1, t2).unwrap();
     let root = if rng.gen_bool(0.5) {
         tree.add_reduce(Tensor::new("S", vec![t]), j, t3).unwrap()
     } else {
         let c = tree.add_leaf(Tensor::new("C", vec![j, t]));
-        tree.add_contract(
-            Tensor::new("S", vec![]),
-            IndexSet::from_iter([j, t]),
-            t3,
-            c,
-        )
-        .unwrap()
+        tree.add_contract(Tensor::new("S", vec![]), IndexSet::from_iter([j, t]), t3, c).unwrap()
     };
     tree.set_root(root);
     tree

@@ -18,7 +18,7 @@ use tce_cost::CostModel;
 use tce_expr::{ExprTree, NodeId};
 use tce_fusion::{minimize_memory, FusionConfig};
 
-use crate::dp::{optimize, OptimizeError, OptimizerConfig, Optimized};
+use crate::dp::{optimize, OptimizeError, Optimized, OptimizerConfig};
 use crate::plan::{extract_plan, ExecutionPlan};
 
 /// Outcome of a baseline strategy.
@@ -52,11 +52,8 @@ pub fn distribution_first(
     base: &OptimizerConfig,
 ) -> BaselineResult {
     // Phase 1: unfused, memory-unconstrained.
-    let phase1_cfg = OptimizerConfig {
-        max_prefix_len: 0,
-        mem_limit_words: Some(u128::MAX),
-        ..base.clone()
-    };
+    let phase1_cfg =
+        OptimizerConfig { max_prefix_len: 0, mem_limit_words: Some(u128::MAX), ..base.clone() };
     let phase1 = match optimize(tree, cm, &phase1_cfg) {
         Ok(o) => o,
         Err(e) => return BaselineResult { plan: None, error: Some(e), fixed_fusion: None },
@@ -71,11 +68,9 @@ pub fn distribution_first(
     // Phase 2: fusions free, patterns frozen, memory limited.
     let phase2_cfg = OptimizerConfig { fixed_patterns: Some(patterns), ..base.clone() };
     match optimize(tree, cm, &phase2_cfg) {
-        Ok(o) => BaselineResult {
-            plan: Some(extract_plan(tree, &o)),
-            error: None,
-            fixed_fusion: None,
-        },
+        Ok(o) => {
+            BaselineResult { plan: Some(extract_plan(tree, &o)), error: None, fixed_fusion: None }
+        }
         Err(e) => BaselineResult { plan: None, error: Some(e), fixed_fusion: None },
     }
 }
@@ -99,8 +94,7 @@ pub fn fusion_first(tree: &ExprTree, cm: &CostModel, base: &OptimizerConfig) -> 
             fixed_fusion: Some(mm.config),
         },
         Err(first_err) => {
-            let retry =
-                OptimizerConfig { allow_unrelated_rotation: true, ..cfg };
+            let retry = OptimizerConfig { allow_unrelated_rotation: true, ..cfg };
             match optimize(tree, cm, &retry) {
                 Ok(o) => BaselineResult {
                     plan: Some(extract_plan(tree, &o)),

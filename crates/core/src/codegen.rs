@@ -22,8 +22,8 @@ struct Gen<'a> {
 
 /// Render the whole plan as SPMD pseudo-code.
 pub fn render_spmd(tree: &ExprTree, plan: &ExecutionPlan, procs: u32) -> String {
-    let grid = tce_dist::ProcGrid::square(procs)
-        .expect("SPMD rendering needs a square processor count");
+    let grid =
+        tce_dist::ProcGrid::square(procs).expect("SPMD rendering needs a square processor count");
     let q = grid.dim1;
     let mut g = Gen { tree, plan, grid, out: String::new() };
     g.out.push_str(&format!(
@@ -128,7 +128,10 @@ impl Gen<'_> {
     fn emit_kernel(&mut self, step: &PlanStep, depth: usize) {
         let sp = &self.tree.space;
         let Some(pat) = step.pattern else {
-            self.line(depth, &format!("local kernel: {} (aligned, no communication)", step.result_name));
+            self.line(
+                depth,
+                &format!("local kernel: {} (aligned, no communication)", step.result_name),
+            );
             return;
         };
         let rotated = pat.rotated_operands();
@@ -150,10 +153,7 @@ impl Gen<'_> {
         for &op in &rotated {
             if op != Operand::Result {
                 let travel = pat.travel_dim(op).expect("rotated operand travels");
-                self.line(
-                    depth,
-                    &format!("align {} (skew along grid {:?})", name_of(op), travel),
-                );
+                self.line(depth, &format!("align {} (skew along grid {:?})", name_of(op), travel));
             }
         }
         self.line(depth, "for t in 0..q:  // Cannon rounds");

@@ -16,9 +16,7 @@
 use std::collections::HashMap;
 
 use tce_cost::CostModel;
-use tce_dist::{
-    dist_size, enumerate_patterns, CannonPattern, Distribution, GridDim, Operand,
-};
+use tce_dist::{dist_size, enumerate_patterns, CannonPattern, Distribution, GridDim, Operand};
 use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind};
 use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
 
@@ -107,6 +105,10 @@ impl std::fmt::Display for OptimizeError {
 impl std::error::Error for OptimizeError {}
 
 /// Per-node search statistics (for the pruning ablation, experiment S2).
+///
+/// A per-node view over the run's [`tce_obs::Counters`]: each field is the
+/// node's contribution to the correspondingly named counter in
+/// [`Optimized::counters`].
 #[derive(Clone, Debug, Default)]
 pub struct NodeStats {
     /// Array name of the node.
@@ -117,6 +119,8 @@ pub struct NodeStats {
     pub pruned_inferior: u64,
     /// Candidates pruned by the memory limit.
     pub pruned_memory: u64,
+    /// Candidates priced with a child redistribution fallback.
+    pub redist_fallbacks: u64,
     /// Live solutions kept.
     pub live: usize,
 }
@@ -141,6 +145,9 @@ pub struct Optimized {
     pub output_redist_cost: f64,
     /// Search statistics, postorder.
     pub stats: Vec<NodeStats>,
+    /// Aggregate search counters for this run (see [`tce_obs::names`]);
+    /// `stats` is the per-node breakdown of the same numbers.
+    pub counters: tce_obs::Counters,
 }
 
 /// Run the §3.3 dynamic programming.
@@ -157,12 +164,15 @@ pub fn optimize(
     let limit = cfg.mem_limit_words.unwrap_or_else(|| cm.mem_limit_words());
     let mut sets: HashMap<NodeId, SolutionSet> = HashMap::new();
     let mut stats = Vec::new();
+    let mut counters = tce_obs::Counters::new();
+    let mut run_span = tce_obs::span("dp", "optimize");
 
     for node in tree.postorder() {
         let n = tree.node(node);
         if n.is_leaf() {
             continue; // leaves are bound inline at their parent
         }
+        let mut node_span = tce_obs::span("dp", n.tensor.name.as_str());
         let my_prefixes = match &cfg.fixed_fusion {
             Some(fc) => vec![fc.prefix(node)],
             None => enumerate_prefixes(&edge_candidates(tree, node), cfg.max_prefix_len),
@@ -176,31 +186,72 @@ pub fn optimize(
                         None => enumerate_patterns(&groups, cfg.allow_replication),
                     };
                     combine_contraction(
-                        tree, cm, cfg, node, *left, *right, &patterns, &my_prefixes, &sets,
-                        limit, &mut set,
+                        tree,
+                        cm,
+                        cfg,
+                        node,
+                        *left,
+                        *right,
+                        &patterns,
+                        &my_prefixes,
+                        &sets,
+                        limit,
+                        &mut set,
                     );
                 } else {
                     // Element-wise multiplication (shared non-summed
                     // indices, e.g. Fig. 1's T3 = T1 × T2): aligned
                     // distributions, no rotation.
                     combine_elementwise(
-                        tree, cm, cfg, node, *left, *right, &my_prefixes, &sets, limit,
+                        tree,
+                        cm,
+                        cfg,
+                        node,
+                        *left,
+                        *right,
+                        &my_prefixes,
+                        &sets,
+                        limit,
                         &mut set,
                     );
                 }
             }
             NodeKind::Reduce { sum, child } => {
                 combine_reduce(
-                    tree, cm, cfg, node, *child, *sum, &my_prefixes, &sets, limit, &mut set,
+                    tree,
+                    cm,
+                    cfg,
+                    node,
+                    *child,
+                    *sum,
+                    &my_prefixes,
+                    &sets,
+                    limit,
+                    &mut set,
                 );
             }
             NodeKind::Leaf => unreachable!(),
         }
+        counters.add(tce_obs::names::NODES, 1);
+        counters.add(tce_obs::names::CANDIDATES, set.candidates_seen);
+        counters.add(tce_obs::names::PRUNED_INFERIOR, set.pruned_inferior);
+        counters.add(tce_obs::names::PRUNED_MEMORY, set.pruned_memory);
+        counters.add(tce_obs::names::REDIST_FALLBACKS, set.redist_fallbacks);
+        counters.add(tce_obs::names::FRONTIER, set.total_live());
+        node_span.arg("candidates", set.candidates_seen);
+        node_span.arg("pruned_inferior", set.pruned_inferior);
+        node_span.arg("pruned_memory", set.pruned_memory);
+        node_span.arg("live", set.live_len());
+        drop(node_span);
+        // Sample the cumulative counters so the trace shows them growing
+        // node by node.
+        counters.sample_all();
         stats.push(NodeStats {
             name: n.tensor.name.clone(),
             candidates: set.candidates_seen,
             pruned_inferior: set.pruned_inferior,
             pruned_memory: set.pruned_memory,
+            redist_fallbacks: set.redist_fallbacks,
             live: set.live_len(),
         });
         sets.insert(node, set);
@@ -214,13 +265,9 @@ pub fn optimize(
     let final_redist = |dist: Distribution| -> f64 {
         match cfg.output_dist {
             None => 0.0,
-            Some(target) => cm.redistribution_cost(
-                root_tensor,
-                &tree.space,
-                dist,
-                target,
-                &IndexSet::new(),
-            ),
+            Some(target) => {
+                cm.redistribution_cost(root_tensor, &tree.space, dist, target, &IndexSet::new())
+            }
         }
     };
     let best_index = root_set
@@ -235,6 +282,10 @@ pub fn optimize(
         .ok_or(OptimizeError::NoFeasibleSolution { limit_words: limit })?;
     let best = &root_set.all[best_index];
     let output_redist_cost = final_redist(best.dist);
+    run_span.arg("nodes", counters.get(tce_obs::names::NODES));
+    run_span.arg("candidates", counters.get(tce_obs::names::CANDIDATES));
+    run_span.arg("comm_cost", best.comm_cost + output_redist_cost);
+    drop(run_span);
     Ok(Optimized {
         comm_cost: best.comm_cost + output_redist_cost,
         mem_words: best.mem_words,
@@ -242,6 +293,7 @@ pub fn optimize(
         best_index,
         output_redist_cost,
         stats,
+        counters,
         sets,
     })
 }
@@ -461,16 +513,15 @@ fn combine_contraction(
                 (2, Operand::Result, result_tensor, odist),
             ] {
                 if let Some(travel) = pat.travel_dim(op) {
-                    rotate[slot] = cm.rotate_cost_surrounded(
+                    rotate[slot] =
+                        cm.rotate_cost_surrounded(tensor, space, dist, travel, &surround_set, trip);
+                    msg[slot] = tce_cost::rotate::message_words(
                         tensor,
                         space,
+                        cm.grid,
                         dist,
-                        travel,
                         &surround_set,
-                        trip,
                     );
-                    msg[slot] =
-                        tce_cost::rotate::message_words(tensor, space, cm.grid, dist, &surround_set);
                 }
             }
 
@@ -652,12 +703,8 @@ fn combine_reduce(
         // a reduction across grid dimension d combines the partial sums and
         // the result is no longer distributed along d.
         let (odist, reduce_dim) = match cdist.position_of(sum) {
-            Some(GridDim::Dim1) => {
-                (Distribution { d1: None, d2: cdist.d2 }, Some(GridDim::Dim1))
-            }
-            Some(GridDim::Dim2) => {
-                (Distribution { d1: cdist.d1, d2: None }, Some(GridDim::Dim2))
-            }
+            Some(GridDim::Dim1) => (Distribution { d1: None, d2: cdist.d2 }, Some(GridDim::Dim1)),
+            Some(GridDim::Dim2) => (Distribution { d1: cdist.d1, d2: None }, Some(GridDim::Dim2)),
             None => (cdist, None),
         };
         for fc in &cf_all {

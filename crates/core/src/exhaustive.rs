@@ -36,24 +36,17 @@ pub fn exhaustive_min(
     allow_replication: bool,
     allow_unrelated_rotation: bool,
 ) -> Option<ExhaustiveResult> {
-    let internal: Vec<NodeId> = tree
-        .postorder()
-        .into_iter()
-        .filter(|&n| !tree.node(n).is_leaf())
-        .collect();
+    let internal: Vec<NodeId> =
+        tree.postorder().into_iter().filter(|&n| !tree.node(n).is_leaf()).collect();
     // Per-node pattern options.
     let mut pattern_opts: Vec<Vec<CannonPattern>> = Vec::new();
     for &n in &internal {
-        let groups = tree
-            .contraction_groups(n)
-            .expect("exhaustive search supports contraction trees only");
+        let groups =
+            tree.contraction_groups(n).expect("exhaustive search supports contraction trees only");
         pattern_opts.push(enumerate_patterns(&groups, allow_replication));
     }
     // Per-edge fusion options (keyed by child node), root excluded.
-    let edges: Vec<NodeId> = tree
-        .ids()
-        .filter(|&n| tree.node(n).parent.is_some())
-        .collect();
+    let edges: Vec<NodeId> = tree.ids().filter(|&n| tree.node(n).parent.is_some()).collect();
     let fusion_opts: Vec<Vec<FusionPrefix>> = edges
         .iter()
         .map(|&c| enumerate_prefixes(&edge_candidates(tree, c), max_prefix_len))
@@ -80,9 +73,7 @@ pub fn exhaustive_min(
         if let Some((mem, comm, msg)) =
             evaluate(tree, cm, &internal, &patterns, &fusions, allow_unrelated_rotation)
         {
-            if mem + msg <= mem_limit_words
-                && best.as_ref().is_none_or(|b| comm < b.comm_cost)
-            {
+            if mem + msg <= mem_limit_words && best.as_ref().is_none_or(|b| comm < b.comm_cost) {
                 best = Some(ExhaustiveResult { comm_cost: comm, mem_words: mem, assignments: 0 });
             }
         }
@@ -140,10 +131,7 @@ fn evaluate(
         let f_r = fusion_of(right);
         let f_u = fusion_of(u);
         // Chain legality.
-        if !f_l.chain_compatible(f_r)
-            || !f_l.chain_compatible(f_u)
-            || !f_r.chain_compatible(f_u)
-        {
+        if !f_l.chain_compatible(f_r) || !f_l.chain_compatible(f_u) || !f_r.chain_compatible(f_u) {
             return None;
         }
         let surrounding = f_l.join(f_r).join(f_u);

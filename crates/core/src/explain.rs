@@ -43,13 +43,7 @@ pub fn explain(
         .steps
         .iter()
         .filter(|s| !s.result_fusion.is_empty())
-        .map(|s| {
-            format!(
-                "{}→({})",
-                s.result_name,
-                tree.space.render(s.result_fusion.as_slice())
-            )
-        })
+        .map(|s| format!("{}→({})", s.result_name, tree.space.render(s.result_fusion.as_slice())))
         .collect();
 
     let free_fp = free.mem_words + free.max_msg_words;

@@ -40,9 +40,7 @@ pub fn root_frontier(tree: &ExprTree, opt: &Optimized) -> Vec<FrontierPoint> {
         })
         .collect();
     points.sort_by(|a, b| {
-        a.footprint_words
-            .cmp(&b.footprint_words)
-            .then(a.comm_cost.total_cmp(&b.comm_cost))
+        a.footprint_words.cmp(&b.footprint_words).then(a.comm_cost.total_cmp(&b.comm_cost))
     });
     // Keep only non-dominated points (strictly decreasing cost).
     let mut frontier: Vec<FrontierPoint> = Vec::new();

@@ -31,17 +31,21 @@
 pub mod baselines;
 mod codegen;
 mod dp;
-mod explain;
 pub mod exhaustive;
+mod explain;
 mod frontier;
 mod plan;
 mod report;
 mod solution;
+mod stats;
 
 pub use codegen::render_spmd;
+pub use dp::{optimize, NodeStats, OptimizeError, Optimized, OptimizerConfig};
 pub use explain::{explain, Explanation};
-pub use dp::{optimize, NodeStats, OptimizeError, OptimizerConfig, Optimized};
 pub use frontier::{frontier_plan, root_frontier, FrontierPoint};
-pub use plan::{extract_plan, extract_plan_for, validate_plan, ExecutionPlan, PlanOperand, PlanStep};
+pub use plan::{
+    extract_plan, extract_plan_for, validate_plan, ExecutionPlan, PlanOperand, PlanStep,
+};
 pub use report::{build_report, render_plan_dot, render_report, ArrayRow, Report};
 pub use solution::{ChildBinding, Choice, Solution, SolutionSet};
+pub use stats::render_search_stats;

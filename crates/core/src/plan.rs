@@ -61,11 +61,7 @@ impl PlanStep {
     /// rotations).
     pub fn step_comm(&self) -> f64 {
         self.result_rotate_cost
-            + self
-                .operands
-                .iter()
-                .map(|o| o.redist_cost + o.rotate_cost)
-                .sum::<f64>()
+            + self.operands.iter().map(|o| o.redist_cost + o.rotate_cost).sum::<f64>()
     }
 }
 
@@ -104,12 +100,7 @@ impl ExecutionPlan {
 
     /// The step consuming `name` (as an operand), if any.
     pub fn consumer_of(&self, name: &str) -> Option<(&PlanStep, &PlanOperand)> {
-        self.steps.iter().find_map(|s| {
-            s.operands
-                .iter()
-                .find(|o| o.name == name)
-                .map(|o| (s, o))
-        })
+        self.steps.iter().find_map(|s| s.operands.iter().find(|o| o.name == name).map(|o| (s, o)))
     }
 
     /// Sum of step communications — must equal `comm_cost` (consistency
@@ -139,13 +130,7 @@ pub fn extract_plan_for(tree: &ExprTree, opt: &Optimized, index: usize) -> Execu
     }
 }
 
-fn walk(
-    tree: &ExprTree,
-    opt: &Optimized,
-    node: NodeId,
-    sol: &Solution,
-    out: &mut Vec<PlanStep>,
-) {
+fn walk(tree: &ExprTree, opt: &Optimized, node: NodeId, sol: &Solution, out: &mut Vec<PlanStep>) {
     let Some(choice) = &sol.choice else { return };
     let mut operands = Vec::new();
     let mut recurse: Vec<(NodeId, &Solution)> = Vec::new();
@@ -196,11 +181,8 @@ impl ExecutionPlan {
 /// node appears exactly once as a step, fusion configuration is legal, and
 /// the cost ledger adds up. Returns a human-readable error when violated.
 pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String> {
-    let internal: Vec<NodeId> = tree
-        .postorder()
-        .into_iter()
-        .filter(|&n| !tree.node(n).is_leaf())
-        .collect();
+    let internal: Vec<NodeId> =
+        tree.postorder().into_iter().filter(|&n| !tree.node(n).is_leaf()).collect();
     if internal.len() != plan.steps.len() {
         return Err(format!(
             "plan has {} steps for {} internal nodes",
@@ -208,32 +190,22 @@ pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String
             internal.len()
         ));
     }
-    let by_node: HashMap<NodeId, &PlanStep> =
-        plan.steps.iter().map(|s| (s.node, s)).collect();
+    let by_node: HashMap<NodeId, &PlanStep> = plan.steps.iter().map(|s| (s.node, s)).collect();
     for &n in &internal {
         if !by_node.contains_key(&n) {
-            return Err(format!(
-                "node `{}` missing from plan",
-                tree.node(n).tensor.name
-            ));
+            return Err(format!("node `{}` missing from plan", tree.node(n).tensor.name));
         }
     }
     plan.fusion_config().validate(tree)?;
     let ledger = plan.sum_step_comm();
     if (ledger - plan.comm_cost).abs() > 1e-6 * plan.comm_cost.max(1.0) {
-        return Err(format!(
-            "step costs sum to {ledger}, plan total is {}",
-            plan.comm_cost
-        ));
+        return Err(format!("step costs sum to {ledger}, plan total is {}", plan.comm_cost));
     }
     // Fused edges must have matching produced/required layouts.
     for step in &plan.steps {
         for op in &step.operands {
             if !op.fusion.is_empty() && op.produced_dist != op.required_dist {
-                return Err(format!(
-                    "fused operand `{}` changes layout mid-fusion",
-                    op.name
-                ));
+                return Err(format!("fused operand `{}` changes layout mid-fusion", op.name));
             }
         }
     }

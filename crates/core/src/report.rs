@@ -70,8 +70,7 @@ pub fn build_report(tree: &ExprTree, plan: &ExecutionPlan, cm: &CostModel) -> Re
                 reduced: t.render(space),
                 init_dist: "N/A".into(),
                 final_dist: op.required_dist.render(space),
-                mem_per_node_bytes: words_to_bytes(mem)
-                    * u128::from(cm.machine.procs_per_node),
+                mem_per_node_bytes: words_to_bytes(mem) * u128::from(cm.machine.procs_per_node),
                 comm_init: None,
                 comm_final: Some(op.rotate_cost),
                 redist: op.redist_cost,
@@ -93,8 +92,7 @@ pub fn build_report(tree: &ExprTree, plan: &ExecutionPlan, cm: &CostModel) -> Re
             final_dist: consumer
                 .map(|(_, o)| o.required_dist.render(space))
                 .unwrap_or_else(|| "N/A".into()),
-            mem_per_node_bytes: words_to_bytes(mem)
-                * u128::from(cm.machine.procs_per_node),
+            mem_per_node_bytes: words_to_bytes(mem) * u128::from(cm.machine.procs_per_node),
             comm_init: Some(step.result_rotate_cost),
             comm_final: consumer.map(|(_, o)| o.rotate_cost),
             redist: consumer.map(|(_, o)| o.redist_cost).unwrap_or(0.0),

@@ -100,6 +100,9 @@ pub struct SolutionSet {
     pub pruned_inferior: u64,
     /// Candidates rejected for exceeding the memory limit.
     pub pruned_memory: u64,
+    /// Candidates that could reach a child's required layout only by
+    /// inserting a redistribution (an unfused child produced elsewhere).
+    pub redist_fallbacks: u64,
     /// When `false`, dominated candidates are kept (the §3.3 pruning
     /// ablation); memory-limit pruning stays active.
     pruning_enabled: bool,
@@ -125,6 +128,7 @@ impl SolutionSet {
             candidates_seen: 0,
             pruned_inferior: 0,
             pruned_memory: 0,
+            redist_fallbacks: 0,
             pruning_enabled: enabled,
         }
     }
@@ -136,6 +140,11 @@ impl SolutionSet {
     /// from key lookups).
     pub fn insert(&mut self, sol: Solution, mem_limit: u128) -> bool {
         self.candidates_seen += 1;
+        if let Some(choice) = &sol.choice {
+            if choice.children.iter().any(|c| c.redist_cost > 0.0) {
+                self.redist_fallbacks += 1;
+            }
+        }
         if sol.footprint_words() > mem_limit {
             self.pruned_memory += 1;
             return false;
@@ -158,9 +167,7 @@ impl SolutionSet {
 
     /// Live solutions for a `(dist, fusion)` key.
     pub fn lookup(&self, dist: Distribution, fusion: &FusionPrefix) -> Vec<usize> {
-        self.by_key
-            .get(&(dist, fusion.clone())).cloned()
-            .unwrap_or_default()
+        self.by_key.get(&(dist, fusion.clone())).cloned().unwrap_or_default()
     }
 
     /// Live solutions having the given fusion prefix (any distribution),
@@ -179,8 +186,7 @@ impl SolutionSet {
 
     /// The distinct fusion prefixes present.
     pub fn fusions(&self) -> Vec<FusionPrefix> {
-        let mut v: Vec<FusionPrefix> =
-            self.by_key.keys().map(|(_, f)| f.clone()).collect();
+        let mut v: Vec<FusionPrefix> = self.by_key.keys().map(|(_, f)| f.clone()).collect();
         v.sort();
         v.dedup();
         v
@@ -191,19 +197,36 @@ impl SolutionSet {
         self.by_key.values().map(|v| v.len()).sum()
     }
 
+    /// Candidates offered to this set (before any pruning) — the
+    /// denominator of the §3.3 pruning-effectiveness numbers.
+    pub fn total_candidates(&self) -> u64 {
+        self.candidates_seen
+    }
+
+    /// Solutions alive on the frontier, as a `u64` to pair with
+    /// [`Self::total_candidates`] in reports.
+    pub fn total_live(&self) -> u64 {
+        self.live_len() as u64
+    }
+
+    /// How many times larger the candidate stream was than the surviving
+    /// frontier (≥ 1.0 once anything was offered; 1.0 for an empty set).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.live_len() == 0 {
+            return 1.0;
+        }
+        self.candidates_seen as f64 / self.live_len() as f64
+    }
+
     /// Index of the cheapest live solution, optionally restricted to an
     /// empty fusion (the root), or `None` when the set is empty.
     pub fn best(&self) -> Option<usize> {
-        self.by_key
-            .values()
-            .flatten()
-            .copied()
-            .min_by(|&a, &b| {
-                self.all[a]
-                    .comm_cost
-                    .total_cmp(&self.all[b].comm_cost)
-                    .then(self.all[a].mem_words.cmp(&self.all[b].mem_words))
-            })
+        self.by_key.values().flatten().copied().min_by(|&a, &b| {
+            self.all[a]
+                .comm_cost
+                .total_cmp(&self.all[b].comm_cost)
+                .then(self.all[a].mem_words.cmp(&self.all[b].mem_words))
+        })
     }
 }
 
@@ -273,6 +296,21 @@ mod tests {
         assert_eq!(set.live_len(), 2);
         assert_eq!(set.lookup(d1, &FusionPrefix::empty()).len(), 1);
         assert_eq!(set.fusions().len(), 1);
+    }
+
+    #[test]
+    fn totals_and_reduction_factor() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        assert_eq!(set.reduction_factor(), 1.0, "empty set reduces nothing");
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        set.insert(sol(d1, 11.0, 120, 6), u128::MAX); // dominated
+        set.insert(sol(d2, 9.0, 100, 5), u128::MAX);
+        set.insert(sol(d2, 1.0, 200, 5), 100); // over the limit
+        assert_eq!(set.total_candidates(), 4);
+        assert_eq!(set.total_live(), 2);
+        assert_eq!(set.total_live(), set.live_len() as u64);
+        assert_eq!(set.reduction_factor(), 2.0);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Shared rendering of DP-search statistics.
+//!
+//! One formatter used by both the `tce … --stats` CLI flag and the
+//! experiment-S2 `pruning_stats` binary, so the two always report identical
+//! numbers (they both read [`Optimized::stats`] and [`Optimized::counters`],
+//! which the search fills from the per-node [`SolutionSet`] counters).
+
+use std::fmt::Write as _;
+
+use crate::dp::Optimized;
+
+/// Header + one row per node + a totals line, aligned for terminals.
+pub fn render_search_stats(opt: &Optimized) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+        "node", "candidates", "kept", "pruned-dom", "pruned-mem", "redist-fb"
+    );
+    for s in &opt.stats {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10}",
+            s.name, s.candidates, s.live, s.pruned_inferior, s.pruned_memory, s.redist_fallbacks
+        );
+    }
+    let c = &opt.counters;
+    let candidates = c.get(tce_obs::names::CANDIDATES);
+    let frontier = c.get(tce_obs::names::FRONTIER);
+    let _ = writeln!(
+        out,
+        "total: {candidates} candidates over {} nodes, {frontier} kept ({:.1}x reduction)",
+        c.get(tce_obs::names::NODES),
+        candidates as f64 / (frontier.max(1)) as f64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{optimize, OptimizerConfig};
+    use tce_cost::{CostModel, MachineModel};
+    use tce_expr::parse;
+
+    #[test]
+    fn table_reflects_counters_and_accessors() {
+        let src = "range i = 8; range j = 8; range k = 8;\n\
+                   input A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let cm = CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap();
+        let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+        let text = render_search_stats(&opt);
+        assert!(text.contains("candidates"), "{text}");
+        assert!(text.contains('C'), "{text}");
+
+        // The totals line agrees with both the counters bag and the
+        // per-set accessors.
+        let total_candidates: u64 = opt.sets.values().map(|s| s.total_candidates()).sum();
+        let total_live: u64 = opt.sets.values().map(|s| s.total_live()).sum();
+        assert_eq!(total_candidates, opt.counters.get(tce_obs::names::CANDIDATES));
+        assert_eq!(total_live, opt.counters.get(tce_obs::names::FRONTIER));
+        assert!(text.contains(&format!("total: {total_candidates} candidates")));
+        // And with the per-node stats view.
+        let from_stats: u64 = opt.stats.iter().map(|s| s.candidates).sum();
+        assert_eq!(from_stats, total_candidates);
+    }
+}

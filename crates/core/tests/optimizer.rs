@@ -3,8 +3,8 @@
 //! independent brute force.
 
 use tce_core::{
-    baselines, build_report, exhaustive::exhaustive_min, extract_plan, optimize,
-    validate_plan, OptimizeError, OptimizerConfig,
+    baselines, build_report, exhaustive::exhaustive_min, extract_plan, optimize, validate_plan,
+    OptimizeError, OptimizerConfig,
 };
 use tce_cost::{CostModel, MachineModel};
 use tce_expr::examples::{ccsd_tree, fig1_sequence, PAPER_EXTENTS};
@@ -72,11 +72,8 @@ fn table2_16_procs() {
 
     // T1 is fused on exactly {f}.
     let t1_step = plan.step_for("T1").unwrap();
-    let fused: Vec<String> = t1_step
-        .result_fusion
-        .iter()
-        .map(|i| tree.space.name(i).to_owned())
-        .collect();
+    let fused: Vec<String> =
+        t1_step.result_fusion.iter().map(|i| tree.space.name(i).to_owned()).collect();
     assert_eq!(fused, vec!["f"], "T1 fused on {fused:?}");
     // The stored T1 is three-dimensional.
     let cfg = plan.fusion_config();
@@ -194,12 +191,8 @@ S[a,d] = sum[c] T[a,c] * C[c,d];
     let cm4 = CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap();
     let base = OptimizerConfig { max_prefix_len: 2, ..Default::default() };
     let pruned = optimize(&tree, &cm4, &base).unwrap();
-    let unpruned = optimize(
-        &tree,
-        &cm4,
-        &OptimizerConfig { disable_pruning: true, ..base },
-    )
-    .unwrap();
+    let unpruned =
+        optimize(&tree, &cm4, &OptimizerConfig { disable_pruning: true, ..base }).unwrap();
     assert!((pruned.comm_cost - unpruned.comm_cost).abs() < 1e-9);
     // And pruning actually did something.
     let kept: usize = pruned.stats.iter().map(|s| s.live).sum();
@@ -347,12 +340,8 @@ fn pinned_input_and_output_distributions() {
     let ix = |s: &str| tree.space.lookup(s).unwrap();
     let mut input_dists = HashMap::new();
     input_dists.insert("D".to_string(), Distribution::pair(ix("l"), ix("c")));
-    let pinned = optimize(
-        &tree,
-        &cm16,
-        &OptimizerConfig { input_dists, ..Default::default() },
-    )
-    .unwrap();
+    let pinned =
+        optimize(&tree, &cm16, &OptimizerConfig { input_dists, ..Default::default() }).unwrap();
     assert!(pinned.comm_cost >= free.comm_cost);
     let plan = extract_plan(&tree, &pinned);
     validate_plan(&tree, &plan).unwrap();
@@ -365,22 +354,16 @@ fn pinned_input_and_output_distributions() {
     // Pinning the *output* to a layout the free optimum already produces
     // is free; pinning to a different one costs a final redistribution.
     let same = free_plan.step_for("S").unwrap().result_dist;
-    let out_same = optimize(
-        &tree,
-        &cm16,
-        &OptimizerConfig { output_dist: Some(same), ..Default::default() },
-    )
-    .unwrap();
+    let out_same =
+        optimize(&tree, &cm16, &OptimizerConfig { output_dist: Some(same), ..Default::default() })
+            .unwrap();
     assert!((out_same.comm_cost - free.comm_cost).abs() < 1e-9);
     assert_eq!(out_same.output_redist_cost, 0.0);
 
     let weird = Distribution::pair(ix("i"), ix("j"));
-    let out_weird = optimize(
-        &tree,
-        &cm16,
-        &OptimizerConfig { output_dist: Some(weird), ..Default::default() },
-    )
-    .unwrap();
+    let out_weird =
+        optimize(&tree, &cm16, &OptimizerConfig { output_dist: Some(weird), ..Default::default() })
+            .unwrap();
     assert!(out_weird.output_redist_cost > 0.0);
     assert!(out_weird.comm_cost > free.comm_cost);
     assert!(
@@ -408,8 +391,7 @@ C[i,j] = sum[k] A[i,k] * B[k,j];
     let opt = optimize(&tree, &cm4, &OptimizerConfig::default()).unwrap();
     let block_words: u128 = 128 * 128;
     let bytes = (block_words * 8) as f64;
-    let expected =
-        cm4.chr.rcost(2, GridDim::Dim1, bytes) + cm4.chr.rcost(2, GridDim::Dim2, bytes);
+    let expected = cm4.chr.rcost(2, GridDim::Dim1, bytes) + cm4.chr.rcost(2, GridDim::Dim2, bytes);
     assert!(
         (opt.comm_cost - expected).abs() < 1e-9,
         "comm {} vs closed form {expected}",
@@ -441,12 +423,8 @@ C[i,j] = sum[k] A[i,k] * B[k,j];
     // 2 → 5 each; the root has no parent edge.
     assert_eq!(ex.assignments, 6 * 5 * 5);
     // And the optimum matches the DP.
-    let dp = optimize(
-        &tree,
-        &cm4,
-        &OptimizerConfig { max_prefix_len: 2, ..Default::default() },
-    )
-    .unwrap();
+    let dp = optimize(&tree, &cm4, &OptimizerConfig { max_prefix_len: 2, ..Default::default() })
+        .unwrap();
     assert!((dp.comm_cost - ex.comm_cost).abs() < 1e-9);
 }
 

@@ -62,11 +62,8 @@ mod tests {
         let t16 = tree_compute_time(&tree, 16, &m);
         assert!((t16 - 5076.0).abs() / 5076.0 < 0.05, "{t16:.0}");
         // Per-node times sum to the tree time.
-        let per: f64 = tree
-            .postorder()
-            .into_iter()
-            .map(|id| node_compute_time(&tree, id, 64, &m))
-            .sum();
+        let per: f64 =
+            tree.postorder().into_iter().map(|id| node_compute_time(&tree, id, 64, &m)).sum();
         assert!((per - t64).abs() < 1e-6);
     }
 

@@ -209,11 +209,11 @@ mod tests {
         // 4 steps per rotation, repeated Nf = 64 times for fused arrays.
         let m = MachineModel::itanium_cluster();
         let cases = [
-            (61_440u64, 64.0, 25.7),    // B sliced by f
-            (30_720, 64.0, 20.8),       // C sliced by f
-            (6_912_000, 64.0, 902.0),   // T1(b,c,d), re-rotated per f
-            (14_745_600, 1.0, 34.6),    // A, unfused
-            (14_745_600, 1.0, 36.2),    // T2, unfused
+            (61_440u64, 64.0, 25.7),  // B sliced by f
+            (30_720, 64.0, 20.8),     // C sliced by f
+            (6_912_000, 64.0, 902.0), // T1(b,c,d), re-rotated per f
+            (14_745_600, 1.0, 34.6),  // A, unfused
+            (14_745_600, 1.0, 36.2),  // T2, unfused
         ];
         for (words, factor, paper) in cases {
             let t = factor * 4.0 * m.msg_time(words as f64 * 8.0);
@@ -228,7 +228,8 @@ mod tests {
         // 16 procs → 6983.8 s (27.3 % comm). The implied sustained rates
         // are 607 and 625 Mflop/s; our 616 Mflop/s sits between.
         let m = MachineModel::itanium_cluster();
-        let flops = 2.0 * 480.0_f64.powi(3) * (64.0 * 64.0 * 32.0 + 64.0 * 32.0 * 32.0 + 32.0f64.powi(3));
+        let flops =
+            2.0 * 480.0_f64.powi(3) * (64.0 * 64.0 * 32.0 + 64.0 * 32.0 * 32.0 + 32.0f64.powi(3));
         let t64 = m.compute_time(flops / 64.0) + 98.0;
         let t16 = m.compute_time(flops / 16.0) + 1907.8;
         assert!((t64 - 1403.4).abs() / 1403.4 < 0.05, "64-proc total {t64:.0}");

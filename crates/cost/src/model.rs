@@ -74,7 +74,14 @@ impl CostModel {
         trip: impl Fn(IndexId) -> u64,
     ) -> f64 {
         rotate::rotate_cost_surrounded(
-            tensor, space, self.grid, alpha, travel, surrounding, trip, &self.chr,
+            tensor,
+            space,
+            self.grid,
+            alpha,
+            travel,
+            surrounding,
+            trip,
+            &self.chr,
         )
     }
 
@@ -132,7 +139,8 @@ mod wrapper_tests {
         let alpha = Distribution::pair(b, f);
         let fused = IndexSet::new();
         let a = cm.rotate_cost(&t, &sp, alpha, GridDim::Dim1, &fused);
-        let b2 = crate::rotate::rotate_cost(&t, &sp, cm.grid, alpha, GridDim::Dim1, &fused, &cm.chr);
+        let b2 =
+            crate::rotate::rotate_cost(&t, &sp, cm.grid, alpha, GridDim::Dim1, &fused, &cm.chr);
         assert_eq!(a, b2);
         // Redistribution is symmetric in moved fraction for full pairs.
         let to = Distribution::pair(f, b);

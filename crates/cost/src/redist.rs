@@ -80,10 +80,7 @@ mod tests {
         let f = sp.lookup("f").unwrap();
         let t = Tensor::new("B", vec![b, sp.lookup("e").unwrap(), f, sp.lookup("l").unwrap()]);
         let d = Distribution::pair(b, f);
-        assert_eq!(
-            maybe_redistribution_cost(&t, &sp, g, d, d, &IndexSet::new(), &m),
-            0.0
-        );
+        assert_eq!(maybe_redistribution_cost(&t, &sp, g, d, d, &IndexSet::new(), &m), 0.0);
     }
 
     #[test]
@@ -93,10 +90,22 @@ mod tests {
         let t = Tensor::new("B", vec![ix("b"), ix("e"), ix("f"), ix("l")]);
         let from = Distribution::pair(ix("b"), ix("f"));
         let one = maybe_redistribution_cost(
-            &t, &sp, g, from, Distribution::pair(ix("b"), ix("e")), &IndexSet::new(), &m,
+            &t,
+            &sp,
+            g,
+            from,
+            Distribution::pair(ix("b"), ix("e")),
+            &IndexSet::new(),
+            &m,
         );
         let two = maybe_redistribution_cost(
-            &t, &sp, g, from, Distribution::pair(ix("e"), ix("b")), &IndexSet::new(), &m,
+            &t,
+            &sp,
+            g,
+            from,
+            Distribution::pair(ix("e"), ix("b")),
+            &IndexSet::new(),
+            &m,
         );
         assert!(one > 0.0);
         assert!(two > one);
@@ -112,10 +121,8 @@ mod tests {
         let to_b = Distribution::pair(ix("b"), ix("e"));
         let from_s = Distribution::pair(ix("e"), ix("f"));
         let to_s = Distribution::pair(ix("e"), ix("l"));
-        let cb =
-            maybe_redistribution_cost(&big, &sp, g, from_b, to_b, &IndexSet::new(), &m);
-        let cs =
-            maybe_redistribution_cost(&small, &sp, g, from_s, to_s, &IndexSet::new(), &m);
+        let cb = maybe_redistribution_cost(&big, &sp, g, from_b, to_b, &IndexSet::new(), &m);
+        let cs = maybe_redistribution_cost(&small, &sp, g, from_s, to_s, &IndexSet::new(), &m);
         assert!(cb > cs);
     }
 

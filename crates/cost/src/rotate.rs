@@ -36,11 +36,7 @@ pub fn msg_factor(
     alpha: Distribution,
     fused: &IndexSet,
 ) -> u128 {
-    tensor
-        .dims
-        .iter()
-        .map(|&j| loop_range(j, space, grid, alpha, fused) as u128)
-        .product()
+    tensor.dims.iter().map(|&j| loop_range(j, space, grid, alpha, fused) as u128).product()
 }
 
 /// The paper's `RotateCost(v, α, i, f)`: `MsgFactor × RCost(DistSize, α, i)`
@@ -207,16 +203,8 @@ mod tests {
         let alpha = Distribution::pair(ix("d"), ix("e"));
         let f_loop = IndexSet::from_iter([ix("f")]);
         let once = rotate_cost(&dd, &sp, g, alpha, GridDim::Dim2, &IndexSet::new(), &chr);
-        let inside = rotate_cost_surrounded(
-            &dd,
-            &sp,
-            g,
-            alpha,
-            GridDim::Dim2,
-            &f_loop,
-            |_| 64,
-            &chr,
-        );
+        let inside =
+            rotate_cost_surrounded(&dd, &sp, g, alpha, GridDim::Dim2, &f_loop, |_| 64, &chr);
         assert!((inside - 64.0 * once).abs() / inside < 1e-9);
     }
 
@@ -227,10 +215,7 @@ mod tests {
         let dd = Tensor::new("D", vec![ix("c"), ix("d"), ix("e"), ix("l")]);
         let alpha = Distribution::pair(ix("d"), ix("e"));
         let f_loop = IndexSet::from_iter([ix("f")]); // not a dim of D
-        assert_eq!(
-            message_words(&dd, &sp, g, alpha, &f_loop),
-            480 * 120 * 16 * 32
-        );
+        assert_eq!(message_words(&dd, &sp, g, alpha, &f_loop), 480 * 120 * 16 * 32);
         let d_loop = IndexSet::from_iter([ix("d")]);
         assert_eq!(message_words(&dd, &sp, g, alpha, &d_loop), 480 * 16 * 32);
     }

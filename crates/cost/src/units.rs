@@ -75,7 +75,7 @@ mod tests {
         assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 29_491_200)), "460.8MB"); // D
         assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 3_932_160)), "61.4MB"); // B (paper: 61.6)
         assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 14_745_600)), "230.4MB"); // A, T2, S
-        // T1 reduced to (b,c,d): 6,912,000 words/proc → 108MB/node.
+                                                                                // T1 reduced to (b,c,d): 6,912,000 words/proc → 108MB/node.
         assert_eq!(fmt_paper_bytes(words_to_bytes(2 * 6_912_000)), "108.0MB");
     }
 

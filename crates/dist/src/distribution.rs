@@ -136,11 +136,7 @@ pub fn dist_size(
     alpha: Distribution,
     fused: &IndexSet,
 ) -> u128 {
-    tensor
-        .dims
-        .iter()
-        .map(|&i| dist_range(i, space, grid, alpha, fused) as u128)
-        .product()
+    tensor.dims.iter().map(|&i| dist_range(i, space, grid, alpha, fused) as u128).product()
 }
 
 #[cfg(test)]
@@ -187,8 +183,12 @@ mod tests {
         // §3.2(i): T1(b,c,d,f) with α = <b,f>, fusion {c}, P = 16:
         // N_b/4 × 1 × N_d × N_f/4 = 120·1·480·16 = 921,600 words.
         let sp = paper_space();
-        let (b, c, d, f) =
-            (sp.lookup("b").unwrap(), sp.lookup("c").unwrap(), sp.lookup("d").unwrap(), sp.lookup("f").unwrap());
+        let (b, c, d, f) = (
+            sp.lookup("b").unwrap(),
+            sp.lookup("c").unwrap(),
+            sp.lookup("d").unwrap(),
+            sp.lookup("f").unwrap(),
+        );
         let t1 = Tensor::new("T1", vec![b, c, d, f]);
         let grid = ProcGrid::square(16).unwrap();
         let alpha = Distribution::pair(b, f);

@@ -167,9 +167,7 @@ impl CannonPattern {
         if !self.rotates(op) {
             return None;
         }
-        GridDim::BOTH
-            .into_iter()
-            .find(|&d| !op.has_role(self.assign.at(d)))
+        GridDim::BOTH.into_iter().find(|&d| !op.has_role(self.assign.at(d)))
     }
 
     /// The rotation index (the index of the rotating role), if any.
@@ -352,10 +350,7 @@ mod tests {
             // Exactly the operands carrying the rotating role rotate.
             let rot = pat.assign.rotating();
             for op in Operand::ALL {
-                assert_eq!(
-                    pat.rotates(op),
-                    op.has_role(rot) && pat.sel(rot).is_some()
-                );
+                assert_eq!(pat.rotates(op), op.has_role(rot) && pat.sel(rot).is_some());
                 if pat.rotates(op) {
                     // A rotating operand's travel dim holds the rotation index.
                     let d = pat.travel_dim(op).unwrap();
@@ -364,19 +359,14 @@ mod tests {
                 // Distribution indices must come from the operand's roles.
                 let dist = pat.operand_dist(op);
                 for id in [dist.d1, dist.d2].into_iter().flatten() {
-                    let from_roles = Role::roles_of(op)
-                        .iter()
-                        .any(|&r| pat.sel(r) == Some(id));
+                    let from_roles = Role::roles_of(op).iter().any(|&r| pat.sel(r) == Some(id));
                     assert!(from_roles);
                 }
             }
             // The two rotated arrays (if any) travel along different dims.
             let rotated = pat.rotated_operands();
             if rotated.len() == 2 {
-                assert_ne!(
-                    pat.travel_dim(rotated[0]),
-                    pat.travel_dim(rotated[1])
-                );
+                assert_ne!(pat.travel_dim(rotated[0]), pat.travel_dim(rotated[1]));
             }
         }
     }

@@ -114,10 +114,7 @@ mod tests {
         let l = sp.lookup("l").unwrap();
         let t = Tensor::new("B", vec![b, e, f, l]);
         let g = ProcGrid::square(16).unwrap();
-        assert_eq!(
-            placement_words(&t, &sp, g, Distribution::pair(b, f)),
-            Some(120 * 64 * 16 * 32)
-        );
+        assert_eq!(placement_words(&t, &sp, g, Distribution::pair(b, f)), Some(120 * 64 * 16 * 32));
         // `z` is not a dimension of B.
         let mut sp2 = space();
         let z = sp2.declare("z", 8);

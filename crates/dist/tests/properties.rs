@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use tce_dist::cannon::{alignment_source, num_steps, rot_block, rotation_target};
-use tce_dist::{
-    dist_size, enumerate_patterns, Distribution, GridDim, Operand, ProcGrid,
-};
+use tce_dist::{dist_size, enumerate_patterns, Distribution, GridDim, Operand, ProcGrid};
 use tce_expr::{ContractionGroups, IndexSet, IndexSpace, Tensor};
 
 fn groups(ni: usize, nj: usize, nk: usize) -> (IndexSpace, ContractionGroups) {

@@ -88,12 +88,7 @@ pub fn fig1_sequence(ni: u64, nj: u64, nk: u64, nt: u64) -> FormulaSequence {
 
 /// The Fig. 1 term in raw form (`S(t) = Σ_{i,j,k} A·B`), direct cost
 /// `2·N_i·N_j·N_k·N_t`.
-pub fn fig1_sum_of_products(
-    ni: u64,
-    nj: u64,
-    nk: u64,
-    nt: u64,
-) -> (IndexSpace, SumOfProducts) {
+pub fn fig1_sum_of_products(ni: u64, nj: u64, nk: u64, nt: u64) -> (IndexSpace, SumOfProducts) {
     let mut sp = IndexSpace::new();
     let i = sp.declare("i", ni);
     let j = sp.declare("j", nj);
@@ -133,10 +128,7 @@ mod tests {
     fn sum_of_products_direct_cost() {
         let (sp, term) = ccsd_sum_of_products(PAPER_EXTENTS);
         // 4·(N_a N_b N_c N_d)(N_e N_f)(N_i N_j N_k N_l)
-        assert_eq!(
-            term.direct_op_count(&sp),
-            4 * 480u128.pow(4) * 64u128.pow(2) * 32u128.pow(4)
-        );
+        assert_eq!(term.direct_op_count(&sp), 4 * 480u128.pow(4) * 64u128.pow(2) * 32u128.pow(4));
     }
 
     #[test]
@@ -241,10 +233,8 @@ mod transform_tests {
         // Four quarter transforms at 2·N_ao^4·N_mo, 2·N_ao^3·N_mo^2, … flops.
         let n: u128 = 64;
         let m: u128 = 32;
-        let expect = 2 * (n * n * n * n * m
-            + n * n * n * m * m
-            + n * n * m * m * m
-            + n * m * m * m * m);
+        let expect =
+            2 * (n * n * n * n * m + n * n * n * m * m + n * n * m * m * m + n * m * m * m * m);
         assert_eq!(t.total_op_count(), expect);
     }
 

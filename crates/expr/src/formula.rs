@@ -170,16 +170,14 @@ impl FormulaSequence {
             self.inputs.iter().map(|t| (t.name.as_str(), t)).collect();
 
         let take = |tree: &mut ExprTree,
-                        producer: &mut HashMap<String, NodeId>,
-                        name: &str|
+                    producer: &mut HashMap<String, NodeId>,
+                    name: &str|
          -> Result<NodeId, ExprError> {
             if let Some(id) = producer.remove(name) {
                 return Ok(id);
             }
             // Fresh leaf per use of an input array.
-            let t = inputs
-                .get(name)
-                .ok_or_else(|| ExprError::Undefined(name.to_owned()))?;
+            let t = inputs.get(name).ok_or_else(|| ExprError::Undefined(name.to_owned()))?;
             Ok(tree.add_leaf((*t).clone()))
         };
 

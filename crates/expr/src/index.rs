@@ -87,11 +87,7 @@ impl IndexSpace {
         if self.by_name.len() != self.names.len() {
             // Deserialized spaces arrive without the lookup map; fall back to
             // a scan (spaces are tiny — a dozen indices at most in practice).
-            return self
-                .names
-                .iter()
-                .position(|n| n == name)
-                .map(|i| IndexId(i as u32));
+            return self.names.iter().position(|n| n == name).map(|i| IndexId(i as u32));
         }
         self.by_name.get(name).copied()
     }

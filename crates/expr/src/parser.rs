@@ -176,10 +176,7 @@ impl Lexer {
     }
 
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(l, _)| *l)
-            .unwrap_or(0)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
     }
 
     fn next(&mut self) -> Option<Tok> {

@@ -58,11 +58,8 @@ fn indent(out: &mut String, depth: usize) {
 pub fn render_unfused_loops(tree: &ExprTree) -> String {
     let sp: &IndexSpace = &tree.space;
     let mut out = String::new();
-    let internals: Vec<_> = tree
-        .postorder()
-        .into_iter()
-        .filter(|&id| !tree.node(id).is_leaf())
-        .collect();
+    let internals: Vec<_> =
+        tree.postorder().into_iter().filter(|&id| !tree.node(id).is_leaf()).collect();
     // Initialization line.
     for (n, &id) in internals.iter().enumerate() {
         if n > 0 {

@@ -26,11 +26,7 @@ impl Tensor {
     pub fn new(name: impl Into<String>, dims: Vec<IndexId>) -> Self {
         let name = name.into();
         let set = IndexSet::from_iter(dims.iter().copied());
-        assert_eq!(
-            set.len(),
-            dims.len(),
-            "tensor `{name}` has a repeated dimension index"
-        );
+        assert_eq!(set.len(), dims.len(), "tensor `{name}` has a repeated dimension index");
         Self { name, dims }
     }
 

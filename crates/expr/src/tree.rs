@@ -219,11 +219,8 @@ impl ExprTree {
                 self.node(child).tensor.name
             )));
         }
-        let id = self.push(Node {
-            tensor: result,
-            kind: NodeKind::Reduce { sum, child },
-            parent: None,
-        });
+        let id =
+            self.push(Node { tensor: result, kind: NodeKind::Reduce { sum, child }, parent: None });
         self.nodes[child.as_usize()].parent = Some(id);
         Ok(id)
     }
@@ -317,11 +314,7 @@ impl ExprTree {
                 self.space.render(sum.as_slice()),
             )));
         }
-        Ok(ContractionGroups {
-            i: ix.difference(sum),
-            j: iy.difference(sum),
-            k: sum.clone(),
-        })
+        Ok(ContractionGroups { i: ix.difference(sum), j: iy.difference(sum), k: sum.clone() })
     }
 
     /// True if every internal node is a proper generalized matrix
@@ -397,28 +390,13 @@ mod tests {
         let nc = t.add_leaf(Tensor::new("C", vec![d, f, j, k]));
         let na = t.add_leaf(Tensor::new("A", vec![a, c, i, k]));
         let t1 = t
-            .add_contract(
-                Tensor::new("T1", vec![b, c, d, f]),
-                IndexSet::from_iter([e, l]),
-                nb,
-                nd,
-            )
+            .add_contract(Tensor::new("T1", vec![b, c, d, f]), IndexSet::from_iter([e, l]), nb, nd)
             .unwrap();
         let t2 = t
-            .add_contract(
-                Tensor::new("T2", vec![b, c, j, k]),
-                IndexSet::from_iter([d, f]),
-                t1,
-                nc,
-            )
+            .add_contract(Tensor::new("T2", vec![b, c, j, k]), IndexSet::from_iter([d, f]), t1, nc)
             .unwrap();
         let s = t
-            .add_contract(
-                Tensor::new("S", vec![a, b, i, j]),
-                IndexSet::from_iter([c, k]),
-                t2,
-                na,
-            )
+            .add_contract(Tensor::new("S", vec![a, b, i, j]), IndexSet::from_iter([c, k]), t2, na)
             .unwrap();
         t.set_root(s);
         t
@@ -477,20 +455,10 @@ mod tests {
         let x = t.add_leaf(Tensor::new("X", vec![a, b]));
         let y = t.add_leaf(Tensor::new("Y", vec![b, c]));
         // Result keeps the summation index b -> malformed.
-        let r = t.add_contract(
-            Tensor::new("R", vec![a, b, c]),
-            IndexSet::from_iter([b]),
-            x,
-            y,
-        );
+        let r = t.add_contract(Tensor::new("R", vec![a, b, c]), IndexSet::from_iter([b]), x, y);
         assert!(r.is_err());
         // Result missing index c -> malformed.
-        let r2 = t.add_contract(
-            Tensor::new("R", vec![a]),
-            IndexSet::from_iter([b]),
-            x,
-            y,
-        );
+        let r2 = t.add_contract(Tensor::new("R", vec![a]), IndexSet::from_iter([b]), x, y);
         assert!(r2.is_err());
     }
 
@@ -505,8 +473,7 @@ mod tests {
         let x = t.add_leaf(Tensor::new("X", vec![a, b]));
         let y = t.add_leaf(Tensor::new("Y", vec![b, c]));
         let z = t.add_leaf(Tensor::new("Z", vec![b, d]));
-        t.add_contract(Tensor::new("R", vec![a, c]), IndexSet::from_iter([b]), x, y)
-            .unwrap();
+        t.add_contract(Tensor::new("R", vec![a, c]), IndexSet::from_iter([b]), x, y).unwrap();
         // X is already consumed.
         assert!(t
             .add_contract(Tensor::new("R2", vec![a, d]), IndexSet::from_iter([b]), x, z)

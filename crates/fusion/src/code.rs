@@ -100,11 +100,8 @@ fn emit_cluster(tree: &ExprTree, cfg: &FusionConfig, root: NodeId, out: &mut Str
     }
     for &n in cluster.iter() {
         // Init where the parent-edge prefix completes (the storage scope).
-        let init_path: Vec<IndexId> = if n == root {
-            Vec::new()
-        } else {
-            cfg.prefix(n).iter().collect()
-        };
+        let init_path: Vec<IndexId> =
+            if n == root { Vec::new() } else { cfg.prefix(n).iter().collect() };
         trie.descend(&init_path).inits.push(n);
     }
     for &n in cluster.iter().rev() {
@@ -168,8 +165,7 @@ fn emit_body(tree: &ExprTree, cfg: &FusionConfig, node: NodeId, depth: usize, ou
     let reduced = cfg.reduced_tensor(tree, node);
     // The node's own (non-fused) loops enclose just its statement.
     let surrounding = cfg.surrounding(tree, node).as_set();
-    let own: Vec<IndexId> =
-        n.loop_indices().iter().filter(|&i| !surrounding.contains(i)).collect();
+    let own: Vec<IndexId> = n.loop_indices().iter().filter(|&i| !surrounding.contains(i)).collect();
     let mut d = depth;
     for &i in &own {
         indent(out, d);
@@ -245,10 +241,7 @@ mod tests {
             t.find("T1").unwrap(),
             FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c"), ix(&t, "d"), ix(&t, "f")]),
         );
-        cfg.set(
-            t.find("T2").unwrap(),
-            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
-        );
+        cfg.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]));
         let code = render_fused(&t, &cfg);
         assert!(code.contains("T1 += B[b,e,f,l] * D[c,d,e,l]"), "{code}");
         assert!(code.contains("T2[j,k] += T1 * C[d,f,j,k]"), "{code}");
@@ -282,10 +275,7 @@ mod tests {
         let t = ccsd_tree(PAPER_EXTENTS);
         let mut cfg = FusionConfig::unfused();
         cfg.set(t.find("T1").unwrap(), FusionPrefix::new(vec![ix(&t, "b")]));
-        cfg.set(
-            t.find("T2").unwrap(),
-            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
-        );
+        cfg.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]));
         cfg.validate(&t).unwrap();
         let code = render_fused(&t, &cfg);
         // T1's init at depth 1 (inside b); T2's at depth 2 (inside c).

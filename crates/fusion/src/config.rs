@@ -13,11 +13,9 @@ use crate::prefix::FusionPrefix;
 pub fn edge_candidates(tree: &ExprTree, child: NodeId) -> IndexSet {
     match tree.node(child).parent {
         None => IndexSet::new(),
-        Some(parent) => tree
-            .node(child)
-            .tensor
-            .dim_set()
-            .intersection(&tree.node(parent).loop_indices()),
+        Some(parent) => {
+            tree.node(child).tensor.dim_set().intersection(&tree.node(parent).loop_indices())
+        }
     }
 }
 
@@ -161,10 +159,7 @@ mod tests {
             t.find("T1").unwrap(),
             FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c"), ix(&t, "d"), ix(&t, "f")]),
         );
-        cfg.set(
-            t.find("T2").unwrap(),
-            FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]),
-        );
+        cfg.set(t.find("T2").unwrap(), FusionPrefix::new(vec![ix(&t, "b"), ix(&t, "c")]));
         cfg.validate(&t).unwrap();
         let t1r = cfg.reduced_tensor(&t, t.find("T1").unwrap());
         assert_eq!(t1r.arity(), 0, "T1 reduces to a scalar");

@@ -38,8 +38,7 @@ pub fn peak_words(tree: &ExprTree, cfg: &FusionConfig) -> u128 {
         .postorder()
         .into_iter()
         .filter(|&n| {
-            !tree.node(n).is_leaf()
-                && (tree.node(n).parent.is_none() || cfg.prefix(n).is_empty())
+            !tree.node(n).is_leaf() && (tree.node(n).parent.is_none() || cfg.prefix(n).is_empty())
         })
         .collect();
     let order: HashMap<NodeId, usize> =
@@ -51,11 +50,8 @@ pub fn peak_words(tree: &ExprTree, cfg: &FusionConfig) -> u128 {
         let mut live = 0u128;
         for n in tree.ids().filter(|&n| !tree.node(n).is_leaf()) {
             let produced = order[&cluster_of(tree, cfg, n)];
-            let consumed = tree
-                .node(n)
-                .parent
-                .map(|p| order[&cluster_of(tree, cfg, p)])
-                .unwrap_or(usize::MAX); // the root output stays live
+            let consumed =
+                tree.node(n).parent.map(|p| order[&cluster_of(tree, cfg, p)]).unwrap_or(usize::MAX); // the root output stays live
             let consumed = if consumed == usize::MAX { cluster_roots.len() - 1 } else { consumed };
             if produced <= t && t <= consumed {
                 live += cfg.reduced_tensor(tree, n).num_elements(&tree.space);

@@ -54,8 +54,7 @@ pub fn minimize_memory(tree: &ExprTree, max_prefix_len: usize) -> MemMinResult {
             }]
         } else {
             let children = tree.children(node);
-            let child_sols: Vec<&Vec<Partial>> =
-                children.iter().map(|c| &best_at[c]).collect();
+            let child_sols: Vec<&Vec<Partial>> = children.iter().map(|c| &best_at[c]).collect();
             let my_prefixes = enumerate_prefixes(&edge_candidates(tree, node), max_prefix_len);
             let mut out: Vec<Partial> = Vec::new();
             // Iterate over the cartesian product of child solutions

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use tce_expr::examples::{ccsd_tree, PaperExtents};
-use tce_fusion::{edge_candidates, enumerate_prefixes, FusionConfig, peak_words};
+use tce_fusion::{edge_candidates, enumerate_prefixes, peak_words, FusionConfig};
 
 proptest! {
     /// Any single-edge fusion drawn from the edge's candidate set is legal,

@@ -1,0 +1,214 @@
+//! Chrome trace-event JSON sink.
+//!
+//! Produces the [Trace Event Format] ("JSON array format") understood by
+//! `chrome://tracing`, Perfetto's legacy importer, and `speedscope`:
+//! slices become `ph:"X"` complete events, counter samples become `ph:"C"`
+//! events, and each lane is registered as a named thread via `ph:"M"`
+//! `thread_name` metadata so the viewer shows lane names instead of bare
+//! thread ids. JSON is written by hand — this crate carries no dependencies.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! ```
+//! use std::sync::Arc;
+//! let sink = Arc::new(tce_obs::ChromeTraceSink::new());
+//! tce_obs::install(sink.clone());
+//! tce_obs::slice_at("step0", "Shift", 0.0, 12.5, vec![]);
+//! tce_obs::uninstall();
+//! let json = sink.to_json();
+//! assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::sink::{Sink, TraceEvent};
+
+/// The process id stamped on every event (the trace has one process).
+const PID: u32 = 1;
+
+/// Collects events and renders them as Chrome trace JSON.
+#[derive(Default)]
+pub struct ChromeTraceSink {
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    events: Vec<TraceEvent>,
+    /// lane name → tid, in registration order (tid = index + 1).
+    lanes: BTreeMap<String, u32>,
+    lane_order: Vec<String>,
+}
+
+impl State {
+    fn lane_tid(&mut self, lane: &str) -> u32 {
+        if let Some(&tid) = self.lanes.get(lane) {
+            return tid;
+        }
+        let tid = self.lane_order.len() as u32 + 1;
+        self.lanes.insert(lane.to_string(), tid);
+        self.lane_order.push(lane.to_string());
+        tid
+    }
+}
+
+impl ChromeTraceSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events collected (excluding lane metadata).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("chrome sink lock poisoned").events.len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render everything collected so far as a Chrome trace JSON array.
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().expect("chrome sink lock poisoned");
+        let mut out = String::from("[\n");
+        let mut first = true;
+        // Thread-name metadata first so viewers label lanes immediately.
+        for lane in &state.lane_order {
+            let tid = state.lanes[lane];
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(lane)
+            );
+        }
+        for ev in &state.events {
+            sep(&mut out, &mut first);
+            match ev {
+                TraceEvent::Slice { lane, name, ts_us, dur_us, args } => {
+                    let tid = state.lanes[lane];
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"tce\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{PID},\"tid\":{tid},\"args\":{{",
+                        json_string(name),
+                        json_number(*ts_us),
+                        json_number(*dur_us),
+                    );
+                    for (i, (k, v)) in args.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}:{}", json_string(k), json_string(v));
+                    }
+                    out.push_str("}}");
+                }
+                TraceEvent::Counter { name, ts_us, value } => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"cat\":\"tce\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\
+                         \"args\":{{\"value\":{value}}}}}",
+                        json_string(name),
+                        json_number(*ts_us),
+                    );
+                }
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Write the trace to `path`.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn event(&self, ev: TraceEvent) {
+        let mut state = self.state.lock().expect("chrome sink lock poisoned");
+        if let TraceEvent::Slice { lane, .. } = &ev {
+            state.lane_tid(lane);
+        }
+        state.events.push(ev);
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// A finite JSON number; trace timestamps are µs, rendered with enough
+/// precision to keep sub-microsecond ordering.
+fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".to_string();
+    }
+    // `{:?}` prints the shortest representation that round-trips.
+    format!("{x:?}")
+}
+
+/// `s` as a JSON string literal (quoted, escaped).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_slices_counters_and_lane_metadata() {
+        let sink = ChromeTraceSink::new();
+        sink.event(TraceEvent::Slice {
+            lane: "search".into(),
+            name: "node \"T1\"".into(),
+            ts_us: 0.0,
+            dur_us: 12.5,
+            args: vec![("candidates".into(), "7".into())],
+        });
+        sink.event(TraceEvent::Counter { name: "dp.candidates".into(), ts_us: 12.5, value: 7 });
+        let json = sink.to_json();
+        assert!(json.contains("\"ph\":\"M\""), "missing lane metadata: {json}");
+        assert!(json.contains("\"ph\":\"X\""), "missing slice: {json}");
+        assert!(json.contains("\"ph\":\"C\""), "missing counter: {json}");
+        assert!(json.contains("\\\"T1\\\""), "name not escaped: {json}");
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_are_finite_json() {
+        assert_eq!(json_number(12.5), "12.5");
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+    }
+}

@@ -1,0 +1,271 @@
+//! Structured observability for the TCE workspace.
+//!
+//! Three pieces, all `std`-only:
+//!
+//! * **[`Counters`]** — a small named-counter bag owned by whatever is being
+//!   measured (the DP search, a simulation). Bumping a counter is a plain
+//!   integer add; the bag travels with the result so reports read the exact
+//!   numbers of the run that produced them.
+//! * **Spans and slices** — wall-clock [`span`]s (RAII: dropped ⇒ emitted)
+//!   and explicit virtual-time [`slice_at`]s, both routed to the installed
+//!   [`Sink`] as [`TraceEvent`]s on named lanes.
+//! * **Sinks** — [`RecordingSink`] buffers events in memory for tests and
+//!   programmatic inspection; [`ChromeTraceSink`] renders the Chrome
+//!   trace-event JSON format loadable in `chrome://tracing` / Perfetto.
+//!
+//! With no sink installed every emission site is a single relaxed atomic
+//! load — the "null sink" costs nothing measurable, so instrumentation can
+//! stay on in release builds.
+//!
+//! ```
+//! let sink = std::sync::Arc::new(tce_obs::RecordingSink::new());
+//! tce_obs::install(sink.clone());
+//! {
+//!     let _root = tce_obs::span("search", "optimize");
+//!     tce_obs::counter_sample("nodes", 3);
+//! }
+//! tce_obs::uninstall();
+//! assert_eq!(sink.events().len(), 2);
+//! ```
+
+mod chrome;
+mod counters;
+mod sink;
+
+pub use chrome::ChromeTraceSink;
+pub use counters::Counters;
+pub use sink::{RecordingSink, Sink, TraceEvent};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Counter names used by the DP search (`tce-core`). Centralised so the
+/// CLI, benches, and tests spell them identically.
+pub mod names {
+    /// Candidate solutions generated across all nodes.
+    pub const CANDIDATES: &str = "dp.candidates";
+    /// Candidates rejected by the memory limit.
+    pub const PRUNED_MEMORY: &str = "dp.pruned_memory";
+    /// Candidates pruned as dominated (inferior).
+    pub const PRUNED_INFERIOR: &str = "dp.pruned_inferior";
+    /// Child solutions reachable only by inserting a redistribution.
+    pub const REDIST_FALLBACKS: &str = "dp.redist_fallbacks";
+    /// Solutions alive on the final frontier (all nodes).
+    pub const FRONTIER: &str = "dp.frontier";
+    /// Tree nodes processed.
+    pub const NODES: &str = "dp.nodes";
+}
+
+struct Global {
+    enabled: AtomicBool,
+    sink: Mutex<Option<Arc<dyn Sink>>>,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global { enabled: AtomicBool::new(false), sink: Mutex::new(None) })
+}
+
+/// The wall-clock origin all span timestamps are measured from (first use).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process-wide trace epoch.
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Install `sink` as the global event destination, replacing any previous
+/// one. Emission sites become active immediately.
+pub fn install(sink: Arc<dyn Sink>) {
+    let g = global();
+    *g.sink.lock().expect("obs sink lock poisoned") = Some(sink);
+    g.enabled.store(true, Ordering::Release);
+}
+
+/// Remove and return the installed sink, disabling emission (the null-sink
+/// fast path).
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    let g = global();
+    let prev = g.sink.lock().expect("obs sink lock poisoned").take();
+    g.enabled.store(false, Ordering::Release);
+    prev
+}
+
+/// Whether a sink is installed. One relaxed atomic load — cheap enough to
+/// guard every emission site.
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+fn emit(ev: TraceEvent) {
+    if let Some(sink) = global().sink.lock().expect("obs sink lock poisoned").as_ref() {
+        sink.event(ev);
+    }
+}
+
+/// A live wall-clock span; emits a [`TraceEvent::Slice`] on drop. Obtain
+/// via [`span`]/[`span_with`]. A disabled span is inert (no allocation, no
+/// clock read).
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    lane: String,
+    name: String,
+    start_us: f64,
+    args: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Attach a key/value argument, shown in the trace viewer's detail
+    /// pane. No-op when the span is disabled.
+    pub fn arg(&mut self, key: impl Into<String>, value: impl ToString) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key.into(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = now_us();
+            emit(TraceEvent::Slice {
+                lane: inner.lane,
+                name: inner.name,
+                ts_us: inner.start_us,
+                dur_us: (end - inner.start_us).max(0.0),
+                args: inner.args,
+            });
+        }
+    }
+}
+
+/// Open a wall-clock span named `name` on `lane`. The slice is emitted when
+/// the returned guard drops.
+pub fn span(lane: &str, name: impl Into<String>) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    Span {
+        inner: Some(SpanInner {
+            lane: lane.to_string(),
+            name: name.into(),
+            start_us: now_us(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Emit a slice with an explicit (virtual) timeline position — used by the
+/// simulator, whose clock is simulated seconds, not wall time.
+pub fn slice_at(
+    lane: &str,
+    name: impl Into<String>,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(String, String)>,
+) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Slice { lane: lane.to_string(), name: name.into(), ts_us, dur_us, args });
+}
+
+/// Record the current value of a named counter at the present wall-clock
+/// instant (rendered by Chrome tracing as a counter track).
+pub fn counter_sample(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Counter { name: name.to_string(), ts_us: now_us(), value });
+}
+
+/// Record a named counter value at an explicit (virtual) timestamp.
+pub fn counter_sample_at(name: &str, ts_us: f64, value: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(TraceEvent::Counter { name: name.to_string(), ts_us, value });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global sink is process-wide; run the install/uninstall tests under
+    // one lock so parallel test threads don't race on it.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_inert() {
+        let _guard = serial();
+        uninstall();
+        assert!(!enabled());
+        let mut sp = span("lane", "noop");
+        sp.arg("k", 1);
+        drop(sp); // must not panic or emit
+        counter_sample("c", 1);
+        slice_at("lane", "s", 0.0, 1.0, vec![]);
+    }
+
+    #[test]
+    fn span_emits_slice_with_args() {
+        let _guard = serial();
+        let sink = Arc::new(RecordingSink::new());
+        install(sink.clone());
+        {
+            let mut sp = span("search", "node");
+            sp.arg("candidates", 42);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        counter_sample("dp.candidates", 42);
+        slice_at("step0", "Shift", 1.5e6, 0.5e6, vec![("bytes".into(), "64".into())]);
+        uninstall();
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        match &evs[0] {
+            TraceEvent::Slice { lane, name, dur_us, args, .. } => {
+                assert_eq!(lane, "search");
+                assert_eq!(name, "node");
+                assert!(*dur_us >= 1000.0, "dur {dur_us}");
+                assert_eq!(args[0], ("candidates".to_string(), "42".to_string()));
+            }
+            other => panic!("expected slice, got {other:?}"),
+        }
+        match &evs[1] {
+            TraceEvent::Counter { name, value, .. } => {
+                assert_eq!(name, "dp.candidates");
+                assert_eq!(*value, 42);
+            }
+            other => panic!("expected counter, got {other:?}"),
+        }
+        match &evs[2] {
+            TraceEvent::Slice { ts_us, dur_us, .. } => {
+                assert_eq!(*ts_us, 1.5e6);
+                assert_eq!(*dur_us, 0.5e6);
+            }
+            other => panic!("expected slice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uninstall_returns_sink_and_disables() {
+        let _guard = serial();
+        let sink = Arc::new(RecordingSink::new());
+        install(sink);
+        assert!(enabled());
+        assert!(uninstall().is_some());
+        assert!(!enabled());
+        assert!(uninstall().is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The Chrome trace writer must emit JSON that a real parser accepts —
+//! round-trip through `serde_json::Value` and check the structure.
+
+use std::sync::Arc;
+
+use tce_obs::{ChromeTraceSink, Sink, TraceEvent};
+
+fn demo_sink() -> Arc<ChromeTraceSink> {
+    let sink = Arc::new(ChromeTraceSink::new());
+    sink.event(TraceEvent::Slice {
+        lane: "search".into(),
+        name: "node T1=sum(b) \"quoted\"\nline".into(),
+        ts_us: 0.25,
+        dur_us: 100.0,
+        args: vec![("candidates".into(), "7".into()), ("live".into(), "2".into())],
+    });
+    sink.event(TraceEvent::Slice {
+        lane: "step0".into(),
+        name: "Shift".into(),
+        ts_us: 1.5e6,
+        dur_us: 0.5e6,
+        args: vec![],
+    });
+    sink.event(TraceEvent::Counter { name: "dp.candidates".into(), ts_us: 100.0, value: 7 });
+    sink
+}
+
+#[test]
+fn trace_round_trips_through_a_json_parser() {
+    let json = demo_sink().to_json();
+    let value: serde_json::Value = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("trace is not valid JSON: {e}\n{json}"));
+
+    let events = value.as_array().expect("trace must be a JSON array");
+    // 2 lane-metadata events + 3 payload events.
+    assert_eq!(events.len(), 5, "unexpected event count in {json}");
+
+    let phases: Vec<&str> =
+        events.iter().map(|e| e.get("ph").and_then(|p| p.as_str()).expect("ph field")).collect();
+    assert_eq!(phases, vec!["M", "M", "X", "X", "C"]);
+
+    // Every event carries pid; slices carry ts+dur+tid; counters a value.
+    for ev in events {
+        assert!(ev.get("pid").is_some(), "missing pid: {ev:?}");
+        match ev.get("ph").and_then(|p| p.as_str()).unwrap() {
+            "X" => {
+                assert!(ev.get("ts").and_then(|v| v.as_f64()).is_some());
+                assert!(ev.get("dur").and_then(|v| v.as_f64()).is_some());
+                assert!(ev.get("tid").is_some());
+            }
+            "C" => {
+                let args = ev.get("args").expect("counter args");
+                assert_eq!(args.get("value").and_then(|v| v.as_u64()), Some(7));
+            }
+            "M" => {
+                assert_eq!(ev.get("name").and_then(|v| v.as_str()), Some("thread_name"));
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+
+    // The embedded quotes/newline in the slice name survived the round trip.
+    let name = events[2].get("name").and_then(|v| v.as_str()).unwrap();
+    assert!(name.contains("\"quoted\"") && name.contains('\n'), "escaping lost: {name:?}");
+
+    // Virtual timestamps preserved exactly.
+    assert_eq!(events[3].get("ts").and_then(|v| v.as_f64()), Some(1.5e6));
+    assert_eq!(events[3].get("dur").and_then(|v| v.as_f64()), Some(0.5e6));
+}
+
+#[test]
+fn empty_trace_is_an_empty_json_array() {
+    let sink = ChromeTraceSink::new();
+    let value: serde_json::Value = serde_json::from_str(&sink.to_json()).expect("valid JSON");
+    assert_eq!(value.as_array().map(Vec::len), Some(0));
+}

@@ -39,12 +39,8 @@ pub fn minimize_operations_greedy(space: &IndexSpace, term: &SumOfProducts) -> G
 
     // Unary pre-summations (same treatment as the exact search).
     for i in 0..working.len() {
-        let others: Vec<IndexSet> = working
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, d)| d.clone())
-            .collect();
+        let others: Vec<IndexSet> =
+            working.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, d)| d.clone()).collect();
         let reduced = reduce_dims(&working[i], &others, &term.sum, &result);
         if reduced != working[i] {
             // One pass per eliminated index, largest extent first.
@@ -212,12 +208,7 @@ pub fn greedy_sequence(
         if sum_here.is_empty() {
             seq.formulas.push(Formula::Mul { result, lhs: aname, rhs: bname });
         } else {
-            seq.formulas.push(Formula::Contract {
-                result,
-                lhs: aname,
-                rhs: bname,
-                sum: sum_here,
-            });
+            seq.formulas.push(Formula::Contract { result, lhs: aname, rhs: bname, sum: sum_here });
         }
         working.push((out, merged));
     }
@@ -246,9 +237,8 @@ mod sequence_tests {
         let mut sp = IndexSpace::new();
         let ids: Vec<_> =
             (0..=24).map(|i| sp.declare(&format!("i{i}"), 2 + (i as u64 % 5))).collect();
-        let factors: Vec<Tensor> = (0..24)
-            .map(|i| Tensor::new(format!("A{i}"), vec![ids[i], ids[i + 1]]))
-            .collect();
+        let factors: Vec<Tensor> =
+            (0..24).map(|i| Tensor::new(format!("A{i}"), vec![ids[i], ids[i + 1]])).collect();
         let term = SumOfProducts {
             result: Tensor::new("S", vec![ids[0], ids[24]]),
             sum: IndexSet::from_iter(ids[1..24].iter().copied()),

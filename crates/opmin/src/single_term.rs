@@ -43,21 +43,14 @@ pub struct OpMinResult {
 /// Which summation indices can be eliminated once the factor set `mask` has
 /// been multiplied together: those appearing in no other factor and not in
 /// the result.
-fn eliminable(
-    mask: u32,
-    factors: &[Tensor],
-    sum: &IndexSet,
-    result_dims: &IndexSet,
-) -> IndexSet {
+fn eliminable(mask: u32, factors: &[Tensor], sum: &IndexSet, result_dims: &IndexSet) -> IndexSet {
     let mut outside = result_dims.clone();
     for (i, f) in factors.iter().enumerate() {
         if mask & (1 << i) == 0 {
             outside = outside.union(&f.dim_set());
         }
     }
-    IndexSet::from_iter(
-        sum.iter().filter(|&s| !outside.contains(s) && covered(mask, factors, s)),
-    )
+    IndexSet::from_iter(sum.iter().filter(|&s| !outside.contains(s) && covered(mask, factors, s)))
 }
 
 /// Order in which a factor's eliminable indices are summed away:
@@ -80,10 +73,7 @@ fn reduction_chain_cost(space: &IndexSpace, factor: &Tensor, elim: &IndexSet) ->
 }
 
 fn covered(mask: u32, factors: &[Tensor], s: IndexId) -> bool {
-    factors
-        .iter()
-        .enumerate()
-        .any(|(i, f)| mask & (1 << i) != 0 && f.has_dim(s))
+    factors.iter().enumerate().any(|(i, f)| mask & (1 << i) != 0 && f.has_dim(s))
 }
 
 /// The index set of the intermediate for factor set `mask`: union of its
@@ -137,11 +127,8 @@ pub fn minimize_operations(space: &IndexSpace, term: &SumOfProducts) -> OpMinRes
                     let ldims = subset_dims(left, &term.factors, &term.sum, &result_dims);
                     let rdims = subset_dims(right, &term.factors, &term.sum, &result_dims);
                     let loop_set = ldims.union(&rdims);
-                    let per_point: u128 = if elim.is_empty() && dims_here == loop_set {
-                        1
-                    } else {
-                        2
-                    };
+                    let per_point: u128 =
+                        if elim.is_empty() && dims_here == loop_set { 1 } else { 2 };
                     let cost = lc + rc + per_point * space.volume(loop_set.as_slice());
                     if entry.is_none_or(|(c, _)| cost < c) {
                         entry = Some((cost, (left, right)));
@@ -161,11 +148,7 @@ pub fn minimize_operations(space: &IndexSpace, term: &SumOfProducts) -> OpMinRes
     let mut pairings = Vec::new();
     let mut counter = 0usize;
     build(full, &best, term, &result_dims, &mut counter, &mut pairings);
-    OpMinResult {
-        flops: best[&full].0,
-        direct_flops: term.direct_op_count(space),
-        pairings,
-    }
+    OpMinResult { flops: best[&full].0, direct_flops: term.direct_op_count(space), pairings }
 }
 
 /// DP table: per factor-subset mask, its optimal cost and split.
@@ -184,22 +167,13 @@ fn build(
     build(right, best, term, result_dims, counter, out);
     let ldims = subset_dims(left, &term.factors, &term.sum, result_dims);
     let rdims = subset_dims(right, &term.factors, &term.sum, result_dims);
-    let elim = eliminable(mask, &term.factors, &term.sum, result_dims)
-        .intersection(&ldims.union(&rdims));
+    let elim =
+        eliminable(mask, &term.factors, &term.sum, result_dims).intersection(&ldims.union(&rdims));
     let dims = subset_dims(mask, &term.factors, &term.sum, result_dims);
     *counter += 1;
     let full_mask = (1u32 << term.factors.len()) - 1;
-    let name = if mask == full_mask {
-        term.result.name.clone()
-    } else {
-        format!("_t{counter}")
-    };
-    out.push(Pairing {
-        left,
-        right,
-        sum: elim,
-        tensor: Tensor::new(name, dims.iter().collect()),
-    });
+    let name = if mask == full_mask { term.result.name.clone() } else { format!("_t{counter}") };
+    out.push(Pairing { left, right, sum: elim, tensor: Tensor::new(name, dims.iter().collect()) });
 }
 
 /// Lower an optimized term into a [`FormulaSequence`] whose contractions
@@ -267,10 +241,7 @@ mod tests {
         let (space, term) = ccsd_sum_of_products(PAPER_EXTENTS);
         let res = minimize_operations(&space, &term);
         // Direct: 4·N_aN_bN_cN_d·N_eN_f·N_iN_jN_kN_l ≈ 9.1e20.
-        assert_eq!(
-            res.direct_flops,
-            4 * 480u128.pow(4) * 64u128.pow(2) * 32u128.pow(4)
-        );
+        assert_eq!(res.direct_flops, 4 * 480u128.pow(4) * 64u128.pow(2) * 32u128.pow(4));
         // The paper's tree costs 2·480³(64²·32 + 64·32² + 32³) ≈ 5.07e13;
         // the optimizer must do at least as well.
         let paper_tree = 2 * 480u128.pow(3) * (64 * 64 * 32 + 64 * 32 * 32 + 32u128.pow(3));
@@ -356,9 +327,7 @@ mod tests {
         let (space, term) = ccsd_sum_of_products(PAPER_EXTENTS);
         let rd = term.result.dim_set();
         // Factor set {B, D} (B=mask for B's position). Find positions.
-        let pos = |name: &str| {
-            term.factors.iter().position(|f| f.name == name).unwrap() as u32
-        };
+        let pos = |name: &str| term.factors.iter().position(|f| f.name == name).unwrap() as u32;
         let mask = (1 << pos("B")) | (1 << pos("D"));
         let elim = eliminable(mask, &term.factors, &term.sum, &rd);
         // B(b,e,f,l)·D(c,d,e,l): e and l appear nowhere else -> eliminated.

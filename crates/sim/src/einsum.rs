@@ -15,9 +15,8 @@ pub fn random_inputs(tree: &ExprTree, seed: u64) -> HashMap<NodeId, Block> {
         .filter(|&id| tree.node(id).is_leaf())
         .map(|id| {
             let t = &tree.node(id).tensor;
-            let name_seed = t.name.bytes().fold(seed, |acc, b| {
-                acc.wrapping_mul(31).wrapping_add(u64::from(b))
-            });
+            let name_seed =
+                t.name.bytes().fold(seed, |acc, b| acc.wrapping_mul(31).wrapping_add(u64::from(b)));
             (id, Block::random(t, &tree.space, name_seed))
         })
         .collect()

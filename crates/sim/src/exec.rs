@@ -169,14 +169,7 @@ pub fn simulate_traced(
     }
     let max_abs_err = assembled.max_abs_diff(&reference[&root]);
     let events = sim.trace.take().unwrap_or_default();
-    Ok((
-        SimReport {
-            metrics: sim.metrics,
-            max_abs_err,
-            result_words: assembled.words(),
-        },
-        events,
-    ))
+    Ok((SimReport { metrics: sim.metrics, max_abs_err, result_words: assembled.words() }, events))
 }
 
 impl<'a> Sim<'a> {
@@ -184,10 +177,34 @@ impl<'a> Sim<'a> {
         self.cm.grid
     }
 
-    /// Record one communication event when tracing.
-    fn record(&mut self, kind: CommKind, bytes: u128, seconds: f64) {
+    /// Record one communication round of `messages` messages. Call sites
+    /// charge [`Metrics`] first, so the round's virtual start time is the
+    /// accumulated simulated clock minus this round's own duration. The
+    /// event goes to the in-memory trace (when tracing) and to the
+    /// installed observability sink as a slice on the step's lane.
+    fn record(&mut self, kind: CommKind, bytes: u128, messages: u64, seconds: f64) {
+        let t_start = (self.metrics.comm_seconds + self.metrics.compute_seconds) - seconds;
+        if tce_obs::enabled() {
+            tce_obs::slice_at(
+                &format!("step {}", self.current_step),
+                kind.name(),
+                t_start * 1e6,
+                seconds * 1e6,
+                vec![
+                    ("bytes".to_string(), bytes.to_string()),
+                    ("messages".to_string(), messages.to_string()),
+                ],
+            );
+        }
         if let Some(log) = &mut self.trace {
-            log.push(CommEvent { step: self.current_step.clone(), kind, bytes, seconds });
+            log.push(CommEvent {
+                step: self.current_step.clone(),
+                kind,
+                bytes,
+                messages,
+                seconds,
+                t_start,
+            });
         }
     }
 
@@ -413,7 +430,7 @@ impl<'a> Sim<'a> {
         }
         self.metrics.comm_seconds += redist_cost;
         self.metrics.messages += self.grid().num_procs() as u64;
-        self.record(CommKind::Redistribute, 0, redist_cost);
+        self.record(CommKind::Redistribute, 0, self.grid().num_procs() as u64, redist_cost);
         self.observe_memory(0);
         Ok(())
     }
@@ -488,13 +505,11 @@ impl<'a> Sim<'a> {
             if let (Some(tr), false) = (travel, is_result) {
                 let t = self.round_time(tr, max_bytes as f64);
                 self.metrics.charge_round(max_bytes, t);
-                self.record(CommKind::Align, max_bytes, t);
+                self.record(CommKind::Align, max_bytes, 1, t);
             }
         }
-        let buffer_words: u128 = current
-            .iter()
-            .map(|v| v.iter().map(|b| b.words()).max().unwrap_or(0))
-            .sum();
+        let buffer_words: u128 =
+            current.iter().map(|v| v.iter().map(|b| b.words()).max().unwrap_or(0)).sum();
         self.observe_memory(buffer_words);
 
         // Without a rotation index the "Cannon" degenerates to one local
@@ -520,8 +535,11 @@ impl<'a> Sim<'a> {
             let flops_per_rank = parallel_local_multiply(&lbl[0], &rbl[0], &mut resbl[0][..]);
             let per_proc_flops = flops_per_rank.iter().copied().max().unwrap_or(0);
             let total_flops: u128 = flops_per_rank.iter().sum();
-            self.metrics
-                .charge_compute(per_proc_flops, total_flops, self.cm.machine.flops_per_proc);
+            self.metrics.charge_compute(
+                per_proc_flops,
+                total_flops,
+                self.cm.machine.flops_per_proc,
+            );
             // Shift rotating blocks (all but the last round).
             if t + 1 < rounds {
                 for (slot, (op, _, _)) in op_info.iter().enumerate() {
@@ -550,8 +568,7 @@ impl<'a> Sim<'a> {
                         continue;
                     }
                     let coord = grid.coord(rank);
-                    let want =
-                        self.block_ranges(result_tensor, step.result_dist, coord, pins);
+                    let want = self.block_ranges(result_tensor, step.result_dist, coord, pins);
                     if want == block.ranges {
                         owner = Some(rank as usize);
                         break;
@@ -566,7 +583,7 @@ impl<'a> Sim<'a> {
             let travel = pat.travel_dim(Operand::Result).expect("result rotates");
             let t = self.round_time(travel, max_bytes as f64);
             self.metrics.charge_round(max_bytes, t);
-            self.record(CommKind::Home, max_bytes, t);
+            self.record(CommKind::Home, max_bytes, 1, t);
         } else {
             // The result never moved: blocks are already home, by rank.
             for (rank, block) in current[2].drain(..).enumerate() {
@@ -613,10 +630,7 @@ impl<'a> Sim<'a> {
         for rank in 0..grid.num_procs() {
             let coord = grid.coord(rank);
             let target = rotation_target(coord, travel, grid);
-            let block = std::mem::replace(
-                &mut blocks[rank as usize],
-                Block::zeros(vec![], vec![]),
-            );
+            let block = std::mem::replace(&mut blocks[rank as usize], Block::zeros(vec![], vec![]));
             max_bytes = max_bytes.max(block.words() * 8);
             next[grid.rank(target) as usize] = Some(block);
         }
@@ -625,7 +639,7 @@ impl<'a> Sim<'a> {
         }
         let t = self.round_time(travel, max_bytes as f64);
         self.metrics.charge_round(max_bytes, t);
-        self.record(CommKind::Shift, max_bytes, t);
+        self.record(CommKind::Shift, max_bytes, 1, t);
     }
 
     /// Reduce / element-wise kernels (plan steps without a Cannon pattern).
@@ -644,8 +658,7 @@ impl<'a> Sim<'a> {
                     per_proc = per_proc.max(flops);
                     total += flops;
                 }
-                self.metrics
-                    .charge_compute(per_proc, total, self.cm.machine.flops_per_proc);
+                self.metrics.charge_compute(per_proc, total, self.cm.machine.flops_per_proc);
                 // If the summed dimension was distributed, combine the
                 // partial sums across that grid dimension (allreduce).
                 if let Some(d) = op.required_dist.position_of(*sum) {
@@ -653,7 +666,12 @@ impl<'a> Sim<'a> {
                     // Charge the model's reduce cost as recorded in the plan.
                     self.metrics.comm_seconds += step.result_rotate_cost;
                     self.metrics.messages += u64::from(grid.extent(d));
-                    self.record(CommKind::Reduce, 0, step.result_rotate_cost);
+                    self.record(
+                        CommKind::Reduce,
+                        0,
+                        u64::from(grid.extent(d)),
+                        step.result_rotate_cost,
+                    );
                 }
                 Ok(())
             }
@@ -685,8 +703,7 @@ impl<'a> Sim<'a> {
                     per_proc = per_proc.max(flops);
                     total += flops;
                 }
-                self.metrics
-                    .charge_compute(per_proc, total, self.cm.machine.flops_per_proc);
+                self.metrics.charge_compute(per_proc, total, self.cm.machine.flops_per_proc);
                 Ok(())
             }
             NodeKind::Leaf => Err(SimError::Inconsistent("kernel on a leaf".into())),
@@ -737,7 +754,7 @@ impl<'a> Sim<'a> {
 
 /// Run every virtual processor's local multiply for one Cannon round.
 /// Above a work threshold the ranks are executed on OS threads via
-/// `crossbeam::scope` (the kernels are data-parallel by construction);
+/// `std::thread::scope` (the kernels are data-parallel by construction);
 /// below it the spawn overhead would dominate and a plain loop wins.
 fn parallel_local_multiply(left: &[Block], right: &[Block], results: &mut [Block]) -> Vec<u128> {
     const PARALLEL_THRESHOLD_WORDS: u128 = 1 << 16;
@@ -749,21 +766,20 @@ fn parallel_local_multiply(left: &[Block], right: &[Block], results: &mut [Block
             .map(|(rank, res)| contract_blocks(&left[rank], &right[rank], res))
             .collect();
     }
-    let flops = parking_lot::Mutex::new(vec![0u128; results.len()]);
-    crossbeam::scope(|scope| {
+    let flops = std::sync::Mutex::new(vec![0u128; results.len()]);
+    std::thread::scope(|scope| {
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).max(1);
         let chunk = results.len().div_ceil(threads);
         for (ci, res_chunk) in results.chunks_mut(chunk).enumerate() {
             let flops = &flops;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, res) in res_chunk.iter_mut().enumerate() {
                     let rank = ci * chunk + off;
                     let f = contract_blocks(&left[rank], &right[rank], res);
-                    flops.lock()[rank] = f;
+                    flops.lock().expect("flops mutex poisoned")[rank] = f;
                 }
             });
         }
-    })
-    .expect("virtual processor threads do not panic");
-    flops.into_inner()
+    });
+    flops.into_inner().expect("flops mutex poisoned")
 }

@@ -9,8 +9,14 @@ pub struct CommEvent {
     pub kind: CommKind,
     /// Bytes per processor in this lockstep round.
     pub bytes: u128,
+    /// Messages charged to [`Metrics::messages`] for this round (1 for a
+    /// lockstep shift; a redistribution or reduction counts each hop).
+    pub messages: u64,
     /// Seconds charged.
     pub seconds: f64,
+    /// Virtual-clock start of the round: simulated seconds (communication
+    /// plus computation) elapsed since the simulation began.
+    pub t_start: f64,
 }
 
 /// The kind of a communication event.
@@ -26,6 +32,34 @@ pub enum CommKind {
     Redistribute,
     /// Reduction combine across a grid dimension.
     Reduce,
+}
+
+impl CommKind {
+    /// Every kind, in declaration order (for per-kind reports).
+    pub const ALL: [CommKind; 5] = [
+        CommKind::Align,
+        CommKind::Shift,
+        CommKind::Home,
+        CommKind::Redistribute,
+        CommKind::Reduce,
+    ];
+
+    /// Display name (also the trace-slice label).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommKind::Align => "Align",
+            CommKind::Shift => "Shift",
+            CommKind::Home => "Home",
+            CommKind::Redistribute => "Redistribute",
+            CommKind::Reduce => "Reduce",
+        }
+    }
+}
+
+impl std::fmt::Display for CommKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Running counters of a simulation.

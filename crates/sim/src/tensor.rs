@@ -151,11 +151,7 @@ impl Block {
     pub fn max_abs_diff(&self, other: &Block) -> f64 {
         assert_eq!(self.dims, other.dims);
         assert_eq!(self.ranges, other.ranges);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -189,10 +185,7 @@ pub fn contract_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 
         .collect();
     let mut flops = 0u128;
     let pick = |b: &Block, point: &[u64]| -> Vec<u64> {
-        b.dims
-            .iter()
-            .map(|&d| point[loop_dims.iter().position(|&x| x == d).unwrap()])
-            .collect()
+        b.dims.iter().map(|&d| point[loop_dims.iter().position(|&x| x == d).unwrap()]).collect()
     };
     for point in BoxIter::new(ranges) {
         let lv = left.get(&pick(left, &point));
@@ -208,13 +201,8 @@ pub fn contract_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 
 pub fn reduce_block(block: &Block, sum: IndexId, result: &mut Block) -> u128 {
     let mut flops = 0u128;
     for point in BoxIter::new(block.ranges.clone()) {
-        let ridx: Vec<u64> = block
-            .dims
-            .iter()
-            .zip(&point)
-            .filter(|(&d, _)| d != sum)
-            .map(|(_, &v)| v)
-            .collect();
+        let ridx: Vec<u64> =
+            block.dims.iter().zip(&point).filter(|(&d, _)| d != sum).map(|(_, &v)| v).collect();
         result.add(&ridx, block.get(&point));
         flops += 1;
     }
@@ -243,10 +231,7 @@ pub fn elementwise_blocks(left: &Block, right: &Block, result: &mut Block) -> u1
         .collect();
     for point in BoxIter::new(ranges) {
         let pick = |b: &Block| -> Vec<u64> {
-            b.dims
-                .iter()
-                .map(|&d| point[result.dim_pos(d).unwrap()])
-                .collect()
+            b.dims.iter().map(|&d| point[result.dim_pos(d).unwrap()]).collect()
         };
         let v = left.get(&pick(left)) * right.get(&pick(right));
         result.add(&point, v);

@@ -90,11 +90,7 @@ fn forced_fusion_still_verifies_and_shrinks_memory() {
     .unwrap();
     assert!(tight.mem_words + tight.max_msg_words <= limit);
     let tight_plan = extract_plan(&tree, &tight);
-    let fused_edges = tight_plan
-        .steps
-        .iter()
-        .filter(|s| !s.result_fusion.is_empty())
-        .count();
+    let fused_edges = tight_plan.steps.iter().filter(|s| !s.result_fusion.is_empty()).count();
     assert!(fused_edges > 0, "the tight limit must force fusion");
     let tight_report = simulate(&tree, &tight_plan, &cm, 7).unwrap();
     // Numerically identical computation.
@@ -243,12 +239,7 @@ S[a,d] = sum[c] T[a,c] * C[c,d];
     };
     let opt = optimize(&tree, &cm, &cfg).unwrap();
     let plan = extract_plan(&tree, &opt);
-    let redist: f64 = plan
-        .steps
-        .iter()
-        .flat_map(|s| &s.operands)
-        .map(|o| o.redist_cost)
-        .sum();
+    let redist: f64 = plan.steps.iter().flat_map(|s| &s.operands).map(|o| o.redist_cost).sum();
     assert!(redist > 0.0, "the fixed patterns must force a redistribution");
     let report = simulate(&tree, &plan, &cm, 77).unwrap();
     assert!(report.max_abs_err < 1e-12, "err {}", report.max_abs_err);
@@ -259,7 +250,7 @@ S[a,d] = sum[c] T[a,c] * C[c,d];
 #[test]
 fn larger_blocks_cross_the_parallel_kernel_threshold() {
     // Extents sized so the per-round work exceeds the executor's
-    // thread-spawn threshold — exercising the crossbeam path — while
+    // thread-spawn threshold — exercising the threaded path — while
     // keeping the test fast.
     let tree = ccsd_tree(PaperExtents { occupied: 4, virtual_small: 8, virtual_large: 24 });
     let cm = cm(4);

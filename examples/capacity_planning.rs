@@ -64,7 +64,9 @@ fn main() {
             Err(e) => println!("  {procs:>4} procs: {e}"),
             Ok(opt) => {
                 let compute = tensor_contraction_opt::cost::compute::tree_compute_time(
-                    &tree, procs, &cm.machine,
+                    &tree,
+                    procs,
+                    &cm.machine,
                 );
                 println!(
                     "  {procs:>4} procs: total {:>7.1} s ({:>6.1} comm + {:>7.1} compute)",

@@ -24,9 +24,7 @@ fn main() {
         let opt = optimize(&tree, &cm, &cfg).expect("feasible");
         let plan = extract_plan(&tree, &opt);
         println!("{}", render_report(&build_report(&tree, &plan, &cm)));
-        println!(
-            "paper reference: {paper_comm} s communication of {paper_total} s total\n"
-        );
+        println!("paper reference: {paper_comm} s communication of {paper_total} s total\n");
 
         // Baseline 1: distribution first (freeze the unfused layout).
         match baselines::distribution_first(&tree, &cm, &cfg) {

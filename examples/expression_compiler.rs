@@ -7,8 +7,8 @@
 //! cargo run --release --example expression_compiler
 //! ```
 
-use tensor_contraction_opt::expr::printer::{render_sequence, render_unfused_loops};
 use tensor_contraction_opt::expr::parse;
+use tensor_contraction_opt::expr::printer::{render_sequence, render_unfused_loops};
 use tensor_contraction_opt::fusion::{code::render_fused, minimize_memory, FusionConfig};
 use tensor_contraction_opt::opmin::lower_program;
 

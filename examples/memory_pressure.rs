@@ -17,10 +17,7 @@ fn main() {
     let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
 
     println!("CCSD-like workload on 16 processors; sweeping the memory limit.\n");
-    println!(
-        "{:>12}  {:>12}  {:>7}  what got fused",
-        "limit/proc", "comm (s)", "fusions"
-    );
+    println!("{:>12}  {:>12}  {:>7}  what got fused", "limit/proc", "comm (s)", "fusions");
 
     let mut last_signature = String::new();
     let mut limit: u128 = 8 * 1024 * 1024 * 1024 / 8; // 8 GB/processor in words

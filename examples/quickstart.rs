@@ -38,8 +38,8 @@ fn main() {
 
     // 2. Pick a machine: 16 processors of the calibrated Itanium-cluster
     //    stand-in (8 nodes × 2 processors, 4 GB/node).
-    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16)
-        .expect("16 is a perfect square");
+    let cm =
+        CostModel::for_square(MachineModel::itanium_cluster(), 16).expect("16 is a perfect square");
 
     // 3. Jointly optimize loop fusion and data distribution under the
     //    per-processor memory limit (§3.3 of the paper).

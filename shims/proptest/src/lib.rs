@@ -1,0 +1,379 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the `proptest!` macro and the strategy subset this workspace
+//! uses — integer/float ranges, `bool::ANY`, and `collection::vec` — over
+//! plain randomized sampling. There is **no shrinking**: a failing case
+//! reports its sampled inputs (via the generated panic message) but is not
+//! minimized. Each test runs a fixed number of cases with a deterministic
+//! per-test seed, so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Cases run per property (overridable with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64)
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]` inside a
+/// `proptest!` invocation. Only the case count is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled executions per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` executions per property (an explicit count
+    /// wins over the `PROPTEST_CASES` environment default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+/// The sampling source handed to strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for one named test.
+    pub fn new(test_name: &str) -> Self {
+        // FNV-1a over the test name: stable, collision-safe enough for a
+        // per-test stream selector.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(h) }
+    }
+
+    /// 64 fresh bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Borrow the generator for `rand`-style sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// `proptest::bool` — boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRunner};
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// An inclusive-low, exclusive-high element-count range, converted from
+    /// the forms `collection::vec` accepts as its length argument.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner.rng().gen_range(self.len.lo..self.len.hi);
+            (0..n).map(|_| self.elem.sample(runner)).collect()
+        }
+    }
+}
+
+/// Minimal regex-shaped string strategy: `&str` patterns of the form
+/// `[class]{m,n}` (one character class, repeated a sampled count) sample
+/// random strings over the class. This covers the workspace's use of
+/// proptest string strategies; other regex syntax is rejected at runtime
+/// with a clear panic rather than silently mis-sampling.
+mod string_pattern {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Expand `[...]` class body into its member characters.
+    fn class_chars(body: &str) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut it = body.chars().peekable();
+        while let Some(c) = it.next() {
+            let lo = if c == '\\' {
+                unescape(it.next().expect("dangling escape in character class"))
+            } else {
+                c
+            };
+            // `a-z` range (a `-` not followed by a range end is literal).
+            if it.peek() == Some(&'-') {
+                let mut ahead = it.clone();
+                ahead.next();
+                if let Some(&hi) = ahead.peek() {
+                    if hi != ']' {
+                        it = ahead;
+                        it.next();
+                        let hi = if hi == '\\' {
+                            unescape(it.next().expect("dangling escape in character class"))
+                        } else {
+                            hi
+                        };
+                        for v in lo as u32..=hi as u32 {
+                            out.push(char::from_u32(v).expect("invalid char range"));
+                        }
+                        continue;
+                    }
+                }
+            }
+            out.push(lo);
+        }
+        out
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, runner: &mut TestRunner) -> String {
+            let pat = *self;
+            // Find the first unescaped `]` closing the class.
+            let (body, rest) = pat
+                .strip_prefix('[')
+                .and_then(|r| {
+                    let bytes = r.as_bytes();
+                    let mut i = 0;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b']' => return Some((&r[..i], &r[i + 1..])),
+                            _ => i += 1,
+                        }
+                    }
+                    None
+                })
+                .unwrap_or_else(|| {
+                    panic!("unsupported string pattern `{pat}` (expected `[class]{{m,n}}`)")
+                });
+            let counts =
+                rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')).unwrap_or_else(|| {
+                    panic!("unsupported string pattern `{pat}` (expected `[class]{{m,n}}`)")
+                });
+            let (m, n) = counts
+                .split_once(',')
+                .map(|(a, b)| (a.trim().parse().unwrap(), b.trim().parse().unwrap()))
+                .unwrap_or_else(|| {
+                    let k = counts.trim().parse().expect("bad repeat count");
+                    (k, k)
+                });
+            let chars = class_chars(body);
+            assert!(!chars.is_empty(), "empty character class in `{pat}`");
+            let len = runner.rng().gen_range(m..=n);
+            (0..len).map(|_| chars[runner.rng().gen_range(0..chars.len())]).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRunner,
+    };
+}
+
+/// Boolean property assertion (plain `assert!` semantics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running [`cases`] sampled executions. On a panic,
+/// the failing case's sampled arguments are printed for reproduction.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(cause) = result {
+                    eprintln!(
+                        concat!(
+                            "proptest case {} of ", stringify!($name), " failed with inputs:",
+                            $("\n  ", stringify!($arg), " = {:?}",)+
+                        ),
+                        case, $(&$arg),+
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..$crate::cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut runner);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(cause) = result {
+                    eprintln!(
+                        concat!(
+                            "proptest case {} of ", stringify!($name), " failed with inputs:",
+                            $("\n  ", stringify!($arg), " = {:?}",)+
+                        ),
+                        case, $(&$arg),+
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..4, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(xs in crate::collection::vec(0usize..5, 0..8)) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn bool_any_compiles(b in crate::bool::ANY) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRunner::new("t");
+        let mut b = TestRunner::new("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRunner::new("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,198 @@
+//! The JSON value model shared by the `serde` and `serde_json` shims.
+
+/// A JSON number. Integral values keep their full `u128`/`i128` precision
+/// (message volumes and word counts in this workspace exceed `f64`'s exact
+/// integer range).
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer.
+    UInt(u128),
+    /// A negative integer.
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// As `u128`, when integral and in range.
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Number::UInt(u) => Some(u),
+            Number::Int(i) => u128::try_from(i).ok(),
+            Number::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= 2f64.powi(127) => {
+                Some(f as u128)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `i128`, when integral and in range.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::UInt(u) => i128::try_from(u).ok(),
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() <= 2f64.powi(126) => Some(f as i128),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (integers convert with possible precision loss).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(u) => u as f64,
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_u128(), other.as_u128()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // One side integral-in-range, the other not: compare as
+                // floats (covers negative vs positive and float vs int).
+            }
+        }
+        match (self.as_i128(), other.as_i128()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {}
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+/// A parsed or constructed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a key of an object; panics on non-objects.
+    pub fn insert(&mut self, key: &str, value: Value) {
+        let Value::Object(fields) = self else { panic!("insert on non-object JSON value") };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_owned(), value)),
+        }
+    }
+
+    /// The string contents, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u128().and_then(|u| u64::try_from(u).ok()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u128`, if an integral number in range.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::Number(n) => n.as_u128(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Escape and quote a string per JSON.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a number as a JSON literal. Non-finite floats (which JSON cannot
+/// represent) render as `null`, matching serde_json's lossy behavior only
+/// in spirit — this workspace never serializes them.
+pub fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::UInt(u) => out.push_str(&u.to_string()),
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip float form; it always
+            // contains a `.` or an exponent, so the value re-parses as a
+            // float rather than collapsing into an integer.
+            out.push_str(&format!("{f:?}"));
+        }
+        Number::Float(_) => out.push_str("null"),
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with the bare `proc_macro` API (no `syn`, which
+//! the offline build cannot fetch) and generates `Serialize`/`Deserialize`
+//! impls for the three item shapes the workspace uses:
+//!
+//! * named-field structs (honoring `#[serde(skip)]`),
+//! * tuple structs (single-field newtypes serialize transparently, wider
+//!   ones as arrays),
+//! * enums with unit variants only (serialized as the variant name).
+//!
+//! Anything else — generics, data-carrying variants, other `#[serde]`
+//! options — is rejected with a compile-time panic so a future change
+//! fails loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    /// Named-field struct.
+    Named(Vec<Field>),
+    /// Tuple struct with `arity` fields.
+    Tuple(usize),
+    /// Enum of unit variants.
+    Unit(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// True when the attribute group (the `[...]` contents) is `serde(skip)`.
+/// Panics on any other `serde(...)` option.
+fn serde_skip_attr(inner: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = inner.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        panic!("unsupported bare #[serde] attribute")
+    };
+    let args: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+    if args == ["skip"] {
+        return true;
+    }
+    panic!("unsupported #[serde({})] option in offline serde_derive", args.join(""));
+}
+
+/// Consume attributes at the cursor, returning whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else { panic!("malformed attribute") };
+        assert_eq!(g.delimiter(), Delimiter::Bracket, "malformed attribute");
+        skip |= serde_skip_attr(g.stream());
+        *pos += 2;
+    }
+    skip
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn eat_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip one field type: everything up to a top-level `,` (or the end),
+/// tracking `<...>` nesting so `HashMap<String, IndexId>` stays one type.
+fn eat_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_vis(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!("expected field name, found {:?}", tokens.get(pos).map(|t| t.to_string()))
+        };
+        let name = name.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        eat_type(&tokens, &mut pos);
+        pos += 1; // the separating comma (or one past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        assert!(!skip, "#[serde(skip)] on tuple fields is not supported");
+        eat_vis(&tokens, &mut pos);
+        eat_type(&tokens, &mut pos);
+        pos += 1;
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else { panic!("expected variant name") };
+        variants.push(name.to_string());
+        pos += 1;
+        match tokens.get(pos) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(other) => panic!(
+                "only unit enum variants are supported by the offline serde_derive \
+                 (found `{other}` after variant `{}`)",
+                variants.last().unwrap()
+            ),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos);
+    eat_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(pos) else { panic!("expected item name") };
+    let name = name.to_string();
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("generic items are not supported by the offline serde_derive");
+        }
+    }
+    let body = match (kind.as_str(), tokens.get(pos)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(parse_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Unit(parse_unit_variants(g.stream()))
+        }
+        (k, other) => panic!("unsupported {k} body: {other:?}"),
+    };
+    Item { name, body }
+}
+
+/// Derive `Serialize` (see crate docs for the supported shapes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(arity) => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String(\"{v}\".to_string())"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `Deserialize` (see crate docs for the supported shapes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: Default::default()", f.name)
+                    } else {
+                        format!("{0}: ::serde::de_field(v, \"{0}\")?", f.name)
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Tuple(arity) => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::de_element(v, {i}, {arity})?")).collect();
+            format!("Ok({name}({}))", elems.join(", "))
+        }
+        Body::Unit(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v})")).collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => Err(::serde::DeError(format!(\n\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => Err(::serde::DeError::expected(\"string\", other)),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -11,8 +11,17 @@
 //! `range`/`input` declarations followed by contraction statements; terms
 //! with three or more factors are decomposed by operation minimization
 //! automatically.
+//!
+//! Observability: `--trace out.json` writes a Chrome trace-event file
+//! (open in `chrome://tracing` or Perfetto) of the DP search (optimize) or
+//! the simulated communication timeline (simulate); `--stats` prints the
+//! search/communication summary tables.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+
+use tensor_contraction_opt::obs;
+use tensor_contraction_opt::obs::ChromeTraceSink;
 
 use tensor_contraction_opt::core::{
     build_report, extract_plan, optimize, render_plan_dot, render_report, root_frontier,
@@ -43,15 +52,52 @@ struct Args {
     /// `d1,d2` required output layout.
     output_dist: Option<String>,
     seed: u64,
+    /// Chrome trace-event output path.
+    trace: Option<String>,
+    /// Print the search/communication statistics tables.
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tce <optimize|compile|simulate|frontier> <file.tce> \
-         [--procs N] [--mem-gb G] [--asym F] [--replication] \
-         [--unrelated-rotation] [--dot] [--json] [--spmd] [--plan plan.json] \
-         [--pin-input NAME=d1,d2]... [--output-dist d1,d2] [--seed S]"
+        "usage: tce <command> <file.tce> [options]
+
+commands:
+  optimize   run the memory-constrained communication optimization and
+             print the report and plan
+  compile    print the formula sequence, unfused loops, and memory-minimal
+             fused loops
+  simulate   execute the plan on the virtual cluster, verify against the
+             sequential reference, and report simulated time
+  frontier   print the memory/communication Pareto frontier at the root
+
+options:
+  --procs N              processors in the (square) virtual grid [16]
+  --mem-gb G             per-node memory limit in GB (overrides the model)
+  --asym F               dim2 links F times slower than dim1 links [1.0]
+  --replication          also search replicated (undistributed) layouts
+  --unrelated-rotation   also rotate arrays not carrying all fused loops
+  --pin-input NAME=d1,d2 fix an input array's initial distribution
+  --output-dist d1,d2    require the final output in this distribution
+  --seed S               RNG seed for simulate's input data [42]
+  --plan plan.json       simulate: replay a saved plan instead of optimizing
+  --dot                  optimize: emit the plan as Graphviz dot
+  --json                 optimize: emit the plan as JSON (with an
+                         `observability` section of search counters)
+  --spmd                 optimize: emit SPMD pseudocode for the plan
+  --trace out.json       write a Chrome trace-event file (chrome://tracing,
+                         Perfetto): DP-search spans and counters (optimize)
+                         or the virtual-time communication timeline
+                         (simulate)
+  --stats                print search statistics (optimize) and per-kind
+                         communication totals (simulate)"
     );
+    ExitCode::from(2)
+}
+
+/// Report a malformed flag value and exit with code 2.
+fn bad_value(flag: &str, value: &str) -> ExitCode {
+    eprintln!("invalid value `{value}` for {flag}");
     ExitCode::from(2)
 }
 
@@ -74,6 +120,8 @@ fn parse_args() -> Result<Args, ExitCode> {
         pin_inputs: Vec::new(),
         output_dist: None,
         seed: 42,
+        trace: None,
+        stats: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -82,13 +130,21 @@ fn parse_args() -> Result<Args, ExitCode> {
                 usage()
             })
         };
+        // Parse a flag's value, exiting 2 with a named message when it is
+        // malformed (`--procs sixteen` must not panic).
+        macro_rules! parsed {
+            ($flag:literal) => {{
+                let raw = value($flag)?;
+                raw.parse().map_err(|_| bad_value($flag, &raw))?
+            }};
+        }
         match flag.as_str() {
-            "--procs" => args.procs = value("--procs")?.parse().map_err(|_| usage())?,
-            "--mem-gb" => {
-                args.mem_gb = Some(value("--mem-gb")?.parse().map_err(|_| usage())?)
-            }
-            "--asym" => args.asym = value("--asym")?.parse().map_err(|_| usage())?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|_| usage())?,
+            "--procs" => args.procs = parsed!("--procs"),
+            "--mem-gb" => args.mem_gb = Some(parsed!("--mem-gb")),
+            "--asym" => args.asym = parsed!("--asym"),
+            "--seed" => args.seed = parsed!("--seed"),
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--stats" => args.stats = true,
             "--replication" => args.allow_replication = true,
             "--unrelated-rotation" => args.allow_unrelated_rotation = true,
             "--dot" => args.dot = true,
@@ -138,9 +194,8 @@ fn parse_dist(
     spec: &str,
     tree: &ExprTree,
 ) -> Result<tensor_contraction_opt::dist::Distribution, String> {
-    let (a, b) = spec
-        .split_once(',')
-        .ok_or_else(|| format!("distribution `{spec}` must be `d1,d2`"))?;
+    let (a, b) =
+        spec.split_once(',').ok_or_else(|| format!("distribution `{spec}` must be `d1,d2`"))?;
     let look = |n: &str| {
         tree.space
             .lookup(n.trim())
@@ -162,6 +217,45 @@ fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
         cfg.output_dist = Some(parse_dist(spec, tree)?);
     }
     Ok(cfg)
+}
+
+/// Run `f` with a Chrome trace sink installed when `--trace` was given,
+/// writing the trace file afterwards (even when `f` fails partway — a
+/// partial timeline is exactly what debugging a failure needs).
+fn with_trace<T>(path: Option<&str>, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    let Some(path) = path else { return f() };
+    let sink = Arc::new(ChromeTraceSink::new());
+    obs::install(sink.clone());
+    let result = f();
+    obs::uninstall();
+    sink.write_to(std::path::Path::new(path)).map_err(|e| format!("writing trace {path}: {e}"))?;
+    eprintln!("wrote Chrome trace to {path} ({} events)", sink.len());
+    result
+}
+
+/// The `observability` section of `--json` output: the run's search
+/// counters plus the per-node breakdown.
+fn observability_json(opt: &tensor_contraction_opt::core::Optimized) -> serde_json::Value {
+    use serde_json::{Number, Value};
+    let num = |v: u64| Value::Number(Number::UInt(u128::from(v)));
+    let counters =
+        Value::Object(opt.counters.iter().map(|(name, v)| (name.to_string(), num(v))).collect());
+    let nodes = Value::Array(
+        opt.stats
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(s.name.clone())),
+                    ("candidates".to_string(), num(s.candidates)),
+                    ("pruned_inferior".to_string(), num(s.pruned_inferior)),
+                    ("pruned_memory".to_string(), num(s.pruned_memory)),
+                    ("redist_fallbacks".to_string(), num(s.redist_fallbacks)),
+                    ("live".to_string(), num(s.live as u64)),
+                ])
+            })
+            .collect(),
+    );
+    Value::Object(vec![("counters".to_string(), counters), ("nodes".to_string(), nodes)])
 }
 
 fn main() -> ExitCode {
@@ -188,9 +282,17 @@ fn main() -> ExitCode {
 fn cmd_optimize(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
-    let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+    let cfg = opt_config(args, &tree)?;
+    let opt = with_trace(args.trace.as_deref(), || {
+        optimize(&tree, &cm, &cfg).map_err(|e| e.to_string())
+    })?;
     let plan = extract_plan(&tree, &opt);
     validate_plan(&tree, &plan)?;
+    if args.stats {
+        println!("search statistics:");
+        print!("{}", tensor_contraction_opt::core::render_search_stats(&opt));
+        println!();
+    }
     if opt.output_redist_cost > 0.0 {
         println!(
             "(final output redistribution into the requested layout: {:.1} s)",
@@ -202,14 +304,14 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     if args.json {
-        println!("{}", plan.to_json());
+        let mut v: serde_json::Value = serde_json::from_str(&plan.to_json())
+            .map_err(|e| format!("internal plan JSON error: {e}"))?;
+        v.insert("observability", observability_json(&opt));
+        println!("{}", serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?);
         return Ok(());
     }
     if args.spmd {
-        print!(
-            "{}",
-            tensor_contraction_opt::core::render_spmd(&tree, &plan, args.procs)
-        );
+        print!("{}", tensor_contraction_opt::core::render_spmd(&tree, &plan, args.procs));
         return Ok(());
     }
     print!("{}", render_report(&build_report(&tree, &plan, &cm)));
@@ -267,8 +369,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             extract_plan(&tree, &opt)
         }
     };
-    let (report, events) =
-        simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(|e| e.to_string())?;
+    let (report, events) = with_trace(args.trace.as_deref(), || {
+        simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(|e| e.to_string())
+    })?;
     println!(
         "simulated {} processors: comm {:.4} s (predicted {:.4} s), compute {:.4} s",
         args.procs, report.metrics.comm_seconds, plan.comm_cost, report.metrics.compute_seconds
@@ -292,6 +395,21 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     println!("per-step communication:");
     for (step, secs) in by_step {
         println!("  {step}: {secs:.4} s");
+    }
+    if args.stats {
+        use tensor_contraction_opt::sim::CommKind;
+        println!("communication by kind:");
+        println!("  {:<12} {:>8} {:>16} {:>12}", "kind", "rounds", "bytes/proc", "seconds");
+        for kind in CommKind::ALL {
+            let rounds = events.iter().filter(|e| e.kind == kind).count();
+            let bytes: u128 = events.iter().filter(|e| e.kind == kind).map(|e| e.bytes).sum();
+            let secs = events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .map(|e| e.seconds)
+                .fold(0.0_f64, |a, b| a + b);
+            println!("  {:<12} {:>8} {:>16} {:>12.4}", kind.name(), rounds, bytes, secs);
+        }
     }
     if report.max_abs_err > 1e-9 {
         return Err("verification failed".into());
@@ -361,6 +479,8 @@ mod tests {
             pin_inputs: vec![("A".into(), "i,k".into())],
             output_dist: Some("i,j".into()),
             seed: 1,
+            trace: None,
+            stats: false,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);

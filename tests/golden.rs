@@ -4,7 +4,9 @@
 //! readable diff — update `golden/` only after re-validating against the
 //! paper (EXPERIMENTS.md).
 
-use tensor_contraction_opt::core::{build_report, extract_plan, optimize, render_report, OptimizerConfig};
+use tensor_contraction_opt::core::{
+    build_report, extract_plan, optimize, render_report, OptimizerConfig,
+};
 use tensor_contraction_opt::cost::{CostModel, MachineModel};
 use tensor_contraction_opt::expr::examples::{ccsd_tree, PAPER_EXTENTS};
 

@@ -1,0 +1,124 @@
+//! The simulator's aggregate `Metrics` must be exactly the sum of its
+//! per-round `CommEvent` log: every charge to `comm_seconds`,
+//! `volume_bytes`, and `messages` goes through `record()`, so the event
+//! log is a lossless decomposition of the totals. Checked across every
+//! `.tce` workload shipped in `workloads/` (extents clamped so the big
+//! paper-scale inputs stay executable).
+
+use tensor_contraction_opt::core::{extract_plan, optimize, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::parse;
+use tensor_contraction_opt::opmin::lower_program;
+use tensor_contraction_opt::sim::{simulate_traced, CommKind};
+
+/// Rewrite `range … = N;` declarations so no extent exceeds `max`,
+/// keeping paper-scale workloads executable with real data.
+fn clamp_extents(src: &str, max: u128) -> String {
+    src.lines()
+        .map(|line| {
+            let t = line.trim_start();
+            if !t.starts_with("range") {
+                return line.to_string();
+            }
+            // A line may hold several `range … = N;` declarations.
+            line.split(';')
+                .map(|part| match part.split_once('=') {
+                    Some((head, val)) => {
+                        let n: u128 = val.trim().parse().unwrap_or(max);
+                        format!("{head}= {}", n.min(max))
+                    }
+                    None => part.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(";")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn workload_sources() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("workloads dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tce") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable workload");
+            out.push((name, src));
+        }
+    }
+    out.sort();
+    assert!(!out.is_empty(), "no workloads found in {dir}");
+    out
+}
+
+#[test]
+fn event_log_decomposes_metrics_for_every_workload() {
+    for (name, raw) in workload_sources() {
+        let src = clamp_extents(&raw, 8);
+        let prog = parse(&src).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let tree = lower_program(&prog)
+            .unwrap_or_else(|e| panic!("{name}: lower: {e}"))
+            .to_tree()
+            .unwrap_or_else(|e| panic!("{name}: tree: {e}"));
+        let cm = CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap();
+        let cfg = OptimizerConfig { mem_limit_words: Some(u128::MAX), ..Default::default() };
+        let opt = optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name}: optimize: {e}"));
+        let plan = extract_plan(&tree, &opt);
+        let (report, events) = simulate_traced(&tree, &plan, &cm, 7, true)
+            .unwrap_or_else(|e| panic!("{name}: simulate: {e}"));
+        assert!(report.max_abs_err < 1e-9, "{name}: err {}", report.max_abs_err);
+
+        let m = &report.metrics;
+        assert_eq!(
+            events.is_empty(),
+            m.messages == 0,
+            "{name}: event log and message count disagree on whether any \
+             communication happened"
+        );
+        let bytes: u128 = events.iter().map(|e| e.bytes).sum();
+        assert_eq!(bytes, m.volume_bytes, "{name}: event bytes vs volume_bytes");
+
+        let messages: u64 = events.iter().map(|e| e.messages).sum();
+        assert_eq!(messages, m.messages, "{name}: event messages vs messages");
+
+        let seconds: f64 = events.iter().map(|e| e.seconds).sum();
+        let tol = 1e-9 * m.comm_seconds.max(1.0);
+        assert!(
+            (seconds - m.comm_seconds).abs() <= tol,
+            "{name}: event seconds {seconds} vs comm_seconds {}",
+            m.comm_seconds
+        );
+
+        // Virtual-clock sanity: every round starts inside the simulated
+        // time span and never extends past it.
+        let span = m.comm_seconds + m.compute_seconds;
+        for e in &events {
+            assert!(e.t_start >= -tol, "{name}/{}: t_start {}", e.step, e.t_start);
+            assert!(
+                e.t_start + e.seconds <= span + tol,
+                "{name}/{}: round ends at {} > span {span}",
+                e.step,
+                e.t_start + e.seconds
+            );
+        }
+    }
+}
+
+/// The shipped `ccsd_tiny.tce` is constructed so its optimal plan
+/// exercises every communication kind the simulator models (this backs
+/// the CLI trace-coverage guarantee documented in `workloads/README.md`).
+#[test]
+fn ccsd_tiny_covers_every_comm_kind() {
+    let src =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/ccsd_tiny.tce"))
+            .unwrap();
+    let tree = lower_program(&parse(&src).unwrap()).unwrap().to_tree().unwrap();
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap();
+    let opt = optimize(&tree, &cm, &OptimizerConfig::default()).unwrap();
+    let plan = extract_plan(&tree, &opt);
+    let (_, events) = simulate_traced(&tree, &plan, &cm, 42, true).unwrap();
+    for kind in CommKind::ALL {
+        assert!(events.iter().any(|e| e.kind == kind), "ccsd_tiny plan emits no {kind} rounds");
+    }
+}

@@ -75,11 +75,7 @@ fn memory_pressure_preserves_semantics() {
                 let plan = extract_plan(&tree, &opt);
                 validate_plan(&tree, &plan).unwrap();
                 let sim = simulate(&tree, &plan, &cm, 5).unwrap();
-                assert!(
-                    sim.max_abs_err < 1e-10,
-                    "limit {limit}: err {}",
-                    sim.max_abs_err
-                );
+                assert!(sim.max_abs_err < 1e-10, "limit {limit}: err {}", sim.max_abs_err);
                 assert!(opt.mem_words + opt.max_msg_words <= limit);
                 plans_seen += 1;
             }

@@ -144,9 +144,9 @@ fn even_chain(seed: u64) -> tensor_contraction_opt::expr::ExprTree {
         let n = base.node(id);
         let new = match &n.kind {
             NodeKind::Leaf => out.add_leaf(n.tensor.clone()),
-            NodeKind::Contract { sum, left, right } => out
-                .add_contract(n.tensor.clone(), sum.clone(), map[left], map[right])
-                .unwrap(),
+            NodeKind::Contract { sum, left, right } => {
+                out.add_contract(n.tensor.clone(), sum.clone(), map[left], map[right]).unwrap()
+            }
             NodeKind::Reduce { sum, child } => {
                 out.add_reduce(n.tensor.clone(), *sum, map[child]).unwrap()
             }
