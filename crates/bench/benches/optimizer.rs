@@ -37,6 +37,29 @@ fn bench_pruning_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread scaling of the per-node candidate enumeration, on the enlarged
+/// search space (replication + unrelated rotation) where the candidate
+/// stream is large enough for the workers to matter. Results are
+/// bit-identical across thread counts, so this measures pure wall-clock.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let tree = paper_tree();
+    let cm = paper_cost_model(64);
+    let mut g = c.benchmark_group("optimizer/threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let cfg = OptimizerConfig {
+            threads,
+            allow_replication: true,
+            allow_unrelated_rotation: true,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| optimize(&tree, &cm, &cfg).unwrap().comm_cost)
+        });
+    }
+    g.finish();
+}
+
 fn bench_tree_depth(c: &mut Criterion) {
     let cm = paper_cost_model(16);
     let mut g = c.benchmark_group("optimizer/depth");
@@ -62,5 +85,11 @@ fn bench_tree_depth(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_paper_tables, bench_pruning_ablation, bench_tree_depth);
+criterion_group!(
+    benches,
+    bench_paper_tables,
+    bench_pruning_ablation,
+    bench_thread_scaling,
+    bench_tree_depth
+);
 criterion_main!(benches);

@@ -14,8 +14,9 @@
 //! cannot be extended into a better complete solution).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use tce_cost::CostModel;
+use tce_cost::{CostMemo, CostModel};
 use tce_dist::{dist_size, enumerate_patterns, CannonPattern, Distribution, GridDim, Operand};
 use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind};
 use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
@@ -60,6 +61,12 @@ pub struct OptimizerConfig {
     /// Required final distribution of the root output; the plan pays a
     /// final redistribution when the best production layout differs.
     pub output_dist: Option<Distribution>,
+    /// Worker threads for the per-node candidate enumeration (`0` = use
+    /// [`std::thread::available_parallelism`]). Any thread count produces
+    /// bit-identical plans, costs, and search counters: workers take
+    /// contiguous chunks of the serial candidate stream and their frontiers
+    /// are merged back in chunk order (see [`SolutionSet::absorb`]).
+    pub threads: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -74,6 +81,7 @@ impl Default for OptimizerConfig {
             fixed_patterns: None,
             input_dists: HashMap::new(),
             output_dist: None,
+            threads: 0,
         }
     }
 }
@@ -109,7 +117,7 @@ impl std::error::Error for OptimizeError {}
 /// A per-node view over the run's [`tce_obs::Counters`]: each field is the
 /// node's contribution to the correspondingly named counter in
 /// [`Optimized::counters`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Array name of the node.
     pub name: String,
@@ -150,6 +158,64 @@ pub struct Optimized {
     pub counters: tce_obs::Counters,
 }
 
+/// Reject `input_dists` entries that could never take effect: a name that
+/// matches no input array, or a layout that is invalid for the named
+/// array's dimensions. Both used to be ignored silently, leaving the array
+/// freely distributable — a pin that silently does nothing is a lie in the
+/// cost report.
+fn validate_input_dists(tree: &ExprTree, cfg: &OptimizerConfig) -> Result<(), OptimizeError> {
+    if cfg.input_dists.is_empty() {
+        return Ok(());
+    }
+    // Sort so the reported name does not depend on hash-map order.
+    let mut names: Vec<&String> = cfg.input_dists.keys().collect();
+    names.sort();
+    for name in names {
+        let dist = cfg.input_dists[name];
+        let leaf = tree
+            .postorder()
+            .into_iter()
+            .map(|id| tree.node(id))
+            .find(|n| n.is_leaf() && n.tensor.name == **name);
+        match leaf {
+            None => {
+                return Err(OptimizeError::Unsupported(format!(
+                    "initial distribution given for `{name}`, which is not an input array"
+                )))
+            }
+            Some(n) if !dist.is_valid_for(&n.tensor) => {
+                return Err(OptimizeError::Unsupported(format!(
+                    "initial distribution {} is not valid for input `{name}`",
+                    dist.render(&tree.space)
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// Choose the winning root solution: the cheapest **live** solution with an
+/// empty fusion that fits the limit (final redistribution included in the
+/// comparison). The scan must not touch the rest of `SolutionSet::all`:
+/// it also stores entries evicted by later dominators (kept only so
+/// back-pointers stay valid), and on a cost tie an evicted entry earlier in
+/// storage order would win — selecting a dead solution that wastes memory.
+fn select_root_index(
+    set: &SolutionSet,
+    limit: u128,
+    final_redist: impl Fn(Distribution) -> f64,
+) -> Option<usize> {
+    set.live_indices()
+        .into_iter()
+        .filter(|&i| set.all[i].fusion.is_empty() && set.all[i].footprint_words() <= limit)
+        .min_by(|&a, &b| {
+            let ca = set.all[a].comm_cost + final_redist(set.all[a].dist);
+            let cb = set.all[b].comm_cost + final_redist(set.all[b].dist);
+            ca.total_cmp(&cb)
+        })
+}
+
 /// Run the §3.3 dynamic programming.
 pub fn optimize(
     tree: &ExprTree,
@@ -161,11 +227,18 @@ pub fn optimize(
             "the expression tree computes nothing (its root is an input array)".into(),
         ));
     }
+    validate_input_dists(tree, cfg)?;
     let limit = cfg.mem_limit_words.unwrap_or_else(|| cm.mem_limit_words());
+    let threads = match cfg.threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    let memo = CostMemo::with_shards((threads * 4).max(16));
     let mut sets: HashMap<NodeId, SolutionSet> = HashMap::new();
     let mut stats = Vec::new();
     let mut counters = tce_obs::Counters::new();
     let mut run_span = tce_obs::span("dp", "optimize");
+    run_span.arg("threads", threads);
 
     for node in tree.postorder() {
         let n = tree.node(node);
@@ -178,7 +251,7 @@ pub fn optimize(
             None => enumerate_prefixes(&edge_candidates(tree, node), cfg.max_prefix_len),
         };
         let mut set = SolutionSet::with_pruning(!cfg.disable_pruning);
-        match &n.kind {
+        let enum_stats = match &n.kind {
             NodeKind::Contract { left, right, .. } => {
                 if let Ok(groups) = tree.contraction_groups(node) {
                     let patterns = match cfg.fixed_patterns.as_ref().and_then(|m| m.get(&node)) {
@@ -189,6 +262,8 @@ pub fn optimize(
                         tree,
                         cm,
                         cfg,
+                        &memo,
+                        threads,
                         node,
                         *left,
                         *right,
@@ -197,7 +272,7 @@ pub fn optimize(
                         &sets,
                         limit,
                         &mut set,
-                    );
+                    )
                 } else {
                     // Element-wise multiplication (shared non-summed
                     // indices, e.g. Fig. 1's T3 = T1 × T2): aligned
@@ -206,6 +281,8 @@ pub fn optimize(
                         tree,
                         cm,
                         cfg,
+                        &memo,
+                        threads,
                         node,
                         *left,
                         *right,
@@ -213,35 +290,42 @@ pub fn optimize(
                         &sets,
                         limit,
                         &mut set,
-                    );
+                    )
                 }
             }
-            NodeKind::Reduce { sum, child } => {
-                combine_reduce(
-                    tree,
-                    cm,
-                    cfg,
-                    node,
-                    *child,
-                    *sum,
-                    &my_prefixes,
-                    &sets,
-                    limit,
-                    &mut set,
-                );
-            }
+            NodeKind::Reduce { sum, child } => combine_reduce(
+                tree,
+                cm,
+                cfg,
+                &memo,
+                threads,
+                node,
+                *child,
+                *sum,
+                &my_prefixes,
+                &sets,
+                limit,
+                &mut set,
+            ),
             NodeKind::Leaf => unreachable!(),
-        }
+        };
         counters.add(tce_obs::names::NODES, 1);
         counters.add(tce_obs::names::CANDIDATES, set.candidates_seen);
         counters.add(tce_obs::names::PRUNED_INFERIOR, set.pruned_inferior);
         counters.add(tce_obs::names::PRUNED_MEMORY, set.pruned_memory);
         counters.add(tce_obs::names::REDIST_FALLBACKS, set.redist_fallbacks);
         counters.add(tce_obs::names::FRONTIER, set.total_live());
+        // Memo totals are cumulative over the run; `set` overwrites the
+        // previous node's sample. Hit/miss counts depend on how worker
+        // threads interleave, so equivalence checks must skip them.
+        counters.set(tce_obs::names::MEMO_HIT, memo.hits());
+        counters.set(tce_obs::names::MEMO_MISS, memo.misses());
         node_span.arg("candidates", set.candidates_seen);
         node_span.arg("pruned_inferior", set.pruned_inferior);
         node_span.arg("pruned_memory", set.pruned_memory);
         node_span.arg("live", set.live_len());
+        node_span.arg("workers", enum_stats.workers);
+        node_span.arg("merge_us", enum_stats.merge_us);
         drop(node_span);
         // Sample the cumulative counters so the trace shows them growing
         // node by node.
@@ -257,28 +341,27 @@ pub fn optimize(
         sets.insert(node, set);
     }
 
-    let root_set = &sets[&tree.root()];
-    let root_tensor = &tree.node(tree.root()).tensor;
+    let root = tree.root();
+    let root_set = &sets[&root];
+    let root_tensor = &tree.node(root).tensor;
     // A required final layout charges each candidate the redistribution
     // from its production layout (§3.3: "we do not require the final
     // results to be distributed in any particular way" — unless asked).
     let final_redist = |dist: Distribution| -> f64 {
         match cfg.output_dist {
             None => 0.0,
-            Some(target) => {
-                cm.redistribution_cost(root_tensor, &tree.space, dist, target, &IndexSet::new())
-            }
+            Some(target) => memo.redistribution_cost(
+                cm,
+                root.0,
+                root_tensor,
+                &tree.space,
+                dist,
+                target,
+                &IndexSet::new(),
+            ),
         }
     };
-    let best_index = root_set
-        .all
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.fusion.is_empty() && s.footprint_words() <= limit)
-        .min_by(|(_, a), (_, b)| {
-            (a.comm_cost + final_redist(a.dist)).total_cmp(&(b.comm_cost + final_redist(b.dist)))
-        })
-        .map(|(i, _)| i)
+    let best_index = select_root_index(root_set, limit, final_redist)
         .ok_or(OptimizeError::NoFeasibleSolution { limit_words: limit })?;
     let best = &root_set.all[best_index];
     let output_redist_cost = final_redist(best.dist);
@@ -298,6 +381,56 @@ pub fn optimize(
     })
 }
 
+/// How a node's candidate enumeration ran (surfaced as span args).
+struct EnumStats {
+    /// Worker threads actually used (1 = ran inline).
+    workers: usize,
+    /// Time spent merging worker-local frontiers, microseconds.
+    merge_us: u128,
+}
+
+/// Split `items` — each item standing for one contiguous run of the node's
+/// serial candidate stream — across scoped worker threads. Every worker
+/// filters its chunk into a thread-local [`SolutionSet`]; the locals are
+/// then merged into `out` in chunk order. Dominance is transitive, so this
+/// reproduces the serial frontier, storage order, and counters exactly
+/// (see [`SolutionSet::absorb`]).
+fn run_partitioned<T: Sync>(
+    items: &[T],
+    threads: usize,
+    out: &mut SolutionSet,
+    chunk_fn: impl Fn(&[T], &mut SolutionSet) + Sync,
+) -> EnumStats {
+    /// Below this chunk size, spawn/merge overhead beats the parallelism.
+    const MIN_ITEMS_PER_WORKER: usize = 32;
+    let workers = threads.min(items.len().div_ceil(MIN_ITEMS_PER_WORKER)).max(1);
+    if workers == 1 {
+        chunk_fn(items, out);
+        return EnumStats { workers: 1, merge_us: 0 };
+    }
+    let pruning = out.pruning_enabled();
+    let mut locals = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let chunk = &items[w * items.len() / workers..(w + 1) * items.len() / workers];
+                let chunk_fn = &chunk_fn;
+                s.spawn(move || {
+                    let mut local = SolutionSet::with_pruning(pruning);
+                    chunk_fn(chunk, &mut local);
+                    local
+                })
+            })
+            .collect();
+        locals.extend(handles.into_iter().map(|h| h.join().expect("search worker panicked")));
+    });
+    let merge_start = Instant::now();
+    for local in locals {
+        out.absorb(local);
+    }
+    EnumStats { workers, merge_us: merge_start.elapsed().as_micros() }
+}
+
 /// A way to obtain one child array in a required layout.
 struct ChildOpt {
     sol_index: usize,
@@ -310,10 +443,12 @@ struct ChildOpt {
 
 /// Enumerate the ways child `c` can supply its array in `required` layout
 /// with fusion `f` on the edge.
+#[allow(clippy::too_many_arguments)]
 fn child_options(
     tree: &ExprTree,
     cm: &CostModel,
     cfg: &OptimizerConfig,
+    memo: &CostMemo,
     c: NodeId,
     f: &FusionPrefix,
     required: Distribution,
@@ -330,13 +465,17 @@ fn child_options(
         }
         let mem = dist_size(&n.tensor, &tree.space, cm.grid, required, &IndexSet::new());
         let (produced, redist) = match cfg.input_dists.get(&n.tensor.name) {
-            Some(&given) if given.is_valid_for(&n.tensor) => {
+            // `optimize` validated every pinned layout up front, so a hit
+            // here is known to be valid for the array.
+            Some(&given) => {
                 // A fused edge cannot redistribute mid-stream; the given
                 // layout must already match.
                 if !f.is_empty() && given != required {
                     return vec![];
                 }
-                let cost = cm.redistribution_cost(
+                let cost = memo.redistribution_cost(
+                    cm,
+                    c.0,
                     &n.tensor,
                     &tree.space,
                     given,
@@ -345,7 +484,7 @@ fn child_options(
                 );
                 (given, cost)
             }
-            _ => (required, 0.0),
+            None => (required, 0.0),
         };
         return vec![ChildOpt {
             sol_index: usize::MAX,
@@ -364,7 +503,9 @@ fn child_options(
             .into_iter()
             .map(|i| {
                 let s = &set.all[i];
-                let redist = cm.redistribution_cost(
+                let redist = memo.redistribution_cost(
+                    cm,
+                    c.0,
                     &n.tensor,
                     &tree.space,
                     s.dist,
@@ -411,12 +552,10 @@ fn child_fusions(
     sets: &HashMap<NodeId, SolutionSet>,
 ) -> Vec<FusionPrefix> {
     if tree.node(c).is_leaf() {
-        match &cfg.fixed_fusion {
-            // Fixed configurations pin the internal edges but leave leaf
-            // message slicing free (it has no memory side).
-            Some(_) => enumerate_prefixes(&edge_candidates(tree, c), cfg.max_prefix_len),
-            None => enumerate_prefixes(&edge_candidates(tree, c), cfg.max_prefix_len),
-        }
+        // Leaf message slicing has no memory consequences, so leaf edges
+        // keep their full prefix menu even under a fixed fusion
+        // configuration (`cfg.fixed_fusion` pins only the internal edges).
+        enumerate_prefixes(&edge_candidates(tree, c), cfg.max_prefix_len)
     } else {
         sets[&c].fusions()
     }
@@ -427,6 +566,8 @@ fn combine_contraction(
     tree: &ExprTree,
     cm: &CostModel,
     cfg: &OptimizerConfig,
+    memo: &CostMemo,
+    threads: usize,
     node: NodeId,
     left: NodeId,
     right: NodeId,
@@ -435,21 +576,21 @@ fn combine_contraction(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) {
+) -> EnumStats {
     let space = &tree.space;
     let lf_all = child_fusions(tree, cfg, left, sets);
     let rf_all = child_fusions(tree, cfg, right, sets);
 
     // Pre-filter chain-compatible (f_left, f_right, f_up) triples.
-    let mut triples: Vec<(&FusionPrefix, &FusionPrefix, &FusionPrefix)> = Vec::new();
-    for fl in &lf_all {
-        for fr in &rf_all {
+    let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+    for (li, fl) in lf_all.iter().enumerate() {
+        for (ri, fr) in rf_all.iter().enumerate() {
             if !fl.chain_compatible(fr) {
                 continue;
             }
-            for fu in my_prefixes {
+            for (ui, fu) in my_prefixes.iter().enumerate() {
                 if fu.chain_compatible(fl) && fu.chain_compatible(fr) {
-                    triples.push((fl, fr, fu));
+                    triples.push((li, ri, ui));
                 }
             }
         }
@@ -459,13 +600,26 @@ fn combine_contraction(
     let left_tensor = &tree.node(left).tensor;
     let right_tensor = &tree.node(right).tensor;
 
-    for pat in patterns {
-        let ldist = pat.operand_dist(Operand::Left);
-        let rdist = pat.operand_dist(Operand::Right);
-        let odist = pat.operand_dist(Operand::Result);
-        let rot_index = pat.rotation_index();
+    // One item per (pattern, triple), pattern-major — the serial nesting
+    // order, so worker chunks are contiguous runs of the serial candidate
+    // stream (the precondition of [`SolutionSet::absorb`]).
+    let items: Vec<(usize, usize)> =
+        (0..patterns.len()).flat_map(|p| (0..triples.len()).map(move |t| (p, t))).collect();
 
-        for &(fl, fr, fu) in &triples {
+    run_partitioned(&items, threads, out, |chunk, local| {
+        // Child options depend only on (edge fusion, required layout), not
+        // on which pattern/triple asked — cache them per worker.
+        let mut lcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        let mut rcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        for &(p, t) in chunk {
+            let pat = &patterns[p];
+            let ldist = pat.operand_dist(Operand::Left);
+            let rdist = pat.operand_dist(Operand::Right);
+            let odist = pat.operand_dist(Operand::Result);
+            let rot_index = pat.rotation_index();
+            let (li, ri, ui) = triples[t];
+            let (fl, fr, fu) = (&lf_all[li], &rf_all[ri], &my_prefixes[ui]);
+
             // The fused loops surrounding this contraction.
             let surrounding = fl.join(fr).join(fu).clone();
             // The rotation step loop cannot be fused around the contraction.
@@ -507,14 +661,22 @@ fn combine_contraction(
             // Rotation costs and message sizes at this contraction.
             let mut rotate = [0.0f64; 3]; // left, right, result
             let mut msg = [0u128; 3];
-            for (slot, op, tensor, dist) in [
-                (0usize, Operand::Left, left_tensor, ldist),
-                (1, Operand::Right, right_tensor, rdist),
-                (2, Operand::Result, result_tensor, odist),
+            for (slot, op, id, tensor, dist) in [
+                (0usize, Operand::Left, left, left_tensor, ldist),
+                (1, Operand::Right, right, right_tensor, rdist),
+                (2, Operand::Result, node, result_tensor, odist),
             ] {
                 if let Some(travel) = pat.travel_dim(op) {
-                    rotate[slot] =
-                        cm.rotate_cost_surrounded(tensor, space, dist, travel, &surround_set, trip);
+                    rotate[slot] = memo.rotate_cost_surrounded(
+                        cm,
+                        id.0,
+                        tensor,
+                        space,
+                        dist,
+                        travel,
+                        &surround_set,
+                        trip,
+                    );
                     msg[slot] = tce_cost::rotate::message_words(
                         tensor,
                         space,
@@ -527,8 +689,14 @@ fn combine_contraction(
 
             let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
 
-            for lopt in child_options(tree, cm, cfg, left, fl, ldist, sets) {
-                for ropt in child_options(tree, cm, cfg, right, fr, rdist, sets) {
+            let lopts = lcache
+                .entry((li, ldist))
+                .or_insert_with(|| child_options(tree, cm, cfg, memo, left, fl, ldist, sets));
+            let ropts = rcache
+                .entry((ri, rdist))
+                .or_insert_with(|| child_options(tree, cm, cfg, memo, right, fr, rdist, sets));
+            for lopt in lopts.iter() {
+                for ropt in ropts.iter() {
                     let comm_cost = lopt.comm_cost
                         + ropt.comm_cost
                         + lopt.redist_cost
@@ -568,7 +736,7 @@ fn combine_contraction(
                         result_rotate_cost: rotate[2],
                         surrounding: surrounding.clone(),
                     };
-                    out.insert(
+                    local.insert(
                         Solution {
                             dist: odist,
                             fusion: fu.clone(),
@@ -582,7 +750,7 @@ fn combine_contraction(
                 }
             }
         }
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -590,6 +758,8 @@ fn combine_elementwise(
     tree: &ExprTree,
     cm: &CostModel,
     cfg: &OptimizerConfig,
+    memo: &CostMemo,
+    threads: usize,
     node: NodeId,
     left: NodeId,
     right: NodeId,
@@ -597,7 +767,7 @@ fn combine_elementwise(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) {
+) -> EnumStats {
     let space = &tree.space;
     let result_tensor = &tree.node(node).tensor;
     let dims = result_tensor.dim_set();
@@ -611,68 +781,87 @@ fn combine_elementwise(
         d2: d.d2.filter(|&i| t.has_dim(i)),
     };
 
-    for &odist in &dists {
-        let ldist = restrict(odist, &tree.node(left).tensor);
-        let rdist = restrict(odist, &tree.node(right).tensor);
-        for fl in &lf_all {
-            for fr in &rf_all {
-                if !fl.chain_compatible(fr) {
-                    continue;
-                }
-                for fu in my_prefixes {
-                    if !fu.chain_compatible(fl) || !fu.chain_compatible(fr) {
-                        continue;
-                    }
-                    let surrounding = fl.join(fr).join(fu).clone();
-                    let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
-                    for lopt in child_options(tree, cm, cfg, left, fl, ldist, sets) {
-                        for ropt in child_options(tree, cm, cfg, right, fr, rdist, sets) {
-                            let comm_cost = lopt.comm_cost
-                                + ropt.comm_cost
-                                + lopt.redist_cost
-                                + ropt.redist_cost;
-                            let choice = Choice {
-                                pattern: None,
-                                children: vec![
-                                    ChildBinding {
-                                        node: left,
-                                        sol_index: lopt.sol_index,
-                                        produced_dist: lopt.produced,
-                                        required_dist: ldist,
-                                        fusion: fl.clone(),
-                                        redist_cost: lopt.redist_cost,
-                                        rotate_cost: 0.0,
-                                    },
-                                    ChildBinding {
-                                        node: right,
-                                        sol_index: ropt.sol_index,
-                                        produced_dist: ropt.produced,
-                                        required_dist: rdist,
-                                        fusion: fr.clone(),
-                                        redist_cost: ropt.redist_cost,
-                                        rotate_cost: 0.0,
-                                    },
-                                ],
-                                result_rotate_cost: 0.0,
-                                surrounding: surrounding.clone(),
-                            };
-                            out.insert(
-                                Solution {
-                                    dist: odist,
-                                    fusion: fu.clone(),
-                                    comm_cost,
-                                    mem_words: lopt.mem_words + ropt.mem_words + my_mem,
-                                    max_msg_words: lopt.max_msg_words.max(ropt.max_msg_words),
-                                    choice: Some(Box::new(choice)),
-                                },
-                                limit,
-                            );
-                        }
-                    }
+    // Chain-compatible (f_left, f_right, f_up) triples, in the serial
+    // nesting order (they do not depend on the distribution).
+    let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+    for (li, fl) in lf_all.iter().enumerate() {
+        for (ri, fr) in rf_all.iter().enumerate() {
+            if !fl.chain_compatible(fr) {
+                continue;
+            }
+            for (ui, fu) in my_prefixes.iter().enumerate() {
+                if fu.chain_compatible(fl) && fu.chain_compatible(fr) {
+                    triples.push((li, ri, ui));
                 }
             }
         }
     }
+
+    // Distribution-major order mirrors the serial loop nest.
+    let items: Vec<(usize, usize)> =
+        (0..dists.len()).flat_map(|d| (0..triples.len()).map(move |t| (d, t))).collect();
+
+    run_partitioned(&items, threads, out, |chunk, local| {
+        let mut lcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        let mut rcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        for &(d, t) in chunk {
+            let odist = dists[d];
+            let ldist = restrict(odist, &tree.node(left).tensor);
+            let rdist = restrict(odist, &tree.node(right).tensor);
+            let (li, ri, ui) = triples[t];
+            let (fl, fr, fu) = (&lf_all[li], &rf_all[ri], &my_prefixes[ui]);
+            let surrounding = fl.join(fr).join(fu).clone();
+            let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
+            let lopts = lcache
+                .entry((li, ldist))
+                .or_insert_with(|| child_options(tree, cm, cfg, memo, left, fl, ldist, sets));
+            let ropts = rcache
+                .entry((ri, rdist))
+                .or_insert_with(|| child_options(tree, cm, cfg, memo, right, fr, rdist, sets));
+            for lopt in lopts.iter() {
+                for ropt in ropts.iter() {
+                    let comm_cost =
+                        lopt.comm_cost + ropt.comm_cost + lopt.redist_cost + ropt.redist_cost;
+                    let choice = Choice {
+                        pattern: None,
+                        children: vec![
+                            ChildBinding {
+                                node: left,
+                                sol_index: lopt.sol_index,
+                                produced_dist: lopt.produced,
+                                required_dist: ldist,
+                                fusion: fl.clone(),
+                                redist_cost: lopt.redist_cost,
+                                rotate_cost: 0.0,
+                            },
+                            ChildBinding {
+                                node: right,
+                                sol_index: ropt.sol_index,
+                                produced_dist: ropt.produced,
+                                required_dist: rdist,
+                                fusion: fr.clone(),
+                                redist_cost: ropt.redist_cost,
+                                rotate_cost: 0.0,
+                            },
+                        ],
+                        result_rotate_cost: 0.0,
+                        surrounding: surrounding.clone(),
+                    };
+                    local.insert(
+                        Solution {
+                            dist: odist,
+                            fusion: fu.clone(),
+                            comm_cost,
+                            mem_words: lopt.mem_words + ropt.mem_words + my_mem,
+                            max_msg_words: lopt.max_msg_words.max(ropt.max_msg_words),
+                            choice: Some(Box::new(choice)),
+                        },
+                        limit,
+                    );
+                }
+            }
+        }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -680,6 +869,8 @@ fn combine_reduce(
     tree: &ExprTree,
     cm: &CostModel,
     cfg: &OptimizerConfig,
+    memo: &CostMemo,
+    threads: usize,
     node: NodeId,
     child: NodeId,
     sum: IndexId,
@@ -687,7 +878,7 @@ fn combine_reduce(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) {
+) -> EnumStats {
     let space = &tree.space;
     let result_tensor = &tree.node(node).tensor;
     let child_tensor = &tree.node(child).tensor;
@@ -698,83 +889,98 @@ fn combine_reduce(
         cfg.allow_replication || child_tensor.arity() < 2,
     );
 
-    for &cdist in &cdists {
-        // The summed dimension disappears; if it was distributed along d,
-        // a reduction across grid dimension d combines the partial sums and
-        // the result is no longer distributed along d.
-        let (odist, reduce_dim) = match cdist.position_of(sum) {
-            Some(GridDim::Dim1) => (Distribution { d1: None, d2: cdist.d2 }, Some(GridDim::Dim1)),
-            Some(GridDim::Dim2) => (Distribution { d1: cdist.d1, d2: None }, Some(GridDim::Dim2)),
-            None => (cdist, None),
-        };
-        for fc in &cf_all {
-            if fc.contains(sum) {
-                continue; // the summed loop belongs to this node, not the edge
-            }
-            for fu in my_prefixes {
-                if !fu.chain_compatible(fc) {
-                    continue;
-                }
-                let surrounding = fc.join(fu).clone();
-                let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
-                // Reduction cost: a ring combine of the (sliced) result
-                // block across the reduce dimension, repeated per fused
-                // surrounding iteration.
-                let reduce_cost = match reduce_dim {
-                    None => 0.0,
-                    Some(d) => {
-                        let sliced = surrounding.as_set().intersection(&result_tensor.dim_set());
-                        let words = dist_size(result_tensor, space, cm.grid, odist, &sliced);
-                        let factor: u128 = surrounding
-                            .iter()
-                            .map(|j| {
-                                odist
-                                    .position_of(j)
-                                    .map(|dd| {
-                                        tce_dist::block_len(space.extent(j), cm.grid.extent(dd))
-                                    })
-                                    .unwrap_or_else(|| space.extent(j))
-                                    as u128
-                            })
-                            .product();
-                        factor as f64
-                            * cm.chr.rcost(
-                                cm.grid.extent(d),
-                                d,
-                                (words * tce_cost::units::WORD_BYTES) as f64,
-                            )
-                    }
-                };
-                for copt in child_options(tree, cm, cfg, child, fc, cdist, sets) {
-                    let choice = Choice {
-                        pattern: None,
-                        children: vec![ChildBinding {
-                            node: child,
-                            sol_index: copt.sol_index,
-                            produced_dist: copt.produced,
-                            required_dist: cdist,
-                            fusion: fc.clone(),
-                            redist_cost: copt.redist_cost,
-                            rotate_cost: 0.0,
-                        }],
-                        result_rotate_cost: reduce_cost,
-                        surrounding: surrounding.clone(),
-                    };
-                    out.insert(
-                        Solution {
-                            dist: odist,
-                            fusion: fu.clone(),
-                            comm_cost: copt.comm_cost + copt.redist_cost + reduce_cost,
-                            mem_words: copt.mem_words + my_mem,
-                            max_msg_words: copt.max_msg_words,
-                            choice: Some(Box::new(choice)),
-                        },
-                        limit,
-                    );
-                }
+    // Compatible (f_child, f_up) pairs, in the serial nesting order (the
+    // filters do not depend on the child distribution).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (ci, fc) in cf_all.iter().enumerate() {
+        if fc.contains(sum) {
+            continue; // the summed loop belongs to this node, not the edge
+        }
+        for (ui, fu) in my_prefixes.iter().enumerate() {
+            if fu.chain_compatible(fc) {
+                pairs.push((ci, ui));
             }
         }
     }
+
+    // Distribution-major order mirrors the serial loop nest.
+    let items: Vec<(usize, usize)> =
+        (0..cdists.len()).flat_map(|d| (0..pairs.len()).map(move |p| (d, p))).collect();
+
+    run_partitioned(&items, threads, out, |chunk, local| {
+        let mut ccache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        for &(d, p) in chunk {
+            let cdist = cdists[d];
+            // The summed dimension disappears; if it was distributed along
+            // d, a reduction across grid dimension d combines the partial
+            // sums and the result is no longer distributed along d.
+            let (odist, reduce_dim) = match cdist.position_of(sum) {
+                Some(GridDim::Dim1) => {
+                    (Distribution { d1: None, d2: cdist.d2 }, Some(GridDim::Dim1))
+                }
+                Some(GridDim::Dim2) => {
+                    (Distribution { d1: cdist.d1, d2: None }, Some(GridDim::Dim2))
+                }
+                None => (cdist, None),
+            };
+            let (ci, ui) = pairs[p];
+            let (fc, fu) = (&cf_all[ci], &my_prefixes[ui]);
+            let surrounding = fc.join(fu).clone();
+            let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
+            // Reduction cost: a ring combine of the (sliced) result block
+            // across the reduce dimension, repeated per fused surrounding
+            // iteration — exactly the memoized rotate kernel's formula with
+            // the result array travelling the freed grid dimension.
+            let reduce_cost = match reduce_dim {
+                None => 0.0,
+                Some(rd) => memo.rotate_cost_surrounded(
+                    cm,
+                    node.0,
+                    result_tensor,
+                    space,
+                    odist,
+                    rd,
+                    &surrounding.as_set(),
+                    |j: IndexId| -> u64 {
+                        odist
+                            .position_of(j)
+                            .map(|dd| tce_dist::block_len(space.extent(j), cm.grid.extent(dd)))
+                            .unwrap_or_else(|| space.extent(j))
+                    },
+                ),
+            };
+            let copts = ccache
+                .entry((ci, cdist))
+                .or_insert_with(|| child_options(tree, cm, cfg, memo, child, fc, cdist, sets));
+            for copt in copts.iter() {
+                let choice = Choice {
+                    pattern: None,
+                    children: vec![ChildBinding {
+                        node: child,
+                        sol_index: copt.sol_index,
+                        produced_dist: copt.produced,
+                        required_dist: cdist,
+                        fusion: fc.clone(),
+                        redist_cost: copt.redist_cost,
+                        rotate_cost: 0.0,
+                    }],
+                    result_rotate_cost: reduce_cost,
+                    surrounding: surrounding.clone(),
+                };
+                local.insert(
+                    Solution {
+                        dist: odist,
+                        fusion: fu.clone(),
+                        comm_cost: copt.comm_cost + copt.redist_cost + reduce_cost,
+                        mem_words: copt.mem_words + my_mem,
+                        max_msg_words: copt.max_msg_words,
+                        choice: Some(Box::new(choice)),
+                    },
+                    limit,
+                );
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -828,6 +1034,77 @@ S[t] = sum[j] T3[j,t];
         for op in &t3.operands {
             assert_eq!(op.rotate_cost, 0.0);
         }
+    }
+
+    /// On a cost tie between a live solution and one it evicted, the root
+    /// scan must pick the live one. The dominated entry still sits in
+    /// `all` (dead storage for back-pointers) *before* its evictor, so a
+    /// scan over `all` would return it from `min_by`'s first-wins
+    /// tie-break — resurrecting a solution that wastes memory.
+    #[test]
+    fn root_scan_skips_evicted_solutions_on_cost_ties() {
+        let mut sp = tce_expr::IndexSpace::new();
+        let a = sp.declare("a", 4);
+        let b = sp.declare("b", 4);
+        let d = Distribution::pair(a, b);
+        let mk = |mem: u128| Solution {
+            dist: d,
+            fusion: FusionPrefix::empty(),
+            comm_cost: 10.0,
+            mem_words: mem,
+            max_msg_words: 0,
+            choice: None,
+        };
+        let mut set = SolutionSet::new();
+        set.insert(mk(100), u128::MAX);
+        set.insert(mk(50), u128::MAX); // same cost, less memory: evicts #0
+        assert_eq!(set.all.len(), 2, "the evicted entry must stay in storage");
+        assert_eq!(set.live_indices(), vec![1]);
+        let best = select_root_index(&set, u128::MAX, |_| 0.0);
+        assert_eq!(best, Some(1), "the dead twin at index 0 must not win the tie");
+    }
+
+    /// An `input_dists` entry naming a non-existent input is an error, not
+    /// a silent no-op.
+    #[test]
+    fn unknown_input_dist_name_is_rejected() {
+        let src = "range i = 8; range j = 8; range k = 8;\ninput A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let i = tree.space.lookup("i").unwrap();
+        let k = tree.space.lookup("k").unwrap();
+        let mut cfg = OptimizerConfig::default();
+        cfg.input_dists.insert("Z".into(), Distribution::pair(i, k));
+        let err = optimize(&tree, &cm4(), &cfg).unwrap_err();
+        match err {
+            OptimizeError::Unsupported(m) => {
+                assert!(m.contains("`Z`") && m.contains("not an input array"), "{m}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    /// An `input_dists` layout that is invalid for the named array (here:
+    /// distributing A[i,k] along j) is an error, not a silent no-op.
+    #[test]
+    fn invalid_input_dist_layout_is_rejected() {
+        let src = "range i = 8; range j = 8; range k = 8;\ninput A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let i = tree.space.lookup("i").unwrap();
+        let j = tree.space.lookup("j").unwrap();
+        let mut cfg = OptimizerConfig::default();
+        cfg.input_dists.insert("A".into(), Distribution::pair(i, j));
+        let err = optimize(&tree, &cm4(), &cfg).unwrap_err();
+        match err {
+            OptimizeError::Unsupported(m) => {
+                assert!(m.contains("not valid for input `A`"), "{m}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // The same layout on B (which has j) is accepted.
+        let mut cfg = OptimizerConfig::default();
+        let kk = tree.space.lookup("k").unwrap();
+        cfg.input_dists.insert("B".into(), Distribution::pair(kk, j));
+        optimize(&tree, &cm4(), &cfg).unwrap();
     }
 
     /// Fixed-pattern restriction is honored verbatim.

@@ -149,6 +149,12 @@ impl SolutionSet {
             self.pruned_memory += 1;
             return false;
         }
+        self.insert_checked(sol)
+    }
+
+    /// The dominance half of [`Self::insert`]: the candidate has already
+    /// been counted and has already passed the memory limit.
+    fn insert_checked(&mut self, sol: Solution) -> bool {
         let key = (sol.dist, sol.fusion.clone());
         let slot = self.by_key.entry(key).or_default();
         if self.pruning_enabled {
@@ -163,6 +169,34 @@ impl SolutionSet {
         slot.push(self.all.len());
         self.all.push(sol);
         true
+    }
+
+    /// Fold a worker-local set into this one, replaying the worker's
+    /// accepted candidates *in their original insertion order* through the
+    /// dominance filter.
+    ///
+    /// Because dominance (`≤` on cost, memory, and buffer) is transitive,
+    /// merging per-worker sets in the order their chunks partition the
+    /// serial candidate stream reproduces the serial search *exactly*: each
+    /// candidate's accept/reject outcome, the storage order of `all` (and
+    /// thus every `sol_index` back-pointer and tie-break), and the
+    /// `candidates_seen`/`pruned_*` totals are all bit-identical to a
+    /// single-threaded run. A worker-local rejection (the dominator sat in
+    /// the same chunk) and a merge-time rejection (the dominator sat in an
+    /// earlier chunk) are the same rejection the serial run counted once.
+    ///
+    /// The caller must construct `other` with the same pruning mode; its
+    /// entries already passed the shared memory limit, so no limit is
+    /// re-checked here.
+    pub fn absorb(&mut self, other: SolutionSet) {
+        debug_assert_eq!(self.pruning_enabled, other.pruning_enabled);
+        self.candidates_seen += other.candidates_seen;
+        self.pruned_inferior += other.pruned_inferior;
+        self.pruned_memory += other.pruned_memory;
+        self.redist_fallbacks += other.redist_fallbacks;
+        for sol in other.all {
+            self.insert_checked(sol);
+        }
     }
 
     /// Live solutions for a `(dist, fusion)` key.
@@ -197,6 +231,22 @@ impl SolutionSet {
         self.by_key.values().map(|v| v.len()).sum()
     }
 
+    /// Indices into [`Self::all`] of the live (non-dominated) solutions, in
+    /// insertion order. `all` itself also holds entries evicted by later
+    /// dominators — kept only so back-pointers stay valid — so any scan
+    /// choosing a winner must restrict itself to these indices.
+    pub fn live_indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.by_key.values().flatten().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether dominance pruning is on (workers mirror this mode into their
+    /// local sets so [`Self::absorb`] merges like with like).
+    pub fn pruning_enabled(&self) -> bool {
+        self.pruning_enabled
+    }
+
     /// Candidates offered to this set (before any pruning) — the
     /// denominator of the §3.3 pruning-effectiveness numbers.
     pub fn total_candidates(&self) -> u64 {
@@ -218,8 +268,8 @@ impl SolutionSet {
         self.candidates_seen as f64 / self.live_len() as f64
     }
 
-    /// Index of the cheapest live solution, optionally restricted to an
-    /// empty fusion (the root), or `None` when the set is empty.
+    /// Index of the cheapest live solution over every `(dist, fusion)` key
+    /// (ties broken toward lower memory), or `None` when the set is empty.
     pub fn best(&self) -> Option<usize> {
         self.by_key.values().flatten().copied().min_by(|&a, &b| {
             self.all[a]
@@ -311,6 +361,76 @@ mod tests {
         assert_eq!(set.total_live(), 2);
         assert_eq!(set.total_live(), set.live_len() as u64);
         assert_eq!(set.reduction_factor(), 2.0);
+    }
+
+    #[test]
+    fn live_indices_exclude_evicted_entries() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        set.insert(sol(d2, 3.0, 10, 1), u128::MAX);
+        set.insert(sol(d1, 9.0, 90, 4), u128::MAX); // evicts index 0
+        assert_eq!(set.all.len(), 3);
+        assert_eq!(set.live_indices(), vec![1, 2]);
+    }
+
+    /// Splitting one candidate stream across worker-local sets and
+    /// absorbing them in order must reproduce the serial set exactly:
+    /// same `all` order, same live indices, same counters.
+    #[test]
+    fn absorb_replays_the_serial_stream() {
+        let (d1, d2) = dists();
+        // A stream exercising accept, cross-chunk rejection, same-chunk
+        // rejection, eviction across chunks, and a memory-limit prune.
+        let stream = [
+            sol(d1, 10.0, 100, 5),
+            sol(d2, 7.0, 70, 3),
+            sol(d1, 11.0, 120, 6), // dominated by #0
+            sol(d1, 8.0, 150, 5),  // Pareto vs #0 (cheaper, fatter)
+            sol(d1, 12.0, 130, 7), // dominated by #0 (cross-chunk at merge)
+            sol(d2, 6.0, 60, 2),   // evicts #1
+            sol(d2, 5.0, 500, 2),  // over the limit
+            sol(d1, 10.0, 100, 5), // dominated (equal) by #0
+        ];
+        let limit = 400u128;
+        let mut serial = SolutionSet::new();
+        for s in &stream {
+            serial.insert(s.clone(), limit);
+        }
+        for split in 1..stream.len() {
+            let mut merged = SolutionSet::new();
+            for chunk in [&stream[..split], &stream[split..]] {
+                let mut local = SolutionSet::new();
+                for s in chunk {
+                    local.insert(s.clone(), limit);
+                }
+                merged.absorb(local);
+            }
+            assert_eq!(merged.all.len(), serial.all.len(), "split at {split}");
+            for (a, b) in merged.all.iter().zip(serial.all.iter()) {
+                assert_eq!(a.comm_cost.to_bits(), b.comm_cost.to_bits());
+                assert_eq!(a.mem_words, b.mem_words);
+                assert_eq!(a.max_msg_words, b.max_msg_words);
+            }
+            assert_eq!(merged.live_indices(), serial.live_indices(), "split at {split}");
+            assert_eq!(merged.candidates_seen, serial.candidates_seen);
+            assert_eq!(merged.pruned_inferior, serial.pruned_inferior, "split at {split}");
+            assert_eq!(merged.pruned_memory, serial.pruned_memory);
+        }
+    }
+
+    #[test]
+    fn absorb_with_pruning_disabled_concatenates() {
+        let (d1, _) = dists();
+        let mut out = SolutionSet::with_pruning(false);
+        let mut local = SolutionSet::with_pruning(false);
+        local.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        local.insert(sol(d1, 11.0, 120, 6), u128::MAX); // dominated but kept
+        out.absorb(local);
+        assert_eq!(out.all.len(), 2);
+        assert_eq!(out.live_len(), 2);
+        assert_eq!(out.candidates_seen, 2);
+        assert_eq!(out.pruned_inferior, 0);
     }
 
     #[test]

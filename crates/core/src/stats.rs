@@ -33,6 +33,14 @@ pub fn render_search_stats(opt: &Optimized) -> String {
         c.get(tce_obs::names::NODES),
         candidates as f64 / (frontier.max(1)) as f64,
     );
+    let (hits, misses) = (c.get(tce_obs::names::MEMO_HIT), c.get(tce_obs::names::MEMO_MISS));
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "cost memo: {hits} hits, {misses} misses ({:.1}% hit rate)",
+            100.0 * hits as f64 / (hits + misses) as f64,
+        );
+    }
     out
 }
 
@@ -53,6 +61,7 @@ mod tests {
         let text = render_search_stats(&opt);
         assert!(text.contains("candidates"), "{text}");
         assert!(text.contains('C'), "{text}");
+        assert!(text.contains("cost memo:"), "{text}");
 
         // The totals line agrees with both the counters bag and the
         // per-set accessors.

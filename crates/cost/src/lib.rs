@@ -13,12 +13,15 @@
 //! * [`compute`] — flop-time model for headline totals;
 //! * [`units`] — the paper's quirky MB/GB conventions, so
 //!   regenerated tables match digit for digit;
-//! * [`CostModel`] — the bundle handed to the optimizer.
+//! * [`CostModel`] — the bundle handed to the optimizer;
+//! * [`CostMemo`] — a per-run, thread-shared memo table in front of the
+//!   redistribution and rotation kernels.
 
 #![warn(missing_docs)]
 
 pub mod compute;
 mod machine;
+mod memo;
 mod model;
 pub mod rcost;
 pub mod redist;
@@ -26,5 +29,6 @@ pub mod rotate;
 pub mod units;
 
 pub use machine::MachineModel;
+pub use memo::CostMemo;
 pub use model::CostModel;
 pub use rcost::{characterize, Characterization, GridTable, RCostPoint};

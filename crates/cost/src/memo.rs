@@ -1,0 +1,256 @@
+//! Per-run memoization of the search's hot cost kernels.
+//!
+//! The §3.3 dynamic program re-prices the same redistribution and rotation
+//! over and over: every `(pattern, fusion-triple)` combination at a node
+//! asks for the same `(tensor, from, to)` redistributions and the same
+//! `(tensor, α, travel)` rotation bases thousands of times. A [`CostMemo`]
+//! sits in front of [`CostModel::redistribution_cost`] and
+//! [`CostModel::rotate_cost_surrounded`] and caches the answers for the
+//! lifetime of one optimizer run.
+//!
+//! The table is sharded behind small mutexes so parallel search workers
+//! share it without serializing on one lock; hit/miss totals are kept in a
+//! lock-free [`tce_obs::AtomicCounters`] bag and surface as the
+//! `dp.memo_hit` / `dp.memo_miss` counters of the run.
+//!
+//! Memoized values are computed by exactly the formulas the un-memoized
+//! entry points use, so a memoized search returns bit-identical costs.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use tce_dist::{dist_size, Distribution, GridDim};
+use tce_expr::{IndexId, IndexSet, IndexSpace, Tensor};
+use tce_obs::AtomicCounters;
+
+use crate::model::CostModel;
+use crate::units::WORD_BYTES;
+
+/// One priced kernel invocation. `tensor` is a caller-chosen stable id of
+/// the array (the optimizer uses the expression-tree node id), which is
+/// cheaper and collision-free compared to hashing the dimension list; the
+/// grid and machine are fixed for the memo's lifetime and need no key part.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    /// `redistribution_cost(tensor, from, to, fused)`.
+    Redist { tensor: u32, from: Distribution, to: Distribution, fused: IndexSet },
+    /// The factor-independent base of `rotate_cost_surrounded`:
+    /// `RCost(DistSize(tensor, alpha, sliced), travel)`. The surrounding
+    /// trip-count product varies per pattern and multiplies the cached base
+    /// at lookup time.
+    Rotate { tensor: u32, alpha: Distribution, travel: GridDim, sliced: IndexSet },
+}
+
+fn shard_of(key: &Key, shards: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+/// Sharded `(kernel arguments) → cost` table for one optimizer run.
+pub struct CostMemo {
+    shards: Vec<Mutex<HashMap<Key, f64>>>,
+    counters: AtomicCounters,
+}
+
+impl Default for CostMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostMemo {
+    /// A memo with the default shard count (plenty for the worker counts
+    /// the search uses).
+    pub fn new() -> Self {
+        Self::with_shards(16)
+    }
+
+    /// A memo with `shards` independently locked partitions.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            counters: AtomicCounters::new(&[tce_obs::names::MEMO_HIT, tce_obs::names::MEMO_MISS]),
+        }
+    }
+
+    fn lookup_or(&self, key: Key, compute: impl FnOnce() -> f64) -> f64 {
+        let shard = &self.shards[shard_of(&key, self.shards.len())];
+        if let Some(&v) = shard.lock().expect("memo shard poisoned").get(&key) {
+            self.counters.add(tce_obs::names::MEMO_HIT, 1);
+            return v;
+        }
+        // Compute outside the lock: kernels are pure, so two workers racing
+        // on the same key store the same value (one insert wins, both are
+        // misses — which is why memo counters are interleaving-dependent).
+        self.counters.add(tce_obs::names::MEMO_MISS, 1);
+        let v = compute();
+        self.shards[shard_of(&key, self.shards.len())]
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(key, v);
+        v
+    }
+
+    /// Memoized [`CostModel::redistribution_cost`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn redistribution_cost(
+        &self,
+        cm: &CostModel,
+        tensor_id: u32,
+        tensor: &Tensor,
+        space: &IndexSpace,
+        from: Distribution,
+        to: Distribution,
+        fused: &IndexSet,
+    ) -> f64 {
+        if from == to {
+            return 0.0; // the kernel's own fast path — not worth a table hit
+        }
+        let key = Key::Redist { tensor: tensor_id, from, to, fused: fused.clone() };
+        self.lookup_or(key, || cm.redistribution_cost(tensor, space, from, to, fused))
+    }
+
+    /// Memoized [`CostModel::rotate_cost_surrounded`]: the distribution- and
+    /// travel-dependent base is cached; the per-pattern trip-count factor is
+    /// recomputed (it is a handful of multiplies) and applied per call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rotate_cost_surrounded(
+        &self,
+        cm: &CostModel,
+        tensor_id: u32,
+        tensor: &Tensor,
+        space: &IndexSpace,
+        alpha: Distribution,
+        travel: GridDim,
+        surrounding: &IndexSet,
+        trip: impl Fn(IndexId) -> u64,
+    ) -> f64 {
+        let sliced: IndexSet = surrounding.intersection(&tensor.dim_set());
+        let key = Key::Rotate { tensor: tensor_id, alpha, travel, sliced: sliced.clone() };
+        let base = self.lookup_or(key, || {
+            let words = dist_size(tensor, space, cm.grid, alpha, &sliced);
+            cm.chr.rcost(cm.grid.extent(travel), travel, (words * WORD_BYTES) as f64)
+        });
+        let factor: u128 = surrounding.iter().map(|j| trip(j) as u128).product();
+        factor as f64 * base
+    }
+
+    /// Kernel calls answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.counters.get(tce_obs::names::MEMO_HIT)
+    }
+
+    /// Kernel calls computed and stored.
+    pub fn misses(&self) -> u64 {
+        self.counters.get(tce_obs::names::MEMO_MISS)
+    }
+
+    /// The hit/miss totals as an owned counter bag (for merging into a
+    /// run's [`tce_obs::Counters`]).
+    pub fn counters(&self) -> tce_obs::Counters {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+
+    fn setup() -> (CostModel, IndexSpace, Tensor) {
+        let mut sp = IndexSpace::new();
+        let b = sp.declare("b", 480);
+        let e = sp.declare("e", 64);
+        let f = sp.declare("f", 64);
+        let l = sp.declare("l", 32);
+        let t = Tensor::new("B", vec![b, e, f, l]);
+        (CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap(), sp, t)
+    }
+
+    #[test]
+    fn redistribution_matches_unmemoized_and_counts() {
+        let (cm, sp, t) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let memo = CostMemo::new();
+        let from = Distribution::pair(ix("b"), ix("f"));
+        let to = Distribution::pair(ix("b"), ix("e"));
+        let none = IndexSet::new();
+        let direct = cm.redistribution_cost(&t, &sp, from, to, &none);
+        let first = memo.redistribution_cost(&cm, 7, &t, &sp, from, to, &none);
+        let second = memo.redistribution_cost(&cm, 7, &t, &sp, from, to, &none);
+        assert_eq!(direct.to_bits(), first.to_bits());
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // Identity layouts bypass the table entirely.
+        assert_eq!(memo.redistribution_cost(&cm, 7, &t, &sp, from, from, &none), 0.0);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        // A different tensor id is a different entry even with equal dists.
+        memo.redistribution_cost(&cm, 8, &t, &sp, from, to, &none);
+        assert_eq!((memo.hits(), memo.misses()), (1, 2));
+        assert_eq!(memo.counters().get(tce_obs::names::MEMO_MISS), 2);
+    }
+
+    #[test]
+    fn rotate_matches_unmemoized_across_factors() {
+        let (cm, sp, t) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let memo = CostMemo::new();
+        let alpha = Distribution::pair(ix("b"), ix("e"));
+        let surrounding = IndexSet::from_iter([ix("f")]);
+        let direct = cm.rotate_cost_surrounded(&t, &sp, alpha, GridDim::Dim1, &surrounding, |_| 64);
+        let memoized = memo.rotate_cost_surrounded(
+            &cm,
+            3,
+            &t,
+            &sp,
+            alpha,
+            GridDim::Dim1,
+            &surrounding,
+            |_| 64,
+        );
+        assert_eq!(direct.to_bits(), memoized.to_bits());
+        // Same base, different trip counts: the cached base is reused and
+        // the factor applied fresh — still bit-identical to the kernel.
+        let direct2 =
+            cm.rotate_cost_surrounded(&t, &sp, alpha, GridDim::Dim1, &surrounding, |_| 16);
+        let memoized2 = memo.rotate_cost_surrounded(
+            &cm,
+            3,
+            &t,
+            &sp,
+            alpha,
+            GridDim::Dim1,
+            &surrounding,
+            |_| 16,
+        );
+        assert_eq!(direct2.to_bits(), memoized2.to_bits());
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_workers_agree() {
+        let (cm, sp, t) = setup();
+        let ix = |s: &str| sp.lookup(s).unwrap();
+        let memo = CostMemo::with_shards(4);
+        let from = Distribution::pair(ix("b"), ix("f"));
+        let dests: Vec<Distribution> = Distribution::enumerate(&t.dim_set(), true);
+        let none = IndexSet::new();
+        let compute = || -> Vec<u64> {
+            dests
+                .iter()
+                .map(|&to| memo.redistribution_cost(&cm, 1, &t, &sp, from, to, &none).to_bits())
+                .collect()
+        };
+        let mut results: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4).map(|_| s.spawn(compute)).collect();
+            results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        assert_eq!(memo.hits() + memo.misses(), (4 * dests.len() - 4) as u64);
+    }
+}

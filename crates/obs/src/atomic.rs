@@ -1,0 +1,102 @@
+//! Lock-free named counters shared across worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::counters::Counters;
+
+/// A fixed-name bag of atomic counters for measurement sites that are
+/// bumped concurrently from several worker threads (the DP search's memo
+/// table, for example). Names are registered once at construction so every
+/// subsequent [`add`](Self::add) is a binary search plus one relaxed
+/// `fetch_add` — no locks, no allocation.
+///
+/// The owned [`Counters`] bag stays the single-threaded workhorse;
+/// [`snapshot`](Self::snapshot) bridges the two so concurrent totals can be
+/// [`Counters::merge`]d into a run's result like any other numbers.
+#[derive(Debug)]
+pub struct AtomicCounters {
+    entries: Vec<(&'static str, AtomicU64)>,
+}
+
+impl AtomicCounters {
+    /// A bag holding exactly `names`, each starting at zero.
+    pub fn new(names: &[&'static str]) -> Self {
+        let mut entries: Vec<(&'static str, AtomicU64)> =
+            names.iter().map(|&n| (n, AtomicU64::new(0))).collect();
+        entries.sort_by_key(|&(n, _)| n);
+        entries.dedup_by_key(|&mut (n, _)| n);
+        Self { entries }
+    }
+
+    fn slot(&self, name: &str) -> &AtomicU64 {
+        let i = self
+            .entries
+            .binary_search_by_key(&name, |&(n, _)| n)
+            .unwrap_or_else(|_| panic!("counter `{name}` was not registered at construction"));
+        &self.entries[i].1
+    }
+
+    /// Add `delta` to `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` was not registered at construction (unlike
+    /// [`Counters::add`], the fixed layout cannot grow lock-free).
+    #[inline]
+    pub fn add(&self, name: &str, delta: u64) {
+        self.slot(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of `name` (panics when unregistered, as [`Self::add`]).
+    pub fn get(&self, name: &str) -> u64 {
+        self.slot(name).load(Ordering::Relaxed)
+    }
+
+    /// Copy the current values into an owned [`Counters`] bag.
+    pub fn snapshot(&self) -> Counters {
+        let mut c = Counters::new();
+        for (name, v) in &self.entries {
+            c.add(name, v.load(Ordering::Relaxed));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_snapshot() {
+        let c = AtomicCounters::new(&["b", "a", "a"]);
+        c.add("a", 2);
+        c.add("a", 3);
+        c.add("b", 1);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 1);
+        let snap = c.snapshot();
+        assert_eq!(snap.get("a"), 5);
+        assert_eq!(snap.get("b"), 1);
+        assert_eq!(snap.len(), 2, "duplicate registration collapses");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_name_panics() {
+        AtomicCounters::new(&["a"]).add("zz", 1);
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let c = AtomicCounters::new(&["hits"]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("hits"), 4000);
+    }
+}

@@ -28,10 +28,12 @@
 //! assert_eq!(sink.events().len(), 2);
 //! ```
 
+mod atomic;
 mod chrome;
 mod counters;
 mod sink;
 
+pub use atomic::AtomicCounters;
 pub use chrome::ChromeTraceSink;
 pub use counters::Counters;
 pub use sink::{RecordingSink, Sink, TraceEvent};
@@ -55,6 +57,14 @@ pub mod names {
     pub const FRONTIER: &str = "dp.frontier";
     /// Tree nodes processed.
     pub const NODES: &str = "dp.nodes";
+    /// Cost-kernel evaluations answered from the per-run memo table.
+    ///
+    /// Unlike the counters above, the memo numbers depend on worker-thread
+    /// interleaving (two workers can race to fill the same entry), so they
+    /// are excluded from serial-vs-parallel equivalence checks.
+    pub const MEMO_HIT: &str = "dp.memo_hit";
+    /// Cost-kernel evaluations computed and stored in the memo table.
+    pub const MEMO_MISS: &str = "dp.memo_miss";
 }
 
 struct Global {

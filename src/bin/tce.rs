@@ -56,6 +56,8 @@ struct Args {
     trace: Option<String>,
     /// Print the search/communication statistics tables.
     stats: bool,
+    /// Worker threads for the search (0 = all cores).
+    threads: usize,
 }
 
 fn usage() -> ExitCode {
@@ -73,6 +75,8 @@ commands:
 
 options:
   --procs N              processors in the (square) virtual grid [16]
+  --threads N            worker threads for the search; results are
+                         identical at any count [0 = all cores]
   --mem-gb G             per-node memory limit in GB (overrides the model)
   --asym F               dim2 links F times slower than dim1 links [1.0]
   --replication          also search replicated (undistributed) layouts
@@ -122,6 +126,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: 42,
         trace: None,
         stats: false,
+        threads: 0,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -140,6 +145,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         }
         match flag.as_str() {
             "--procs" => args.procs = parsed!("--procs"),
+            "--threads" => args.threads = parsed!("--threads"),
             "--mem-gb" => args.mem_gb = Some(parsed!("--mem-gb")),
             "--asym" => args.asym = parsed!("--asym"),
             "--seed" => args.seed = parsed!("--seed"),
@@ -208,6 +214,7 @@ fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
     let mut cfg = OptimizerConfig {
         allow_replication: args.allow_replication,
         allow_unrelated_rotation: args.allow_unrelated_rotation,
+        threads: args.threads,
         ..Default::default()
     };
     for (name, spec) in &args.pin_inputs {
@@ -481,9 +488,11 @@ mod tests {
             seed: 1,
             trace: None,
             stats: false,
+            threads: 3,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);
+        assert_eq!(cfg.threads, 3);
         assert!(cfg.input_dists.contains_key("A"));
         assert!(cfg.output_dist.is_some());
     }

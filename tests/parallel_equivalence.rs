@@ -1,0 +1,136 @@
+//! Serial vs. parallel search equivalence.
+//!
+//! The parallel candidate enumeration promises *bit-identical* results at
+//! any thread count: workers take contiguous chunks of the serial candidate
+//! stream and their local frontiers are merged back in chunk order, which
+//! (dominance being transitive) replays the serial search exactly. This
+//! suite holds the optimizer to that promise over every shipped workload:
+//! same costs (to the bit), same memory numbers, same winning index, same
+//! extracted plan, same per-node statistics, and same search counters.
+//!
+//! The only permitted divergence is the `dp.memo_hit` / `dp.memo_miss`
+//! pair: two workers racing on one memo key both count a miss, so those
+//! totals depend on thread interleaving (the *values* returned never do).
+
+use tensor_contraction_opt::core::{extract_plan, optimize, Optimized, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::opmin::lower_program;
+
+fn workload_trees() -> Vec<(String, ExprTree)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("workloads dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tce") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable workload");
+            let tree = lower_program(&parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")))
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .to_tree()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            out.push((name, tree));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!out.is_empty(), "no workloads found in {dir}");
+    out
+}
+
+/// Assert two runs of the same search are indistinguishable, except for
+/// the interleaving-dependent memo counters.
+fn assert_identical(name: &str, tree: &ExprTree, serial: &Optimized, parallel: &Optimized) {
+    assert_eq!(
+        serial.comm_cost.to_bits(),
+        parallel.comm_cost.to_bits(),
+        "{name}: comm_cost {} vs {}",
+        serial.comm_cost,
+        parallel.comm_cost
+    );
+    assert_eq!(serial.mem_words, parallel.mem_words, "{name}: mem_words");
+    assert_eq!(serial.max_msg_words, parallel.max_msg_words, "{name}: max_msg_words");
+    assert_eq!(serial.best_index, parallel.best_index, "{name}: best_index");
+    assert_eq!(
+        serial.output_redist_cost.to_bits(),
+        parallel.output_redist_cost.to_bits(),
+        "{name}: output_redist_cost"
+    );
+    assert_eq!(serial.stats, parallel.stats, "{name}: per-node statistics");
+    for (counter, v) in serial.counters.iter() {
+        if counter == tensor_contraction_opt::obs::names::MEMO_HIT
+            || counter == tensor_contraction_opt::obs::names::MEMO_MISS
+        {
+            continue; // interleaving-dependent by design
+        }
+        assert_eq!(v, parallel.counters.get(counter), "{name}: counter {counter}");
+    }
+    // The full decision record round-trips identically: every node's
+    // pattern, fusion, child back-pointer, and cost line.
+    let sp = extract_plan(tree, serial);
+    let pp = extract_plan(tree, parallel);
+    assert_eq!(sp.to_json(), pp.to_json(), "{name}: extracted plans differ");
+}
+
+/// Every shipped workload, full paper extents, at 1/2/4 worker threads.
+#[test]
+fn all_workloads_identical_across_thread_counts() {
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    for (name, tree) in workload_trees() {
+        let run = |threads: usize| {
+            let cfg = OptimizerConfig { threads, ..Default::default() };
+            optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            assert_identical(&format!("{name} @{threads}"), &tree, &serial, &parallel);
+        }
+    }
+}
+
+/// The enlarged search space (replication + unrelated rotation — the
+/// configurations with the biggest candidate streams, where chunking and
+/// merge order are stressed hardest), on the workload whose optimal plan
+/// exercises every communication kind. `max_prefix_len` is capped to keep
+/// the suite fast in CI.
+#[test]
+fn enlarged_space_identical_across_thread_counts() {
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    let (name, tree) = workload_trees()
+        .into_iter()
+        .find(|(n, _)| n == "ccsd_tiny.tce")
+        .expect("ccsd_tiny.tce shipped");
+    let run = |threads: usize| {
+        let cfg = OptimizerConfig {
+            threads,
+            allow_replication: true,
+            allow_unrelated_rotation: true,
+            max_prefix_len: 2,
+            ..Default::default()
+        };
+        optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_identical(&format!("{name} enlarged @{threads}"), &tree, &serial, &parallel);
+    }
+}
+
+/// Pruning disabled (the §3.3 ablation) must also be thread-invariant:
+/// with dominance off, absorb degenerates to ordered concatenation.
+#[test]
+fn pruning_ablation_identical_across_thread_counts() {
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    let (name, tree) =
+        workload_trees().into_iter().find(|(n, _)| n == "fig1.tce").expect("fig1.tce shipped");
+    let run = |threads: usize| {
+        let cfg = OptimizerConfig { threads, disable_pruning: true, ..Default::default() };
+        optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
+    };
+    let serial = run(1);
+    for threads in [2, 4] {
+        let parallel = run(threads);
+        assert_identical(&format!("{name} no-pruning @{threads}"), &tree, &serial, &parallel);
+    }
+}
