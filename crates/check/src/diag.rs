@@ -1,0 +1,391 @@
+//! The diagnostics engine: stable error codes, severities, anchored
+//! diagnostics, multi-diagnostic collection, and the human/JSON renderers.
+//!
+//! Every finding a pass can make carries a stable `TCE0xx` code so tests,
+//! CI gates, and downstream tooling can match on the *kind* of defect
+//! rather than on message text. Passes collect as many diagnostics as they
+//! can instead of failing fast — a broken plan usually violates several
+//! invariants at once, and reporting all of them makes the break far
+//! easier to localize.
+
+use tce_expr::NodeId;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// The plan violates an invariant; executing it would compute the
+    /// wrong answer, overrun memory, or misreport cost.
+    Error,
+    /// Suspicious but not provably wrong.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// The stable diagnostic codes, grouped by pass (gaps left for growth).
+///
+/// Codes are append-only: a released code never changes meaning, and codes
+/// of retired checks are not reused.
+pub mod codes {
+    /// Step count disagrees with the tree's internal-node count.
+    pub const STEP_COUNT: &str = "TCE001";
+    /// An internal tree node has no plan step.
+    pub const NODE_UNCOVERED: &str = "TCE002";
+    /// Two plan steps claim the same tree node.
+    pub const DUPLICATE_STEP: &str = "TCE003";
+    /// A step consumes an intermediate before the step producing it.
+    pub const ORDER: &str = "TCE004";
+    /// A step's operand list disagrees with its tree node's children.
+    pub const OPERAND_MISMATCH: &str = "TCE005";
+    /// A node id points outside the expression tree's arena.
+    pub const BAD_NODE_ID: &str = "TCE006";
+
+    /// A step or operand name disagrees with its tree node's array name.
+    pub const NAME_MISMATCH: &str = "TCE010";
+    /// Cannon pattern present/absent where the node kind forbids/requires it.
+    pub const PATTERN_PRESENCE: &str = "TCE011";
+    /// An index id points outside the expression's index space.
+    pub const BAD_INDEX_ID: &str = "TCE012";
+    /// An element-wise operand's layout is not the result layout restricted
+    /// to its dimensions.
+    pub const ELEMENTWISE_MISALIGNED: &str = "TCE013";
+    /// A reduce step's result layout is not the child layout with the
+    /// summed index removed.
+    pub const REDUCE_DIST_MISMATCH: &str = "TCE014";
+
+    /// A distribution names an index that is not a dimension of its array.
+    pub const DIST_INVALID: &str = "TCE021";
+    /// Redistribution cost charged although the layouts agree.
+    pub const PHANTOM_REDIST: &str = "TCE022";
+    /// Layouts differ but no redistribution cost is charged.
+    pub const SILENT_REDIST: &str = "TCE023";
+    /// A fused operand changes layout mid-fusion.
+    pub const FUSED_LAYOUT_CHANGE: &str = "TCE024";
+
+    /// The role assignment repeats a role on both grid dimensions.
+    pub const ROLE_REPEATED: &str = "TCE030";
+    /// A pattern selection is not drawn from its contraction group.
+    pub const SELECTION_OUTSIDE_GROUP: &str = "TCE031";
+    /// The summation index is distributed but nothing rotates.
+    pub const MISSING_ROTATION: &str = "TCE032";
+    /// An array's layout disagrees with what the pattern dictates.
+    pub const PATTERN_DIST_MISMATCH: &str = "TCE033";
+    /// A fixed (non-rotating) array is charged rotation cost.
+    pub const FIXED_OPERAND_ROTATES: &str = "TCE034";
+    /// A rotating array is charged no rotation cost.
+    pub const ROTATING_OPERAND_FREE: &str = "TCE035";
+
+    /// A fused index is not a candidate on its edge.
+    pub const FUSION_NOT_CANDIDATE: &str = "TCE041";
+    /// Two prefixes incident to one node are not chain compatible.
+    pub const FUSION_INCOMPATIBLE: &str = "TCE042";
+    /// Producer and consumer disagree about the fusion on an edge.
+    pub const FUSION_EDGE_DISAGREES: &str = "TCE043";
+    /// A step's surrounding loops are not the join of its incident prefixes.
+    pub const SURROUNDING_MISMATCH: &str = "TCE044";
+    /// The rotation index is fused around its own contraction.
+    pub const ROTATION_INDEX_FUSED: &str = "TCE045";
+
+    /// The headline `mem_words` disagrees with the stored arrays.
+    pub const MEM_WORDS_MISMATCH: &str = "TCE051";
+    /// The headline `max_msg_words` disagrees with the rotation messages.
+    pub const MAX_MSG_MISMATCH: &str = "TCE052";
+    /// The per-processor footprint exceeds the configured memory limit.
+    pub const MEM_LIMIT_EXCEEDED: &str = "TCE053";
+
+    /// A redistribution cost diverges from the cost model.
+    pub const REDIST_COST_DIVERGES: &str = "TCE061";
+    /// A rotation/reduction cost diverges from the cost model.
+    pub const ROTATE_COST_DIVERGES: &str = "TCE062";
+    /// The per-step costs do not sum to the headline `comm_cost`.
+    pub const LEDGER_MISMATCH: &str = "TCE063";
+}
+
+/// One finding, anchored to the plan step and tree node it concerns.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable `TCE0xx` code (see [`codes`]).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The finding, with names and layouts already rendered.
+    pub message: String,
+    /// The tree node the finding anchors to (an operand's node for
+    /// operand findings, the step's node otherwise).
+    pub node: Option<NodeId>,
+    /// The result name of the plan step the finding occurred in.
+    pub step: Option<String>,
+    /// Supporting details (expected vs actual values, hints).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            node: None,
+            step: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Warning, ..Self::error(code, message) }
+    }
+
+    /// Anchor to a tree node.
+    pub fn at_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Anchor to a plan step (by result name).
+    pub fn at_step(mut self, step: impl Into<String>) -> Self {
+        self.step = Some(step.into());
+        self
+    }
+
+    /// Attach a supporting note.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render as a compiler-style block:
+    ///
+    /// ```text
+    /// error[TCE051]: plan claims 10 words but stored arrays total 20
+    ///   --> step `T1` (node n4)
+    ///   note: recomputed from result layouts and leaf operands
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity.label(), self.code, self.message);
+        match (&self.step, self.node) {
+            (Some(s), Some(n)) => out.push_str(&format!("\n  --> step `{s}` (node {n:?})")),
+            (Some(s), None) => out.push_str(&format!("\n  --> step `{s}`")),
+            (None, Some(n)) => out.push_str(&format!("\n  --> node {n:?}")),
+            (None, None) => {}
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n  note: {note}"));
+        }
+        out
+    }
+}
+
+/// The running collection a pass appends to.
+#[derive(Debug, Default)]
+pub struct Diagnostics {
+    list: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.list.push(d);
+    }
+
+    /// Findings collected so far.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when nothing was found.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Errors collected so far.
+    pub fn error_count(&self) -> usize {
+        self.list.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Consume into the raw list.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.list
+    }
+}
+
+/// The outcome of running the pass registry over one plan.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Names of the passes that ran.
+    pub passes_run: Vec<&'static str>,
+    /// Passes that were skipped, with the reason (structural errors gate
+    /// the deeper passes; cost passes need a cost model).
+    pub skipped: Vec<(&'static str, String)>,
+}
+
+impl CheckReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// True when no errors were found (warnings do not fail a check).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// True when some finding carries `code`.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Render every diagnostic plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        if !self.skipped.is_empty() {
+            for (name, why) in &self.skipped {
+                out.push_str(&format!("pass `{name}` skipped: {why}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "plan check: {} error(s), {} warning(s) across {} pass(es)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.passes_run.len()
+        ));
+        out
+    }
+
+    /// Render as a JSON object (stable shape for tooling):
+    /// `{"clean": bool, "errors": N, "warnings": N, "passes_run": [...],
+    ///   "skipped": [{"pass": ..., "reason": ...}], "diagnostics": [...]}`.
+    pub fn render_json(&self) -> String {
+        use serde_json::{Number, Value};
+        let diag = |d: &Diagnostic| {
+            let mut fields = vec![
+                ("code".to_string(), Value::String(d.code.to_string())),
+                ("severity".to_string(), Value::String(d.severity.label().to_string())),
+                ("message".to_string(), Value::String(d.message.clone())),
+            ];
+            if let Some(n) = d.node {
+                fields.push(("node".to_string(), Value::Number(Number::UInt(u128::from(n.0)))));
+            }
+            if let Some(s) = &d.step {
+                fields.push(("step".to_string(), Value::String(s.clone())));
+            }
+            if !d.notes.is_empty() {
+                fields.push((
+                    "notes".to_string(),
+                    Value::Array(d.notes.iter().map(|n| Value::String(n.clone())).collect()),
+                ));
+            }
+            Value::Object(fields)
+        };
+        let root = Value::Object(vec![
+            ("clean".to_string(), Value::Bool(self.is_clean())),
+            ("errors".to_string(), Value::Number(Number::UInt(self.error_count() as u128))),
+            ("warnings".to_string(), Value::Number(Number::UInt(self.warning_count() as u128))),
+            (
+                "passes_run".to_string(),
+                Value::Array(
+                    self.passes_run.iter().map(|p| Value::String(p.to_string())).collect(),
+                ),
+            ),
+            (
+                "skipped".to_string(),
+                Value::Array(
+                    self.skipped
+                        .iter()
+                        .map(|(p, why)| {
+                            Value::Object(vec![
+                                ("pass".to_string(), Value::String(p.to_string())),
+                                ("reason".to_string(), Value::String(why.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("diagnostics".to_string(), Value::Array(self.diagnostics.iter().map(diag).collect())),
+        ]);
+        serde_json::to_string_pretty(&root).expect("report serializes")
+    }
+
+    /// Collapse into the legacy `Result<(), String>` shape: `Ok` when
+    /// clean, otherwise the full human rendering as the error.
+    pub fn to_result(&self) -> Result<(), String> {
+        if self.is_clean() {
+            Ok(())
+        } else {
+            Err(self.render_human())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_carries_code_anchor_and_notes() {
+        let d = Diagnostic::error(codes::MEM_WORDS_MISMATCH, "plan claims 10 words")
+            .at_step("T1")
+            .at_node(NodeId(4))
+            .note("recomputed 20 words");
+        let text = d.render();
+        assert!(text.contains("error[TCE051]"), "{text}");
+        assert!(text.contains("step `T1`"), "{text}");
+        assert!(text.contains("n4"), "{text}");
+        assert!(text.contains("note: recomputed 20 words"), "{text}");
+    }
+
+    #[test]
+    fn report_counts_and_result() {
+        let mut r = CheckReport::default();
+        r.passes_run.push("structure");
+        assert!(r.is_clean());
+        assert!(r.to_result().is_ok());
+        r.diagnostics.push(Diagnostic::warning(codes::SILENT_REDIST, "w"));
+        assert!(r.is_clean(), "warnings alone stay clean");
+        r.diagnostics.push(Diagnostic::error(codes::ORDER, "e"));
+        assert!(!r.is_clean());
+        assert_eq!((r.error_count(), r.warning_count()), (1, 1));
+        assert!(r.has_code(codes::ORDER) && !r.has_code(codes::STEP_COUNT));
+        let msg = r.to_result().unwrap_err();
+        assert!(msg.contains("1 error(s), 1 warning(s)"), "{msg}");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = CheckReport::default();
+        r.passes_run.push("structure");
+        r.skipped.push(("cost", "no cost model".into()));
+        r.diagnostics.push(Diagnostic::error(codes::ORDER, "bad order").at_step("S"));
+        let json = r.render_json();
+        for needle in
+            ["\"clean\": false", "\"TCE004\"", "\"step\": \"S\"", "\"reason\": \"no cost model\""]
+        {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

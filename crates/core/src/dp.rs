@@ -67,6 +67,11 @@ pub struct OptimizerConfig {
     /// contiguous chunks of the serial candidate stream and their frontiers
     /// are merged back in chunk order (see [`SolutionSet::absorb`]).
     pub threads: usize,
+    /// Statically verify the winning plan before returning it (the CLI's
+    /// `--verify`). Under `cfg(debug_assertions)` the self-check always
+    /// runs; this flag extends it to release builds. Failures surface as
+    /// [`OptimizeError::SelfCheck`].
+    pub verify: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -82,6 +87,7 @@ impl Default for OptimizerConfig {
             input_dists: HashMap::new(),
             output_dist: None,
             threads: 0,
+            verify: false,
         }
     }
 }
@@ -96,6 +102,9 @@ pub enum OptimizeError {
     },
     /// The tree contains a node the parallel model cannot place.
     Unsupported(String),
+    /// The winning plan failed its static self-check — an optimizer bug,
+    /// never a user error. The payload is the checker's rendered report.
+    SelfCheck(String),
 }
 
 impl std::fmt::Display for OptimizeError {
@@ -106,6 +115,9 @@ impl std::fmt::Display for OptimizeError {
                 "no fusion/distribution combination fits within {limit_words} words per processor"
             ),
             OptimizeError::Unsupported(m) => write!(f, "unsupported computation: {m}"),
+            OptimizeError::SelfCheck(report) => {
+                write!(f, "optimizer produced a plan that fails its static checks:\n{report}")
+            }
         }
     }
 }
@@ -369,7 +381,7 @@ pub fn optimize(
     run_span.arg("candidates", counters.get(tce_obs::names::CANDIDATES));
     run_span.arg("comm_cost", best.comm_cost + output_redist_cost);
     drop(run_span);
-    Ok(Optimized {
+    let result = Optimized {
         comm_cost: best.comm_cost + output_redist_cost,
         mem_words: best.mem_words,
         max_msg_words: best.max_msg_words,
@@ -378,7 +390,18 @@ pub fn optimize(
         stats,
         counters,
         sets,
-    })
+    };
+    // Self-check: statically verify the winning plan before handing it
+    // out. Always on in debug builds; `cfg.verify` extends it to release.
+    if cfg.verify || cfg!(debug_assertions) {
+        let plan = crate::plan::extract_plan(tree, &result);
+        let checked = match crate::hook::plan_checker() {
+            Some(check) => check(tree, &plan, Some(cm), Some(limit)),
+            None => crate::plan::validate_plan_basic(tree, &plan),
+        };
+        checked.map_err(OptimizeError::SelfCheck)?;
+    }
+    Ok(result)
 }
 
 /// How a node's candidate enumeration ran (surfaced as span args).

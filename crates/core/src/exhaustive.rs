@@ -101,7 +101,7 @@ pub fn exhaustive_min(
 }
 
 fn n_pos(v: &[NodeId], n: NodeId) -> usize {
-    v.iter().position(|&x| x == n).unwrap()
+    v.iter().position(|&x| x == n).expect("node drawn from this postorder")
 }
 
 /// Evaluate one total assignment: returns (mem_words, comm_cost, max_msg)

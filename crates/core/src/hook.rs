@@ -1,0 +1,36 @@
+//! Registration point for an external plan checker.
+//!
+//! The full static checker lives in `tce-check`, which depends on this
+//! crate — so the optimizer cannot call it directly. Instead `tce-check`
+//! registers itself here (see its `install()`), and [`validate_plan`]
+//! plus the optimizer's self-check dispatch through the registered
+//! function, falling back to the legacy inline checks when none is
+//! installed.
+//!
+//! [`validate_plan`]: crate::plan::validate_plan
+
+use std::sync::OnceLock;
+
+use tce_cost::CostModel;
+use tce_expr::ExprTree;
+
+use crate::plan::ExecutionPlan;
+
+/// A plan checker: `(tree, plan, cost model, memory limit)` to `Ok` or a
+/// rendered report. The cost model and limit are optional — without them
+/// only the model-free invariants can be verified.
+pub type PlanChecker =
+    fn(&ExprTree, &ExecutionPlan, Option<&CostModel>, Option<u128>) -> Result<(), String>;
+
+static CHECKER: OnceLock<PlanChecker> = OnceLock::new();
+
+/// Register `f` as the process-wide plan checker. Idempotent: the first
+/// registration wins and later calls are ignored.
+pub fn install_plan_checker(f: PlanChecker) {
+    let _ = CHECKER.set(f);
+}
+
+/// The registered checker, if any.
+pub fn plan_checker() -> Option<PlanChecker> {
+    CHECKER.get().copied()
+}

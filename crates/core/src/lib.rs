@@ -26,7 +26,9 @@
 //! println!("{}", tce_core::render_report(&tce_core::build_report(&tree, &plan, &cm)));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baselines;
 mod codegen;
@@ -34,6 +36,7 @@ mod dp;
 pub mod exhaustive;
 mod explain;
 mod frontier;
+mod hook;
 mod plan;
 mod report;
 mod solution;
@@ -43,8 +46,10 @@ pub use codegen::render_spmd;
 pub use dp::{optimize, NodeStats, OptimizeError, Optimized, OptimizerConfig};
 pub use explain::{explain, Explanation};
 pub use frontier::{frontier_plan, root_frontier, FrontierPoint};
+pub use hook::{install_plan_checker, plan_checker, PlanChecker};
 pub use plan::{
-    extract_plan, extract_plan_for, validate_plan, ExecutionPlan, PlanOperand, PlanStep,
+    extract_plan, extract_plan_for, validate_plan, validate_plan_basic, ExecutionPlan, PlanOperand,
+    PlanStep,
 };
 pub use report::{build_report, render_plan_dot, render_report, ArrayRow, Report};
 pub use solution::{ChildBinding, Choice, Solution, SolutionSet};

@@ -93,12 +93,24 @@ impl ExecutionPlan {
         cfg
     }
 
-    /// The step producing `name`, if any.
+    /// The step producing `name`, or `None` when no step produces it.
+    ///
+    /// Array names are not guaranteed unique: a hand-written or corrupted
+    /// plan may *shadow* a name with two producing steps. In that case the
+    /// **last** producer in execution order wins — that is the binding any
+    /// later consumer would observe. (A well-formed plan never shadows;
+    /// `tce-check`'s structure pass reports duplicates as `TCE003`.)
     pub fn step_for(&self, name: &str) -> Option<&PlanStep> {
-        self.steps.iter().find(|s| s.result_name == name)
+        self.steps.iter().rev().find(|s| s.result_name == name)
     }
 
-    /// The step consuming `name` (as an operand), if any.
+    /// The step consuming `name` as an operand, or `None` when nothing
+    /// consumes it (the root result, or an absent name).
+    ///
+    /// When several steps consume the same array, the **first** consumer in
+    /// execution order is returned — the earliest step whose operand list
+    /// mentions the name. Callers needing every consumer should scan
+    /// `steps` directly.
     pub fn consumer_of(&self, name: &str) -> Option<(&PlanStep, &PlanOperand)> {
         self.steps.iter().find_map(|s| s.operands.iter().find(|o| o.name == name).map(|o| (s, o)))
     }
@@ -177,10 +189,24 @@ impl ExecutionPlan {
     }
 }
 
-/// Check internal consistency between a plan and its tree: every internal
-/// node appears exactly once as a step, fusion configuration is legal, and
-/// the cost ledger adds up. Returns a human-readable error when violated.
+/// Check internal consistency between a plan and its tree.
+///
+/// Dispatches to the registered external checker (`tce-check`, once its
+/// `install()` ran — the full pass registry, minus the passes needing a
+/// cost model) and otherwise falls back to the legacy inline checks of
+/// [`validate_plan_basic`]. Returns a human-readable error when violated.
 pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String> {
+    match crate::hook::plan_checker() {
+        Some(check) => check(tree, plan, None, None),
+        None => validate_plan_basic(tree, plan),
+    }
+}
+
+/// The legacy inline consistency checks: every internal node appears
+/// exactly once as a step, the fusion configuration is legal, and the cost
+/// ledger adds up. Kept as the fallback when no external checker is
+/// registered (and as a sanity baseline for `tce-check` itself).
+pub fn validate_plan_basic(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String> {
     let internal: Vec<NodeId> =
         tree.postorder().into_iter().filter(|&n| !tree.node(n).is_leaf()).collect();
     if internal.len() != plan.steps.len() {
@@ -210,4 +236,61 @@ pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(node: u32, result: &str, operands: &[&str]) -> PlanStep {
+        PlanStep {
+            node: NodeId(node),
+            result_name: result.into(),
+            pattern: None,
+            result_dist: Distribution::REPLICATED,
+            result_fusion: FusionPrefix::default(),
+            result_rotate_cost: 0.0,
+            surrounding: FusionPrefix::default(),
+            operands: operands
+                .iter()
+                .map(|&n| PlanOperand {
+                    node: NodeId(0),
+                    name: n.into(),
+                    required_dist: Distribution::REPLICATED,
+                    produced_dist: Distribution::REPLICATED,
+                    fusion: FusionPrefix::default(),
+                    redist_cost: 0.0,
+                    rotate_cost: 0.0,
+                    is_leaf: true,
+                })
+                .collect(),
+        }
+    }
+
+    fn plan(steps: Vec<PlanStep>) -> ExecutionPlan {
+        ExecutionPlan { steps, comm_cost: 0.0, mem_words: 0, max_msg_words: 0 }
+    }
+
+    #[test]
+    fn step_for_last_producer_wins_under_shadowing() {
+        let p = plan(vec![step(1, "T", &["A"]), step(2, "T", &["B"]), step(3, "S", &["T"])]);
+        assert_eq!(p.step_for("T").expect("T produced").node, NodeId(2));
+        assert_eq!(p.step_for("S").expect("S produced").node, NodeId(3));
+        assert!(p.step_for("missing").is_none());
+    }
+
+    #[test]
+    fn consumer_of_returns_first_consumer_in_execution_order() {
+        let p = plan(vec![
+            step(1, "T1", &["A", "B"]),
+            step(2, "T2", &["T1", "C"]),
+            step(3, "S", &["T1", "T2"]),
+        ]);
+        let (s, op) = p.consumer_of("T1").expect("T1 consumed");
+        assert_eq!(s.node, NodeId(2));
+        assert_eq!(op.name, "T1");
+        // The root result has no consumer; absent names return None.
+        assert!(p.consumer_of("S").is_none());
+        assert!(p.consumer_of("missing").is_none());
+    }
 }

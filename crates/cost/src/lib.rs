@@ -17,7 +17,9 @@
 //! * [`CostMemo`] — a per-run, thread-shared memo table in front of the
 //!   redistribution and rotation kernels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod compute;
 mod machine;

@@ -14,7 +14,9 @@
 //!   to *execute* a pattern;
 //! * [`Redistribution`] — layout changes between contraction steps.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cannon;
 mod distribution;

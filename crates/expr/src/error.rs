@@ -14,10 +14,13 @@ pub enum ExprError {
     Undefined(String),
     /// A name was defined twice.
     Redefined(String),
-    /// Syntax error while parsing, with a line number.
+    /// Syntax error while parsing, with a source position.
     Parse {
         /// 1-based source line of the error.
         line: usize,
+        /// 1-based column (character offset within the line) of the token
+        /// where the error was detected; 0 when unknown (e.g. empty input).
+        col: usize,
         /// Human-readable description.
         msg: String,
     },
@@ -32,7 +35,9 @@ impl fmt::Display for ExprError {
             }
             ExprError::Undefined(n) => write!(f, "undefined array `{n}`"),
             ExprError::Redefined(n) => write!(f, "array `{n}` defined more than once"),
-            ExprError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            ExprError::Parse { line, col, msg } => {
+                write!(f, "parse error on line {line}, column {col}: {msg}")
+            }
         }
     }
 }
@@ -45,8 +50,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ExprError::Parse { line: 3, msg: "expected `]`".into() };
+        let e = ExprError::Parse { line: 3, col: 7, msg: "expected `]`".into() };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("column 7"));
         assert!(ExprError::Undefined("Q".into()).to_string().contains("`Q`"));
         assert!(ExprError::Redefined("T1".into()).to_string().contains("T1"));
         assert!(ExprError::Malformed("x".into()).to_string().contains("malformed"));

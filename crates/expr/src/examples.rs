@@ -83,7 +83,7 @@ pub fn fig1_sequence(ni: u64, nj: u64, nk: u64, nt: u64) -> FormulaSequence {
          T3[j,t] = T1[j,t] * T2[j,t];\n\
          S[t] = sum[j] T3[j,t];\n"
     );
-    parser::parse(&src).unwrap().to_sequence().unwrap()
+    parser::parse(&src).expect("example parses").to_sequence().expect("example lowers")
 }
 
 /// The Fig. 1 term in raw form (`S(t) = Σ_{i,j,k} A·B`), direct cost

@@ -200,7 +200,7 @@ impl FormulaSequence {
             };
             producer.insert(f.result().name.clone(), id);
         }
-        let root_name = &self.formulas.last().unwrap().result().name;
+        let root_name = &self.formulas.last().expect("validated: non-empty").result().name;
         let root = producer[root_name.as_str()];
         tree.set_root(root);
         Ok(tree)

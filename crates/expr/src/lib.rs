@@ -22,7 +22,9 @@
 //! * [`printer`]s reproducing the paper's Fig. 2 renderings;
 //! * [`examples`] — the paper's Fig. 1 and §4 workloads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod error;
 pub mod examples;

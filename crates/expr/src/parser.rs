@@ -73,9 +73,19 @@ pub struct Program {
     pub inputs: Vec<Tensor>,
     /// Statements in source order.
     pub statements: Vec<Statement>,
+    /// Source position (1-based line, column) where each array name was
+    /// declared: `input` declarations and statement results. Lets tools
+    /// report diagnostics as `file:line:col` anchored at the declaration.
+    pub spans: std::collections::HashMap<String, (usize, usize)>,
 }
 
 impl Program {
+    /// Source position (1-based line, column) of an array declaration, if
+    /// the program was produced by [`parse`].
+    pub fn span_of(&self, name: &str) -> Option<(usize, usize)> {
+        self.spans.get(name).copied()
+    }
+
     /// Convert to a [`FormulaSequence`], failing if any statement still
     /// needs operation minimization.
     pub fn to_sequence(&self) -> Result<FormulaSequence, ExprError> {
@@ -117,7 +127,7 @@ enum Tok {
 }
 
 struct Lexer {
-    toks: Vec<(usize, Tok)>, // (line, token)
+    toks: Vec<(usize, usize, Tok)>, // (line, column, token) — both 1-based
     pos: usize,
 }
 
@@ -127,6 +137,8 @@ impl Lexer {
         for (ln0, line) in src.lines().enumerate() {
             let ln = ln0 + 1;
             let line = line.split('#').next().unwrap_or("");
+            // 1-based character column of the token start.
+            let col_of = |byte: usize| line[..byte].chars().count() + 1;
             let mut chars = line.char_indices().peekable();
             while let Some(&(start, c)) = chars.peek() {
                 if c.is_whitespace() {
@@ -141,7 +153,7 @@ impl Lexer {
                             break;
                         }
                     }
-                    toks.push((ln, Tok::Ident(line[start..end].to_owned())));
+                    toks.push((ln, col_of(start), Tok::Ident(line[start..end].to_owned())));
                 } else if c.is_ascii_digit() {
                     let mut end = start;
                     while let Some(&(p, c2)) = chars.peek() {
@@ -154,15 +166,17 @@ impl Lexer {
                     }
                     let n: u64 = line[start..end].parse().map_err(|_| ExprError::Parse {
                         line: ln,
+                        col: col_of(start),
                         msg: format!("bad number `{}`", &line[start..end]),
                     })?;
-                    toks.push((ln, Tok::Num(n)));
+                    toks.push((ln, col_of(start), Tok::Num(n)));
                 } else if "[],=*;".contains(c) {
-                    toks.push((ln, Tok::Sym(c)));
+                    toks.push((ln, col_of(start), Tok::Sym(c)));
                     chars.next();
                 } else {
                     return Err(ExprError::Parse {
                         line: ln,
+                        col: col_of(start),
                         msg: format!("unexpected character `{c}`"),
                     });
                 }
@@ -172,21 +186,26 @@ impl Lexer {
     }
 
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(_, t)| t)
+        self.toks.get(self.pos).map(|(_, _, t)| t)
     }
 
-    fn line(&self) -> usize {
-        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map(|(l, _)| *l).unwrap_or(0)
+    /// Position of the current token (or the last one at end of input).
+    fn span(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(l, c, _)| (*l, *c))
+            .unwrap_or((0, 0))
     }
 
     fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        let t = self.toks.get(self.pos).map(|(_, _, t)| t.clone());
         self.pos += 1;
         t
     }
 
     fn err(&self, msg: impl Into<String>) -> ExprError {
-        ExprError::Parse { line: self.line(), msg: msg.into() }
+        let (line, col) = self.span();
+        ExprError::Parse { line, col, msg: msg.into() }
     }
 
     fn expect_sym(&mut self, c: char) -> Result<(), ExprError> {
@@ -218,10 +237,13 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
             return Ok(ids);
         }
         loop {
+            let (line, col) = lx.span();
             let name = lx.expect_ident()?;
-            let id = space
-                .lookup(&name)
-                .ok_or_else(|| lx.err(format!("index `{name}` not declared by any `range`")))?;
+            let id = space.lookup(&name).ok_or_else(|| ExprError::Parse {
+                line,
+                col,
+                msg: format!("index `{name}` not declared by any `range`"),
+            })?;
             ids.push(id);
             match lx.next() {
                 Some(Tok::Sym(',')) => continue,
@@ -282,13 +304,17 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
             }
             Some(Tok::Ident(kw)) if kw == "input" => {
                 lx.next();
+                let at = lx.span();
                 let t = tensor_ref(&mut lx, &prog.space)?;
                 lx.expect_sym(';')?;
+                prog.spans.entry(t.name.clone()).or_insert(at);
                 prog.inputs.push(t);
             }
             _ => {
                 // `Name[dims] = [sum[list]] factor (* factor)* ;`
+                let at = lx.span();
                 let result = tensor_ref(&mut lx, &prog.space)?;
+                prog.spans.entry(result.name.clone()).or_insert(at);
                 lx.expect_sym('=')?;
                 let mut sum = IndexSet::new();
                 if let Some(Tok::Ident(kw)) = lx.peek() {
@@ -313,7 +339,7 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
                     1 => {
                         // A chain of unary summations, one per summed index,
                         // with fresh intermediate names `<result>__<index>`.
-                        let factor = factors.pop().unwrap();
+                        let factor = factors.pop().expect("one factor present");
                         let mut remaining = factor.dim_set();
                         let mut operand_name = factor.name.clone();
                         let mut formulas = Vec::new();
@@ -346,8 +372,8 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
                         continue;
                     }
                     2 => {
-                        let rhs = factors.pop().unwrap();
-                        let lhs = factors.pop().unwrap();
+                        let rhs = factors.pop().expect("two factors present");
+                        let lhs = factors.pop().expect("two factors present");
                         if sum.is_empty() {
                             Statement::Formula(Formula::Mul {
                                 result,
@@ -474,6 +500,26 @@ S[t] = sum[j] T[j,t];
         // Statement with one factor and no sum.
         let e = parse("range a = 4; input A[a]; B[a] = A[a];").unwrap_err();
         assert!(matches!(e, ExprError::Parse { .. }));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // Garbage character: anchored at the character itself.
+        let e = parse("range a = 4; input A[a]; A ? 3").unwrap_err();
+        assert!(matches!(e, ExprError::Parse { line: 1, col: 28, .. }), "{e:?}");
+        // Undeclared index: anchored at the index token.
+        let e = parse("range i = 5;\ninput A[i,zz];").unwrap_err();
+        assert!(matches!(e, ExprError::Parse { line: 2, col: 11, .. }), "{e:?}");
+        assert!(e.to_string().contains("line 2, column 11"), "{e}");
+    }
+
+    #[test]
+    fn program_records_declaration_spans() {
+        let p = parse(FIG2_SOURCE).unwrap();
+        assert_eq!(p.span_of("A"), Some((4, 7)));
+        assert_eq!(p.span_of("T1"), Some((8, 1)));
+        assert_eq!(p.span_of("S"), Some((10, 1)));
+        assert_eq!(p.span_of("nope"), None);
     }
 
     #[test]

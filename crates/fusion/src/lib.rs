@@ -16,7 +16,9 @@
 //!   dynamic programming of the prior work (refs [14–16]), used as the
 //!   fusion-first baseline.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod code;
 mod config;

@@ -28,6 +28,10 @@
 //! assert_eq!(sink.events().len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod atomic;
 mod chrome;
 mod counters;

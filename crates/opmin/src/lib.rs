@@ -8,7 +8,9 @@
 //! fast. Reproduces the §2 rewriting of the four-factor term from `4N^10`
 //! direct flops to the `Θ(N^6)` tree of Fig. 2(a).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod greedy;
 mod program;

@@ -653,7 +653,9 @@ impl<'a> Sim<'a> {
                 for rank in 0..grid.num_procs() {
                     let coord = grid.coord(rank);
                     let cb = self.operand_block(*child, op.required_dist, coord, pins)?;
-                    let (_, out) = self.store[rank as usize].get_mut(&step.node).unwrap();
+                    let (_, out) = self.store[rank as usize]
+                        .get_mut(&step.node)
+                        .expect("result allocated above");
                     let flops = reduce_block(&cb, *sum, out);
                     per_proc = per_proc.max(flops);
                     total += flops;
@@ -694,7 +696,9 @@ impl<'a> Sim<'a> {
                         self.operand_block(*left, step.operands[0].required_dist, coord, pins)?;
                     let rb =
                         self.operand_block(*right, step.operands[1].required_dist, coord, pins)?;
-                    let (_, out) = self.store[rank as usize].get_mut(&step.node).unwrap();
+                    let (_, out) = self.store[rank as usize]
+                        .get_mut(&step.node)
+                        .expect("result allocated above");
                     let flops = if elementwise {
                         elementwise_blocks(&lb, &rb, out)
                     } else {
@@ -742,9 +746,10 @@ impl<'a> Sim<'a> {
                 }
             }
             // …and replicate it back.
-            let total = total.unwrap();
+            let total = total.expect("nprocs > 0: at least one contribution");
             for &rank in &line {
-                let entry = self.store[rank as usize].get_mut(&node).unwrap();
+                let entry =
+                    self.store[rank as usize].get_mut(&node).expect("result allocated above");
                 entry.1 = total.clone();
             }
         }

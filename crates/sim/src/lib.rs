@@ -11,7 +11,9 @@
 //! "measured" (simulated) ones — the same relationship the paper had
 //! between its cost model and its cluster.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod einsum;
 mod exec;

@@ -175,7 +175,7 @@ pub fn contract_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 
             let l = left.dim_pos(d).map(|p| left.ranges[p].clone());
             let r = right.dim_pos(d).map(|p| right.ranges[p].clone());
             let res = result.dim_pos(d).map(|p| result.ranges[p].clone());
-            let mut range = l.or(r.clone()).unwrap();
+            let mut range = l.or(r.clone()).expect("dim owned by an operand");
             for other in [r, res].into_iter().flatten() {
                 range.start = range.start.max(other.start);
                 range.end = range.end.min(other.end);
@@ -185,7 +185,12 @@ pub fn contract_blocks(left: &Block, right: &Block, result: &mut Block) -> u128 
         .collect();
     let mut flops = 0u128;
     let pick = |b: &Block, point: &[u64]| -> Vec<u64> {
-        b.dims.iter().map(|&d| point[loop_dims.iter().position(|&x| x == d).unwrap()]).collect()
+        b.dims
+            .iter()
+            .map(|&d| {
+                point[loop_dims.iter().position(|&x| x == d).expect("operand dim is a loop dim")]
+            })
+            .collect()
     };
     for point in BoxIter::new(ranges) {
         let lv = left.get(&pick(left, &point));
@@ -231,7 +236,10 @@ pub fn elementwise_blocks(left: &Block, right: &Block, result: &mut Block) -> u1
         .collect();
     for point in BoxIter::new(ranges) {
         let pick = |b: &Block| -> Vec<u64> {
-            b.dims.iter().map(|&d| point[result.dim_pos(d).unwrap()]).collect()
+            b.dims
+                .iter()
+                .map(|&d| point[result.dim_pos(d).expect("operand dims subset of result")])
+                .collect()
         };
         let v = left.get(&pick(left)) * right.get(&pick(right));
         result.add(&point, v);

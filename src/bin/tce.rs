@@ -5,6 +5,7 @@
 //! tce compile  <file.tce>                 # opmin + fused loop code
 //! tce simulate <file.tce> --procs 4      # execute & verify (small extents)
 //! tce frontier <file.tce> --procs 16     # memory/comm Pareto frontier
+//! tce check    <file.tce> --plan p.json  # statically verify a saved plan
 //! ```
 //!
 //! The input format is the `tce-expr` text notation (see README):
@@ -23,6 +24,7 @@ use std::sync::Arc;
 use tensor_contraction_opt::obs;
 use tensor_contraction_opt::obs::ChromeTraceSink;
 
+use tensor_contraction_opt::check::check_plan;
 use tensor_contraction_opt::core::{
     build_report, extract_plan, optimize, render_plan_dot, render_report, root_frontier,
     validate_plan, OptimizerConfig,
@@ -58,6 +60,8 @@ struct Args {
     stats: bool,
     /// Worker threads for the search (0 = all cores).
     threads: usize,
+    /// Statically verify the optimizer's plan even in release builds.
+    verify: bool,
 }
 
 fn usage() -> ExitCode {
@@ -72,6 +76,10 @@ commands:
   simulate   execute the plan on the virtual cluster, verify against the
              sequential reference, and report simulated time
   frontier   print the memory/communication Pareto frontier at the root
+  check      statically verify a plan (a saved --plan artifact, or a
+             freshly optimized one) against the workload: structure,
+             shapes, distributions, Cannon patterns, fusion, memory,
+             and costs, with stable TCE0xx diagnostics
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -84,7 +92,10 @@ options:
   --pin-input NAME=d1,d2 fix an input array's initial distribution
   --output-dist d1,d2    require the final output in this distribution
   --seed S               RNG seed for simulate's input data [42]
-  --plan plan.json       simulate: replay a saved plan instead of optimizing
+  --plan plan.json       simulate/check: use a saved plan instead of
+                         optimizing
+  --verify               optimize: statically verify the winning plan even
+                         in release builds (debug builds always do)
   --dot                  optimize: emit the plan as Graphviz dot
   --json                 optimize: emit the plan as JSON (with an
                          `observability` section of search counters)
@@ -127,6 +138,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         trace: None,
         stats: false,
         threads: 0,
+        verify: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -151,6 +163,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--seed" => args.seed = parsed!("--seed"),
             "--trace" => args.trace = Some(value("--trace")?),
             "--stats" => args.stats = true,
+            "--verify" => args.verify = true,
             "--replication" => args.allow_replication = true,
             "--unrelated-rotation" => args.allow_unrelated_rotation = true,
             "--dot" => args.dot = true,
@@ -176,10 +189,26 @@ fn parse_args() -> Result<Args, ExitCode> {
 }
 
 fn load_tree(path: &str) -> Result<ExprTree, String> {
+    load_tree_spanned(path).map(|(tree, _)| tree)
+}
+
+/// Source positions of array declarations, by name (1-based line, column).
+type DeclSpans = std::collections::HashMap<String, (usize, usize)>;
+
+/// Load a tree, also returning the source positions of array declarations
+/// so diagnostics can be anchored as `file:line:col`.
+fn load_tree_spanned(path: &str) -> Result<(ExprTree, DeclSpans), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let prog = parse(&src).map_err(|e| e.to_string())?;
+    let prog = parse(&src).map_err(|e| match e {
+        tensor_contraction_opt::expr::ExprError::Parse { line, col, ref msg } => {
+            format!("{path}:{line}:{col}: {msg}")
+        }
+        other => other.to_string(),
+    })?;
+    let spans = prog.spans.clone();
     let seq = lower_program(&prog).map_err(|e| e.to_string())?;
-    seq.to_tree().map_err(|e| e.to_string())
+    let tree = seq.to_tree().map_err(|e| e.to_string())?;
+    Ok((tree, spans))
 }
 
 fn cost_model(args: &Args) -> Result<CostModel, String> {
@@ -215,6 +244,7 @@ fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
         allow_replication: args.allow_replication,
         allow_unrelated_rotation: args.allow_unrelated_rotation,
         threads: args.threads,
+        verify: args.verify,
         ..Default::default()
     };
     for (name, spec) in &args.pin_inputs {
@@ -266,6 +296,9 @@ fn observability_json(opt: &tensor_contraction_opt::core::Optimized) -> serde_js
 }
 
 fn main() -> ExitCode {
+    // Upgrade every validate_plan call (and the optimizer's self-check)
+    // from the legacy inline checks to the full tce-check pass registry.
+    tensor_contraction_opt::check::install();
     let args = match parse_args() {
         Ok(a) => a,
         Err(code) => return code,
@@ -275,6 +308,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&args),
         "simulate" => cmd_simulate(&args),
         "frontier" => cmd_frontier(&args),
+        "check" => cmd_check(&args),
         _ => return usage(),
     };
     match result {
@@ -424,6 +458,42 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let (tree, spans) = load_tree_spanned(&args.file)?;
+    let cm = cost_model(args)?;
+    let plan = match &args.plan_file {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            tensor_contraction_opt::core::ExecutionPlan::from_json(&json)
+                .map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => {
+            let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+            extract_plan(&tree, &opt)
+        }
+    };
+    let mut report = check_plan(&tree, &plan, Some(&cm), Some(cm.mem_limit_words()));
+    // Anchor findings at the source declaration of the array they concern.
+    for d in &mut report.diagnostics {
+        if let Some(node) = d.node.filter(|n| n.as_usize() < tree.len()) {
+            let name = &tree.node(node).tensor.name;
+            if let Some(&(line, col)) = spans.get(name.as_str()) {
+                d.notes.push(format!("`{name}` declared at {}:{line}:{col}", args.file));
+            }
+        }
+    }
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} error(s) found", report.error_count()))
+    }
+}
+
 fn cmd_frontier(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
@@ -489,6 +559,7 @@ mod tests {
             trace: None,
             stats: false,
             threads: 3,
+            verify: false,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);

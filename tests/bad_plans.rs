@@ -1,0 +1,75 @@
+//! Golden corpus: every hand-broken plan in `golden/bad_plans/` must be
+//! rejected by `tce-check` with its specific diagnostic code.
+//!
+//! Each corpus file is the optimized `ccsd_tiny` plan (16 processors) with
+//! one deliberate corruption — see `golden/bad_plans/README.md`. This test
+//! pins both the *code* (the stable contract) and a *message snippet* (a
+//! snapshot of the human rendering), so wording regressions are caught
+//! deliberately rather than silently.
+
+use tensor_contraction_opt::check::{check_plan, codes};
+use tensor_contraction_opt::core::ExecutionPlan;
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::opmin::lower_program;
+
+fn ccsd_tiny_tree() -> ExprTree {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/ccsd_tiny.tce");
+    let src = std::fs::read_to_string(path).expect("workload readable");
+    lower_program(&parse(&src).expect("workload parses"))
+        .expect("workload lowers")
+        .to_tree()
+        .expect("workload builds a tree")
+}
+
+/// (corpus file, expected diagnostic code, expected message snippet).
+const EXPECTED: &[(&str, &str, &str)] = &[
+    ("missing_step.json", codes::STEP_COUNT, "plan has 9 step(s) for 10 internal node(s)"),
+    ("duplicate_step.json", codes::DUPLICATE_STEP, "has two steps"),
+    ("out_of_order.json", codes::ORDER, "consumes `S_t1` before the step producing it"),
+    ("bad_node_id.json", codes::BAD_NODE_ID, "the tree has only 18 nodes"),
+    ("bad_index_id.json", codes::BAD_INDEX_ID, "the expression declares only 10 indices"),
+    ("wrong_name.json", codes::NAME_MISMATCH, "step produces `Q` but node n7 is named `U`"),
+    ("repeated_role.json", codes::ROLE_REPEATED, "places I on both grid dimensions"),
+    ("wrong_selection.json", codes::SELECTION_OUTSIDE_GROUP, "I group is {b,f}"),
+    ("bad_distribution.json", codes::DIST_INVALID, "is not valid for `S_t1`"),
+    ("silent_redist.json", codes::SILENT_REDIST, "with no redistribution cost"),
+    ("understated_memory.json", codes::MEM_WORDS_MISMATCH, "its stored arrays total 1913"),
+    ("zeroed_rotate.json", codes::ROTATING_OPERAND_FREE, "is charged no cost"),
+    ("ledger_mismatch.json", codes::LEDGER_MISMATCH, "headline comm_cost"),
+    ("stale_fusion.json", codes::FUSION_EDGE_DISAGREES, "but this consumer expects"),
+];
+
+#[test]
+fn every_bad_plan_is_rejected_with_its_code() {
+    let tree = ccsd_tiny_tree();
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).expect("16 is square");
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/bad_plans");
+    for &(file, code, snippet) in EXPECTED {
+        let json = std::fs::read_to_string(format!("{dir}/{file}"))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        let plan = ExecutionPlan::from_json(&json).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = check_plan(&tree, &plan, Some(&cm), Some(cm.mem_limit_words()));
+        assert!(!report.is_clean(), "{file}: corruption went undetected");
+        assert!(report.has_code(code), "{file}: expected {code}, got:\n{}", report.render_human());
+        let rendered = report.render_human();
+        assert!(
+            rendered.contains(snippet),
+            "{file}: rendering lost the snippet {snippet:?}:\n{rendered}"
+        );
+    }
+}
+
+#[test]
+fn corpus_and_expectations_stay_in_sync() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/bad_plans");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = EXPECTED.iter().map(|&(f, _, _)| f.to_owned()).collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "corpus files and EXPECTED table diverge");
+}

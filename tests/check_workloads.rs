@@ -1,0 +1,55 @@
+//! Every shipped workload's optimized plan passes the full `tce-check`
+//! registry — structure, shape, distribution, Cannon, fusion, memory, and
+//! cost cross-check — at both serial and parallel search settings.
+//!
+//! This is the positive half of the checker's contract (the negative half
+//! is `tests/bad_plans.rs`): the optimizer never emits a plan the static
+//! passes would reject, and every pass actually runs (a cost model and a
+//! memory limit are supplied, so nothing is skipped).
+
+use tensor_contraction_opt::check::check_plan;
+use tensor_contraction_opt::core::{extract_plan, optimize, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::opmin::lower_program;
+
+fn workload_trees() -> Vec<(String, ExprTree)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("workloads dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tce") {
+            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable workload");
+            let tree = lower_program(&parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")))
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .to_tree()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            out.push((name, tree));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!out.is_empty(), "no workloads found in {dir}");
+    out
+}
+
+#[test]
+fn optimized_plans_pass_every_static_check() {
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).expect("16 is square");
+    for (name, tree) in workload_trees() {
+        for threads in [1, 4] {
+            let cfg = OptimizerConfig { threads, ..Default::default() };
+            let opt =
+                optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"));
+            let plan = extract_plan(&tree, &opt);
+            let report = check_plan(&tree, &plan, Some(&cm), Some(cm.mem_limit_words()));
+            assert!(
+                report.is_clean(),
+                "{name} @{threads} threads: optimizer plan fails its own checks:\n{}",
+                report.render_human()
+            );
+            assert!(report.skipped.is_empty(), "{name}: a pass was skipped");
+            assert_eq!(report.passes_run.len(), 7, "{name}: full registry should run");
+        }
+    }
+}
