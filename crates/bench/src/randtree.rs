@@ -135,3 +135,325 @@ mod mixed_tests {
         }
     }
 }
+
+/// Parameters for [`random_tree`]: general trees (not just left-deep
+/// chains) mixing proper contractions, element-wise / partially-shared
+/// multiplies, and reductions.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Internal-node budget; each tree gets between 1 and this many.
+    pub max_internal: usize,
+    /// Every extent is a multiple of this (choose the lcm of every grid
+    /// dimension the plan may be simulated on, e.g. 4 for 2×2 and 4×4
+    /// grids, so fused distributed loops always block exactly).
+    pub divisor: u64,
+    /// Extents are `divisor * k` with `k` in `1..=max_units`.
+    pub max_units: u64,
+    /// Maximum dimensions per tensor (keeps the simulator fast).
+    pub max_arity: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_internal: 6, divisor: 4, max_units: 3, max_arity: 3 }
+    }
+}
+
+/// Build a random general expression tree: a forest of subtrees grown by
+/// contracting against fresh leaves (proper contractions whose summation
+/// set equals the shared indices), multiplying with partial sharing or
+/// partial summation (the element-wise optimizer path), and reducing
+/// single indices, with subtrees joined pairwise at the end. Every extent
+/// is a multiple of `p.divisor`, so any grid whose dimensions divide it
+/// simulates the result exactly. Deterministic in `seed`.
+pub fn random_tree(seed: u64, p: &TreeParams) -> ExprTree {
+    assert!(p.max_internal >= 1 && p.max_arity >= 2 && p.divisor >= 1 && p.max_units >= 1);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F).wrapping_add(1));
+    let n_internal = rng.gen_range(1..=p.max_internal);
+
+    // Pre-declare an index pool; each new dimension is taken once, so
+    // distinct subtrees never share an index (joins are outer products or
+    // partially-summed multiplies over disjoint dimension sets).
+    let mut space = IndexSpace::new();
+    let pool: Vec<IndexId> = (0..(2 * p.max_internal + 3))
+        .map(|i| space.declare(&format!("x{i}"), p.divisor * rng.gen_range(1..=p.max_units)))
+        .collect();
+    let mut next = 0usize;
+    let mut tree = ExprTree::new(space);
+    let mut leaf_no = 0usize;
+    let mut int_no = 0usize;
+
+    // Open subtree roots: (node, result dims).
+    let mut open: Vec<(tce_expr::NodeId, Vec<IndexId>)> = Vec::new();
+
+    let fresh = |rng: &mut StdRng, next: &mut usize, lo: usize, hi: usize| -> Vec<IndexId> {
+        let avail = pool.len() - *next;
+        let n = rng.gen_range(lo..=hi).min(avail);
+        let out = pool[*next..*next + n].to_vec();
+        *next += n;
+        out
+    };
+
+    // Pick a random non-empty subset of `dims` with `lo..=hi` elements.
+    let subset = |rng: &mut StdRng, dims: &[IndexId], lo: usize, hi: usize| -> Vec<IndexId> {
+        let hi = hi.min(dims.len());
+        let lo = lo.min(hi).max(1);
+        let n = rng.gen_range(lo..=hi);
+        let mut pick: Vec<IndexId> = dims.to_vec();
+        while pick.len() > n {
+            let i = rng.gen_range(0..pick.len());
+            pick.remove(i);
+        }
+        pick
+    };
+
+    while int_no < n_internal {
+        let may_join = open.len() >= 2;
+        let may_spawn = open.len() < 3 && pool.len() - next >= 2;
+        let action = rng.gen_range(0..10u32);
+        if open.is_empty() || (may_spawn && action < 3) {
+            // Spawn: a fresh proper two-leaf contraction as a new subtree.
+            let shared = fresh(&mut rng, &mut next, 1, 1);
+            let l_extra = fresh(&mut rng, &mut next, 0, p.max_arity - 1);
+            let r_extra = fresh(&mut rng, &mut next, 0, (p.max_arity - 1).min(1));
+            let mut ld = shared.clone();
+            ld.extend(l_extra.iter().copied());
+            let mut rd = shared.clone();
+            rd.extend(r_extra.iter().copied());
+            let l = tree.add_leaf(Tensor::new(format!("A{leaf_no}"), ld));
+            let r = tree.add_leaf(Tensor::new(format!("A{}", leaf_no + 1), rd));
+            leaf_no += 2;
+            let extras: Vec<IndexId> = l_extra.iter().chain(r_extra.iter()).copied().collect();
+            // Sum the shared dim away (proper contraction) unless that
+            // would leave a scalar; element-wise on the shared dim
+            // otherwise. Then trim to the arity cap by summing extras.
+            let mut sum: Vec<IndexId> = Vec::new();
+            let mut dims: Vec<IndexId>;
+            if !extras.is_empty() && rng.gen_bool(0.7) {
+                sum.push(shared[0]);
+                dims = extras;
+            } else {
+                dims = shared.clone();
+                dims.extend(extras);
+            }
+            while dims.len() > p.max_arity {
+                let i = rng.gen_range(0..dims.len());
+                sum.push(dims.remove(i));
+            }
+            let node = tree
+                .add_contract(
+                    Tensor::new(format!("T{int_no}"), dims.clone()),
+                    IndexSet::from_iter(sum),
+                    l,
+                    r,
+                )
+                .expect("spawned contraction is well-formed");
+            int_no += 1;
+            open.push((node, dims));
+        } else if may_join && (action < 6 || int_no + open.len() > n_internal) {
+            // Join two open subtrees: dims are disjoint by construction, so
+            // this is an outer product, optionally summing some dims away
+            // (one-sided sums exercise the element-wise path).
+            let ai = rng.gen_range(0..open.len());
+            let (a, ad) = open.remove(ai);
+            let bi = rng.gen_range(0..open.len());
+            let (b, bd) = open.remove(bi);
+            let mut union: Vec<IndexId> = ad.clone();
+            union.extend(bd.iter().copied());
+            let mut sum: Vec<IndexId> = Vec::new();
+            // Sum enough away to respect the arity cap, then maybe more.
+            let mut keep = union.clone();
+            while keep.len() > p.max_arity || (keep.len() > 1 && rng.gen_bool(0.4)) {
+                let i = rng.gen_range(0..keep.len());
+                sum.push(keep.remove(i));
+            }
+            let node = tree
+                .add_contract(
+                    Tensor::new(format!("T{int_no}"), keep.clone()),
+                    IndexSet::from_iter(sum),
+                    a,
+                    b,
+                )
+                .expect("join contraction is well-formed");
+            int_no += 1;
+            open.push((node, keep));
+        } else {
+            // Extend one open subtree.
+            let oi = rng.gen_range(0..open.len());
+            let (cur, cd) = open[oi].clone();
+            let kind = rng.gen_range(0..10u32);
+            if kind < 3 && cd.len() >= 2 {
+                // Reduce one dimension away.
+                let di = rng.gen_range(0..cd.len());
+                let dropped = cd[di];
+                let dims: Vec<IndexId> = cd.iter().copied().filter(|&i| i != dropped).collect();
+                let node = tree
+                    .add_reduce(Tensor::new(format!("T{int_no}"), dims.clone()), dropped, cur)
+                    .expect("reduce is well-formed");
+                open[oi] = (node, dims);
+            } else if kind < 7 {
+                // Contraction against a fresh leaf: sum a subset of the
+                // running dims, introduce fresh ones. Usually proper; when
+                // the arity cap forces extra one-sided summation it drops
+                // to the element-wise path.
+                let sum = subset(&mut rng, &cd, 1, cd.len());
+                let keep: Vec<IndexId> = cd.iter().copied().filter(|i| !sum.contains(i)).collect();
+                let want_fresh = if keep.is_empty() { 1 } else { usize::from(rng.gen_bool(0.7)) }
+                    .min(p.max_arity.saturating_sub(sum.len()));
+                let newd = fresh(&mut rng, &mut next, want_fresh, want_fresh);
+                if keep.is_empty() && newd.is_empty() {
+                    continue; // out of fresh dims; try another action
+                }
+                let mut leaf_dims = sum.clone();
+                leaf_dims.extend(newd.iter().copied());
+                let leaf = tree.add_leaf(Tensor::new(format!("A{leaf_no}"), leaf_dims));
+                leaf_no += 1;
+                let mut dims = keep;
+                dims.extend(newd.iter().copied());
+                dims.truncate(p.max_arity);
+                let extra_sum: Vec<IndexId> = cd
+                    .iter()
+                    .chain(newd.iter())
+                    .copied()
+                    .filter(|i| !dims.contains(i) && !sum.contains(i))
+                    .collect();
+                let mut full_sum = sum;
+                full_sum.extend(extra_sum);
+                let node = tree
+                    .add_contract(
+                        Tensor::new(format!("T{int_no}"), dims.clone()),
+                        IndexSet::from_iter(full_sum),
+                        cur,
+                        leaf,
+                    )
+                    .expect("extend contraction is well-formed");
+                open[oi] = (node, dims);
+            } else {
+                // Partially-shared multiply: the leaf carries a subset of
+                // the running dims; summing a strict subset of the shared
+                // dims (or none) sends the node down the element-wise path.
+                let shared = subset(&mut rng, &cd, 1, cd.len());
+                let sum = if shared.len() > 1 && rng.gen_bool(0.5) {
+                    subset(&mut rng, &shared, 1, shared.len() - 1)
+                } else if rng.gen_bool(0.3) {
+                    shared.clone()
+                } else {
+                    Vec::new()
+                };
+                let dims: Vec<IndexId> = cd.iter().copied().filter(|i| !sum.contains(i)).collect();
+                if dims.is_empty() {
+                    continue; // would make a scalar intermediate
+                }
+                let leaf = tree.add_leaf(Tensor::new(format!("A{leaf_no}"), shared.clone()));
+                leaf_no += 1;
+                let node = tree
+                    .add_contract(
+                        Tensor::new(format!("T{int_no}"), dims.clone()),
+                        IndexSet::from_iter(sum),
+                        cur,
+                        leaf,
+                    )
+                    .expect("multiply is well-formed");
+                open[oi] = (node, dims);
+            }
+            int_no += 1;
+        }
+    }
+
+    // Join the remaining open subtrees into a single root.
+    while open.len() > 1 {
+        let (a, ad) = open.remove(rng.gen_range(0..open.len()));
+        let (b, bd) = open.remove(rng.gen_range(0..open.len()));
+        let mut union: Vec<IndexId> = ad;
+        union.extend(bd);
+        let mut sum: Vec<IndexId> = Vec::new();
+        let mut keep = union;
+        while keep.len() > p.max_arity {
+            let i = rng.gen_range(0..keep.len());
+            sum.push(keep.remove(i));
+        }
+        let node = tree
+            .add_contract(
+                Tensor::new(format!("T{int_no}"), keep.clone()),
+                IndexSet::from_iter(sum),
+                a,
+                b,
+            )
+            .expect("final join is well-formed");
+        int_no += 1;
+        open.push((node, keep));
+    }
+    let (root, _) = open.pop().expect("at least one subtree was grown");
+    tree.set_root(root);
+    tree
+}
+
+#[cfg(test)]
+mod general_tests {
+    use super::*;
+
+    #[test]
+    fn general_trees_are_deterministic_and_valid() {
+        for seed in 0..60 {
+            let p = TreeParams::default();
+            let a = random_tree(seed, &p);
+            let b = random_tree(seed, &p);
+            assert_eq!(a.len(), b.len(), "seed {seed}");
+            for id in a.ids() {
+                assert_eq!(a.node(id).tensor, b.node(id).tensor, "seed {seed}");
+            }
+            // Root is internal and every extent divides the candidate grids.
+            assert!(!a.node(a.root()).is_leaf(), "seed {seed}");
+            for id in a.ids() {
+                for &d in &a.node(id).tensor.dims {
+                    assert_eq!(a.space.extent(d) % p.divisor, 0, "seed {seed}");
+                    assert!(a.node(id).tensor.dims.len() <= p.max_arity, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_trees_round_trip_through_tce_source() {
+        use tce_expr::printer::render_tce_source;
+        for seed in 0..40 {
+            let t = random_tree(seed, &TreeParams::default());
+            let src = render_tce_source(&t);
+            let back = tce_expr::parse(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"))
+                .to_sequence()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"))
+                .to_tree()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert_eq!(t.len(), back.len(), "seed {seed}\n{src}");
+            assert_eq!(
+                t.node(t.root()).tensor.name,
+                back.node(back.root()).tensor.name,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_trees_cover_all_node_kinds() {
+        let p = TreeParams::default();
+        let (mut proper, mut improper, mut reduce) = (0, 0, 0);
+        for seed in 0..40 {
+            let t = random_tree(seed, &p);
+            for id in t.ids().filter(|&i| !t.node(i).is_leaf()) {
+                match &t.node(id).kind {
+                    tce_expr::NodeKind::Contract { .. } => {
+                        if t.contraction_groups(id).is_ok() {
+                            proper += 1;
+                        } else {
+                            improper += 1;
+                        }
+                    }
+                    tce_expr::NodeKind::Reduce { .. } => reduce += 1,
+                    tce_expr::NodeKind::Leaf => unreachable!(),
+                }
+            }
+        }
+        assert!(proper > 0 && improper > 0 && reduce > 0, "{proper}/{improper}/{reduce}");
+    }
+}

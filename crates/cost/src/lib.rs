@@ -33,4 +33,4 @@ pub mod units;
 pub use machine::MachineModel;
 pub use memo::CostMemo;
 pub use model::CostModel;
-pub use rcost::{characterize, Characterization, GridTable, RCostPoint};
+pub use rcost::{characterize, Characterization, CostError, GridTable, RCostPoint};

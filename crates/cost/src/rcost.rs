@@ -93,12 +93,19 @@ pub fn characterize(machine: &MachineModel, step_counts: &[u32]) -> Characteriza
 }
 
 fn interpolate(points: &[RCostPoint], bytes: f64) -> f64 {
-    assert!(!points.is_empty(), "empty characterization table");
+    if points.is_empty() {
+        // Degenerate table: no information. Callers that must distinguish
+        // this from a genuinely free rotation use `try_rcost`.
+        return 0.0;
+    }
     if bytes <= 0.0 {
         return 0.0;
     }
     if points.len() == 1 {
         // Degenerate table: scale proportionally.
+        if points[0].bytes <= 0.0 {
+            return points[0].seconds.max(0.0);
+        }
         return points[0].seconds * bytes / points[0].bytes;
     }
     // Find the surrounding segment; clamp to the outermost segments for
@@ -110,28 +117,105 @@ fn interpolate(points: &[RCostPoint], bytes: f64) -> f64 {
         None => points.len() - 2,
     };
     let (a, b) = (points[seg], points[seg + 1]);
+    if b.bytes - a.bytes <= 0.0 {
+        // Duplicate (or descending) byte sizes in a user-supplied table:
+        // a zero-width segment has no slope, so answer with the segment's
+        // larger measurement instead of dividing by zero (NaN).
+        return a.seconds.max(b.seconds).max(0.0);
+    }
     let t = (bytes - a.bytes) / (b.bytes - a.bytes);
     (a.seconds + t * (b.seconds - a.seconds)).max(0.0)
 }
 
+/// Why a characterization could not answer a cost query exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CostError {
+    /// No table was measured for the requested grid size.
+    UncharacterizedGrid {
+        /// The requested rotation step count (grid extent).
+        steps: u32,
+    },
+    /// A table exists for the grid but holds no measured points for the
+    /// requested travel dimension.
+    EmptyTable {
+        /// The requested rotation step count (grid extent).
+        steps: u32,
+        /// The travel dimension whose point list is empty.
+        travel: GridDim,
+    },
+}
+
+impl std::fmt::Display for CostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostError::UncharacterizedGrid { steps } => {
+                write!(f, "grid with {steps} steps was not characterized")
+            }
+            CostError::EmptyTable { steps, travel } => {
+                write!(f, "characterization table for {steps} steps has no points along {travel:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
 impl Characterization {
     /// Predicted seconds to fully rotate a local block of `bytes` along
-    /// `travel` on a grid with `steps` processors in that dimension.
-    ///
-    /// # Panics
-    /// Panics if `steps` was not characterized — the characterization run
-    /// must cover every grid the optimizer will consider.
-    pub fn rcost(&self, steps: u32, travel: GridDim, bytes: f64) -> f64 {
+    /// `travel` on a grid with `steps` processors in that dimension,
+    /// failing with a structured [`CostError`] when the characterization
+    /// cannot answer exactly (uncharacterized grid size or an empty point
+    /// table — e.g. a hand-edited characterization file).
+    pub fn try_rcost(&self, steps: u32, travel: GridDim, bytes: f64) -> Result<f64, CostError> {
         let table = self
             .grids
             .iter()
             .find(|g| g.steps == steps)
-            .unwrap_or_else(|| panic!("grid with {steps} steps was not characterized"));
+            .ok_or(CostError::UncharacterizedGrid { steps })?;
         let points = match travel {
             GridDim::Dim1 => &table.dim1,
             GridDim::Dim2 => &table.dim2,
         };
-        interpolate(points, bytes)
+        if points.is_empty() {
+            return Err(CostError::EmptyTable { steps, travel });
+        }
+        Ok(interpolate(points, bytes))
+    }
+
+    /// Predicted seconds to fully rotate a local block of `bytes` along
+    /// `travel` on a grid with `steps` processors in that dimension.
+    ///
+    /// Total: when `steps` was not characterized, the answer is a
+    /// documented clamped extrapolation — the nearest characterized grid's
+    /// table scaled by the step-count ratio (rotation time is linear in
+    /// the number of lockstep rounds for a fixed block size). An entirely
+    /// empty characterization (or an empty point table) predicts 0.0; use
+    /// [`Characterization::try_rcost`] to detect those cases explicitly.
+    pub fn rcost(&self, steps: u32, travel: GridDim, bytes: f64) -> f64 {
+        match self.try_rcost(steps, travel, bytes) {
+            Ok(t) => t,
+            Err(CostError::EmptyTable { .. }) => 0.0,
+            Err(CostError::UncharacterizedGrid { .. }) => {
+                // Nearest characterized grid (ties broken toward fewer
+                // steps), scaled by the ratio of step counts.
+                let Some(nearest) = self
+                    .grids
+                    .iter()
+                    .min_by_key(|g| (u64::from(g.steps.abs_diff(steps)), u64::from(g.steps)))
+                else {
+                    return 0.0;
+                };
+                let points = match travel {
+                    GridDim::Dim1 => &nearest.dim1,
+                    GridDim::Dim2 => &nearest.dim2,
+                };
+                let base = interpolate(points, bytes);
+                if nearest.steps == 0 {
+                    return base;
+                }
+                base * f64::from(steps) / f64::from(nearest.steps)
+            }
+        }
     }
 
     /// Serialize to the JSON characterization-file format.
@@ -218,10 +302,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not characterized")]
-    fn uncharacterized_grid_panics() {
+    fn uncharacterized_grid_errors_and_extrapolates() {
         let (_, c) = chr();
-        c.rcost(16, GridDim::Dim1, 1e6);
+        // `try_rcost` reports the gap…
+        assert_eq!(
+            c.try_rcost(16, GridDim::Dim1, 1e6),
+            Err(CostError::UncharacterizedGrid { steps: 16 })
+        );
+        // …while `rcost` answers by scaling the nearest table (8 steps):
+        // twice the rounds, twice the time.
+        let scaled = c.rcost(16, GridDim::Dim1, 1e6);
+        let base = c.rcost(8, GridDim::Dim1, 1e6);
+        assert!(scaled.is_finite() && scaled > 0.0);
+        assert!((scaled - 2.0 * base).abs() / scaled < 1e-12, "{scaled} vs 2×{base}");
+        // Below the smallest characterized grid, scale down.
+        let down = c.rcost(2, GridDim::Dim1, 1e6);
+        assert!((down - 0.5 * c.rcost(4, GridDim::Dim1, 1e6)).abs() / down < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tables_never_produce_nan() {
+        // Duplicate byte sizes: the zero-width segment answers with its
+        // larger measurement instead of dividing by zero.
+        let dup = vec![
+            RCostPoint { bytes: 1024.0, seconds: 1.0 },
+            RCostPoint { bytes: 1024.0, seconds: 2.0 },
+            RCostPoint { bytes: 4096.0, seconds: 8.0 },
+        ];
+        let c = Characterization {
+            machine: "test".into(),
+            grids: vec![GridTable { steps: 4, dim1: dup, dim2: Vec::new() }],
+        };
+        for bytes in [0.0, 512.0, 1024.0, 2048.0, 4096.0, 1e7] {
+            let t = c.rcost(4, GridDim::Dim1, bytes);
+            assert!(t.is_finite() && !t.is_nan(), "bytes={bytes}: {t}");
+            assert!(t >= 0.0);
+        }
+        // Exactly on the duplicated size: the larger measurement wins.
+        assert_eq!(c.rcost(4, GridDim::Dim1, 1024.0), 2.0);
+        // An empty point table is an error through `try_rcost`…
+        assert_eq!(
+            c.try_rcost(4, GridDim::Dim2, 1e6),
+            Err(CostError::EmptyTable { steps: 4, travel: GridDim::Dim2 })
+        );
+        // …and a documented 0.0 through the total `rcost`.
+        assert_eq!(c.rcost(4, GridDim::Dim2, 1e6), 0.0);
+        // A wholly empty characterization predicts 0.0 everywhere.
+        let empty = Characterization { machine: "test".into(), grids: Vec::new() };
+        assert_eq!(empty.rcost(4, GridDim::Dim1, 1e6), 0.0);
+        assert_eq!(
+            empty.try_rcost(4, GridDim::Dim1, 1e6),
+            Err(CostError::UncharacterizedGrid { steps: 4 })
+        );
+    }
+
+    #[test]
+    fn single_point_table_scales_proportionally() {
+        let c = Characterization {
+            machine: "test".into(),
+            grids: vec![GridTable {
+                steps: 2,
+                dim1: vec![RCostPoint { bytes: 1000.0, seconds: 3.0 }],
+                dim2: vec![RCostPoint { bytes: 0.0, seconds: 5.0 }],
+            }],
+        };
+        assert_eq!(c.rcost(2, GridDim::Dim1, 2000.0), 6.0);
+        // Zero-byte single point cannot scale; clamp to the measurement.
+        let t = c.rcost(2, GridDim::Dim2, 2000.0);
+        assert!(t.is_finite() && t == 5.0);
     }
 
     #[test]

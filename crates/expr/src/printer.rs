@@ -179,6 +179,136 @@ pub fn render_dot(tree: &ExprTree) -> String {
     out
 }
 
+/// Render an expression tree as a parseable `.tce` program: one `range`
+/// declaration per index used by the tree, one `input` declaration per
+/// distinct leaf name, and one statement per internal node in post order.
+/// Round-trips through [`crate::parser::parse`] +
+/// [`FormulaSequence::to_tree`] to an equivalent tree (same tensors, same
+/// structure; node ids may differ). Used to pin fuzz reproducers as plain
+/// workload files.
+pub fn render_tce_source(tree: &ExprTree) -> String {
+    let sp: &IndexSpace = &tree.space;
+    let mut out = String::new();
+    // Indices actually used, in declaration order.
+    let mut used: Vec<crate::index::IndexId> = Vec::new();
+    for id in tree.ids() {
+        for &d in &tree.node(id).tensor.dims {
+            if !used.contains(&d) {
+                used.push(d);
+            }
+        }
+        if let NodeKind::Reduce { sum, .. } = &tree.node(id).kind {
+            if !used.contains(sum) {
+                used.push(*sum);
+            }
+        }
+    }
+    used.sort_by_key(|d| d.0);
+    for d in used {
+        out.push_str(&format!("range {} = {};\n", sp.name(d), sp.extent(d)));
+    }
+    let dims = |t: &crate::tensor::Tensor| {
+        t.dims.iter().map(|&d| sp.name(d)).collect::<Vec<_>>().join(",")
+    };
+    let mut declared: Vec<&str> = Vec::new();
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        if node.is_leaf() && !declared.contains(&node.tensor.name.as_str()) {
+            declared.push(node.tensor.name.as_str());
+            out.push_str(&format!("input {}[{}];\n", node.tensor.name, dims(&node.tensor)));
+        }
+    }
+    for id in tree.postorder() {
+        let node = tree.node(id);
+        match &node.kind {
+            NodeKind::Leaf => {}
+            NodeKind::Reduce { sum, child } => {
+                let c = &tree.node(*child).tensor;
+                out.push_str(&format!(
+                    "{}[{}] = sum[{}] {}[{}];\n",
+                    node.tensor.name,
+                    dims(&node.tensor),
+                    sp.name(*sum),
+                    c.name,
+                    dims(c)
+                ));
+            }
+            NodeKind::Contract { sum, left, right } => {
+                let l = &tree.node(*left).tensor;
+                let r = &tree.node(*right).tensor;
+                let sum_str = if sum.is_empty() {
+                    String::new()
+                } else {
+                    format!("sum[{}] ", sp.render(sum.as_slice()))
+                };
+                out.push_str(&format!(
+                    "{}[{}] = {}{}[{}] * {}[{}];\n",
+                    node.tensor.name,
+                    dims(&node.tensor),
+                    sum_str,
+                    l.name,
+                    dims(l),
+                    r.name,
+                    dims(r)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod source_tests {
+    use super::*;
+    use crate::parser::{parse, FIG2_SOURCE};
+
+    #[test]
+    fn tce_source_round_trips() {
+        let tree = parse(FIG2_SOURCE).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let src = render_tce_source(&tree);
+        let back = parse(&src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        assert_eq!(tree.len(), back.len());
+        // Same tensors (by name, dim names, extents) and same root.
+        let sig = |t: &ExprTree| {
+            let mut v: Vec<String> = t
+                .ids()
+                .map(|id| {
+                    let n = t.node(id);
+                    let d: Vec<String> = n
+                        .tensor
+                        .dims
+                        .iter()
+                        .map(|&x| format!("{}:{}", t.space.name(x), t.space.extent(x)))
+                        .collect();
+                    format!("{}[{}]", n.tensor.name, d.join(","))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sig(&tree), sig(&back));
+        assert_eq!(tree.node(tree.root()).tensor.name, back.node(back.root()).tensor.name);
+    }
+
+    #[test]
+    fn tce_source_handles_mul_reduce_and_scalars() {
+        let src = "\
+range a = 4; range b = 8;
+input A[a,b]; input B[a,b];
+T[a,b] = A[a,b] * B[a,b];
+U[b] = sum[a] T[a,b];
+S[] = sum[b] U[b];
+";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let rendered = render_tce_source(&tree);
+        assert!(rendered.contains("T[a,b] = A[a,b] * B[a,b];"));
+        assert!(rendered.contains("U[b] = sum[a] T[a,b];"));
+        assert!(rendered.contains("S[] = sum[b] U[b];"));
+        let back = parse(&rendered).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        assert_eq!(tree.len(), back.len());
+    }
+}
+
 #[cfg(test)]
 mod dot_tests {
     use super::*;

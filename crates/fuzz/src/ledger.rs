@@ -1,0 +1,293 @@
+//! Reconciliation of the plan's cost ledger against the simulator's
+//! measured communication trace.
+//!
+//! The optimizer prices every step when it builds the plan; the simulator
+//! independently re-derives the communication while executing it. If the
+//! two ever disagree beyond interpolation error, one of them is wrong.
+//! This module states the exact correspondence:
+//!
+//! * **Invocations** — a step's kernel runs once per point of its
+//!   surrounding fused loops, where a loop over a distributed index only
+//!   covers the local extent. This mirrors the simulator's `nest`.
+//! * **Redistribute** — charged once per step (on the first invocation)
+//!   for every unfused operand whose produced layout differs from the
+//!   required one; seconds must equal the plan's `redist_cost` exactly
+//!   and each event carries one message per processor.
+//! * **Reduce** — charged per invocation; the per-step total must equal
+//!   the plan's `result_rotate_cost` exactly (the plan prices the whole
+//!   fused loop nest).
+//! * **Align / Shift / Home** — a rotating input pays one alignment fetch
+//!   plus `q − 1` shifts per invocation; a rotating result pays `q − 1`
+//!   shifts plus one homing round. Event *counts* are exact; *seconds*
+//!   are compared within a relative tolerance because the optimizer
+//!   prices rotations through the interpolated `RCost` characterization
+//!   while the simulator charges the raw machine model.
+
+use std::collections::HashMap;
+
+use tce_core::{ExecutionPlan, PlanStep};
+use tce_cost::CostModel;
+use tce_dist::cannon::num_steps;
+use tce_dist::{Operand, ProcGrid};
+use tce_expr::{ExprTree, NodeKind};
+use tce_sim::{CommEvent, CommKind, Metrics};
+
+use crate::{approx_eq, Failure};
+
+fn fail(detail: String) -> Failure {
+    Failure { oracle: "ledger", detail }
+}
+
+/// Number of kernel invocations of `step`: the product of the per-
+/// processor trip counts of its surrounding fused loops (mirrors the
+/// simulator's `nest`).
+pub fn invocations(tree: &ExprTree, step: &PlanStep, grid: ProcGrid) -> u64 {
+    step.surrounding
+        .iter()
+        .map(|idx| {
+            let extent = tree.space.extent(idx);
+            match placement_at(step, idx) {
+                None => extent,
+                Some(d) => extent / u64::from(grid.extent(d)),
+            }
+        })
+        .product()
+}
+
+/// The grid placement of `id` in any of the step's distributions
+/// (mirrors the simulator's `placement_at`).
+fn placement_at(step: &PlanStep, id: tce_expr::IndexId) -> Option<tce_dist::GridDim> {
+    std::iter::once(step.result_dist)
+        .chain(step.operands.iter().map(|o| o.required_dist))
+        .find_map(|d| d.position_of(id))
+}
+
+/// Per-kind aggregation of one step's trace.
+#[derive(Default)]
+struct KindTotals {
+    count: u64,
+    messages: u64,
+    seconds: f64,
+    max_bytes: u128,
+}
+
+/// Check the measured trace against the plan's ledger. Returns the first
+/// violation found.
+pub fn reconcile(
+    tree: &ExprTree,
+    plan: &ExecutionPlan,
+    cm: &CostModel,
+    metrics: &Metrics,
+    events: &[CommEvent],
+    tol_rel: f64,
+) -> Result<(), Failure> {
+    let grid = cm.grid;
+
+    // The trace must be complete: every charged second and message has an
+    // event, nothing is double-counted.
+    let traced_seconds: f64 = events.iter().map(|e| e.seconds).sum();
+    if !approx_eq(traced_seconds, metrics.comm_seconds, 1e-9) {
+        return Err(fail(format!(
+            "trace covers {traced_seconds}s of {}s charged comm",
+            metrics.comm_seconds
+        )));
+    }
+    let traced_messages: u64 = events.iter().map(|e| e.messages).sum();
+    if traced_messages != metrics.messages {
+        return Err(fail(format!(
+            "trace carries {traced_messages} messages, metrics counted {}",
+            metrics.messages
+        )));
+    }
+
+    // Group events by (step, kind).
+    let mut by_step: HashMap<&str, [KindTotals; 5]> = HashMap::new();
+    for e in events {
+        let slot =
+            CommKind::ALL.iter().position(|&k| k == e.kind).expect("CommKind::ALL is exhaustive");
+        let totals = &mut by_step.entry(e.step.as_str()).or_default()[slot];
+        totals.count += 1;
+        totals.messages += e.messages;
+        totals.seconds += e.seconds;
+        totals.max_bytes = totals.max_bytes.max(e.bytes);
+    }
+    let known: std::collections::HashSet<&str> =
+        plan.steps.iter().map(|s| s.result_name.as_str()).collect();
+    if let Some(orphan) = by_step.keys().find(|s| !known.contains(*s)) {
+        return Err(fail(format!("trace mentions step `{orphan}` absent from the plan")));
+    }
+
+    let empty: [KindTotals; 5] = Default::default();
+    let kind_slot = |k: CommKind| {
+        CommKind::ALL.iter().position(|&x| x == k).expect("CommKind::ALL is exhaustive")
+    };
+
+    for step in &plan.steps {
+        let measured = by_step.get(step.result_name.as_str()).unwrap_or(&empty);
+        let get = |k: CommKind| &measured[kind_slot(k)];
+        let inv = invocations(tree, step, grid);
+        let name = &step.result_name;
+
+        // Redistribution: exact seconds, one event per redistributed
+        // unfused operand, one message per processor per event.
+        let planned_redist: f64 = step.operands.iter().map(|o| o.redist_cost).sum();
+        let expected_redists = step
+            .operands
+            .iter()
+            .filter(|o| o.fusion.is_empty() && o.produced_dist != o.required_dist)
+            .count() as u64;
+        let redist = get(CommKind::Redistribute);
+        if !approx_eq(redist.seconds, planned_redist, 1e-9) {
+            return Err(fail(format!(
+                "step {name}: measured redistribution {}s, plan charges {planned_redist}s",
+                redist.seconds
+            )));
+        }
+        if redist.count != expected_redists {
+            return Err(fail(format!(
+                "step {name}: {} redistribution events, expected {expected_redists}",
+                redist.count
+            )));
+        }
+        if redist.messages != expected_redists * u64::from(grid.num_procs()) {
+            return Err(fail(format!(
+                "step {name}: redistribution carried {} messages, expected {} per event",
+                redist.messages,
+                grid.num_procs()
+            )));
+        }
+
+        let rotation_seconds = get(CommKind::Align).seconds
+            + get(CommKind::Shift).seconds
+            + get(CommKind::Home).seconds;
+        let planned_rotation: f64 =
+            step.result_rotate_cost + step.operands.iter().map(|o| o.rotate_cost).sum::<f64>();
+
+        match step.pattern {
+            Some(pat) => {
+                // No reductions inside a Cannon step.
+                if get(CommKind::Reduce).count != 0 {
+                    return Err(fail(format!("step {name}: Reduce events in a Cannon step")));
+                }
+                let rounds =
+                    if pat.rotation_index().is_some() { u64::from(num_steps(grid)) } else { 1 };
+                let rotating_inputs = [Operand::Left, Operand::Right]
+                    .iter()
+                    .filter(|&&o| pat.travel_dim(o).is_some())
+                    .count() as u64;
+                let result_rotates = u64::from(pat.travel_dim(Operand::Result).is_some());
+                let expect = [
+                    (CommKind::Align, rotating_inputs * inv),
+                    (CommKind::Shift, (rounds - 1) * (rotating_inputs + result_rotates) * inv),
+                    (CommKind::Home, result_rotates * inv),
+                ];
+                for (kind, count) in expect {
+                    let m = get(kind);
+                    if m.count != count {
+                        return Err(fail(format!(
+                            "step {name}: {} {kind} events, expected {count} \
+                             ({inv} invocations × {rounds} rounds)",
+                            m.count
+                        )));
+                    }
+                    if m.messages != count {
+                        return Err(fail(format!(
+                            "step {name}: {kind} carried {} messages for {count} events",
+                            m.messages
+                        )));
+                    }
+                    // Every rotation round moves at most the staging buffer.
+                    if m.max_bytes > plan.max_msg_words * 8 {
+                        return Err(fail(format!(
+                            "step {name}: {kind} round of {} bytes exceeds the plan's \
+                             staging buffer of {} words",
+                            m.max_bytes, plan.max_msg_words
+                        )));
+                    }
+                }
+                if !approx_eq(rotation_seconds, planned_rotation, tol_rel) {
+                    return Err(fail(format!(
+                        "step {name}: measured rotation {rotation_seconds}s vs planned \
+                         {planned_rotation}s (beyond {tol_rel} relative)"
+                    )));
+                }
+            }
+            None => {
+                // Reduce / element-wise steps never rotate.
+                if rotation_seconds != 0.0
+                    || get(CommKind::Align).count
+                        + get(CommKind::Shift).count
+                        + get(CommKind::Home).count
+                        != 0
+                {
+                    return Err(fail(format!(
+                        "step {name}: rotation events on a patternless step"
+                    )));
+                }
+                let planned_op_rotation: f64 = step.operands.iter().map(|o| o.rotate_cost).sum();
+                if planned_op_rotation != 0.0 {
+                    return Err(fail(format!(
+                        "step {name}: plan charges {planned_op_rotation}s operand rotation \
+                         on a patternless step"
+                    )));
+                }
+                let reduce = get(CommKind::Reduce);
+                let distributed_sum = match &tree.node(step.node).kind {
+                    NodeKind::Reduce { sum, .. } => {
+                        step.operands[0].required_dist.position_of(*sum)
+                    }
+                    _ => None,
+                };
+                match distributed_sum {
+                    Some(d) => {
+                        if reduce.count != inv {
+                            return Err(fail(format!(
+                                "step {name}: {} Reduce events for {inv} invocations",
+                                reduce.count
+                            )));
+                        }
+                        if reduce.messages != inv * u64::from(grid.extent(d)) {
+                            return Err(fail(format!(
+                                "step {name}: Reduce carried {} messages, expected {} \
+                                 per invocation",
+                                reduce.messages,
+                                grid.extent(d)
+                            )));
+                        }
+                        if !approx_eq(reduce.seconds, step.result_rotate_cost, 1e-9) {
+                            return Err(fail(format!(
+                                "step {name}: measured reduction {}s, plan charges {}s",
+                                reduce.seconds, step.result_rotate_cost
+                            )));
+                        }
+                    }
+                    None => {
+                        if reduce.count != 0 {
+                            return Err(fail(format!(
+                                "step {name}: Reduce events with no distributed summation \
+                                 dimension"
+                            )));
+                        }
+                        if step.result_rotate_cost != 0.0 {
+                            return Err(fail(format!(
+                                "step {name}: plan charges {}s reduction but nothing is \
+                                 reduced",
+                                step.result_rotate_cost
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Headline total: measured comm vs the plan's ledger, within the
+    // rotation tolerance.
+    if !approx_eq(metrics.comm_seconds, plan.comm_cost, tol_rel) {
+        return Err(fail(format!(
+            "simulator measured {}s of communication, plan predicts {}s",
+            metrics.comm_seconds, plan.comm_cost
+        )));
+    }
+    Ok(())
+}

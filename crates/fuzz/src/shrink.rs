@@ -1,0 +1,236 @@
+//! Automatic minimization of failing trees.
+//!
+//! Given a tree on which an oracle fired, [`shrink_tree`] greedily applies
+//! three reductions while the *same oracle* keeps firing:
+//!
+//! 1. **Re-root** — replace the whole tree by one of its internal
+//!    subtrees (drops everything outside it).
+//! 2. **Leafify** — replace an internal node's subtree by an input leaf
+//!    with the same tensor signature (drops everything below it).
+//! 3. **Extent shrink** — set an index extent down to the generator's
+//!    divisor (keeps grid divisibility).
+//!
+//! Every candidate is re-validated through the full differential loop, so
+//! a minimized reproducer genuinely reproduces. The number of candidate
+//! evaluations is capped: each evaluation runs several optimizations and
+//! simulations, and an almost-minimal reproducer found quickly beats a
+//! minimal one found overnight.
+
+use std::collections::HashMap;
+
+use tce_expr::{ExprTree, IndexId, NodeId, NodeKind, Tensor};
+
+use crate::{check_tree, Failure, FuzzConfig};
+
+/// Hard cap on candidate evaluations per shrink.
+const MAX_EVALS: usize = 120;
+
+/// Copy the subtree of `src` rooted at `node` into `dst`, turning the
+/// nodes listed in `leafify` into input leaves and re-declaring indices
+/// with `extent_of`'s extents.
+fn copy_subtree(
+    src: &ExprTree,
+    node: NodeId,
+    leafify: Option<NodeId>,
+    extent_of: &dyn Fn(IndexId) -> u64,
+    dst: &mut ExprTree,
+    map: &mut HashMap<IndexId, IndexId>,
+) -> NodeId {
+    let map_idx = |id: IndexId, dst: &mut ExprTree, map: &mut HashMap<IndexId, IndexId>| {
+        *map.entry(id).or_insert_with(|| dst.space.declare(src.space.name(id), extent_of(id)))
+    };
+    let n = src.node(node);
+    let dims: Vec<IndexId> = n.tensor.dims.iter().map(|&d| map_idx(d, dst, map)).collect();
+    let tensor = Tensor::new(n.tensor.name.clone(), dims);
+    if leafify == Some(node) {
+        return dst.add_leaf(tensor);
+    }
+    match &n.kind {
+        NodeKind::Leaf => dst.add_leaf(tensor),
+        NodeKind::Contract { sum, left, right } => {
+            let l = copy_subtree(src, *left, leafify, extent_of, dst, map);
+            let r = copy_subtree(src, *right, leafify, extent_of, dst, map);
+            let sum = sum.iter().map(|id| map_idx(id, dst, map)).collect();
+            dst.add_contract(tensor, sum, l, r).expect("copy of a well-formed tree")
+        }
+        NodeKind::Reduce { sum, child } => {
+            let c = copy_subtree(src, *child, leafify, extent_of, dst, map);
+            let s = map_idx(*sum, dst, map);
+            dst.add_reduce(tensor, s, c).expect("copy of a well-formed tree")
+        }
+    }
+}
+
+/// Rebuild `src` (or a subtree of it) with the given surgery applied.
+fn rebuild(
+    src: &ExprTree,
+    new_root: NodeId,
+    leafify: Option<NodeId>,
+    extent_override: &HashMap<IndexId, u64>,
+) -> ExprTree {
+    let extent_of =
+        |id: IndexId| extent_override.get(&id).copied().unwrap_or_else(|| src.space.extent(id));
+    let mut dst = ExprTree::new(tce_expr::IndexSpace::new());
+    let mut map = HashMap::new();
+    let root = copy_subtree(src, new_root, leafify, &extent_of, &mut dst, &mut map);
+    dst.set_root(root);
+    dst
+}
+
+fn subtree_size(tree: &ExprTree, node: NodeId) -> usize {
+    match &tree.node(node).kind {
+        NodeKind::Leaf => 1,
+        NodeKind::Contract { left, right, .. } => {
+            1 + subtree_size(tree, *left) + subtree_size(tree, *right)
+        }
+        NodeKind::Reduce { child, .. } => 1 + subtree_size(tree, *child),
+    }
+}
+
+/// Does `candidate` still trip the same oracle? Evaluates the full loop.
+fn still_fails(candidate: &ExprTree, cfg: &FuzzConfig, oracle: &str) -> Option<Failure> {
+    match check_tree(candidate, cfg) {
+        Err(f) if f.oracle == oracle => Some(f),
+        _ => None,
+    }
+}
+
+/// Minimize `tree` while the failure's oracle keeps firing. Returns the
+/// smallest tree found together with the failure observed on it.
+pub fn shrink_tree(tree: &ExprTree, cfg: &FuzzConfig, failure: &Failure) -> (ExprTree, Failure) {
+    let mut best = rebuild(tree, tree.root(), None, &HashMap::new());
+    let mut best_failure = failure.clone();
+    let mut evals = 0usize;
+
+    'outer: loop {
+        if evals >= MAX_EVALS {
+            break;
+        }
+
+        // 1. Re-root: smallest internal subtree first — one success is the
+        //    biggest possible reduction this round.
+        let mut internals: Vec<NodeId> = best
+            .postorder()
+            .into_iter()
+            .filter(|&n| !best.node(n).is_leaf() && n != best.root())
+            .collect();
+        internals.sort_by_key(|&n| subtree_size(&best, n));
+        for &n in &internals {
+            if evals >= MAX_EVALS {
+                break 'outer;
+            }
+            let candidate = rebuild(&best, n, None, &HashMap::new());
+            evals += 1;
+            if let Some(f) = still_fails(&candidate, cfg, failure.oracle) {
+                best = candidate;
+                best_failure = f;
+                continue 'outer;
+            }
+        }
+
+        // 2. Leafify: largest subtree first (drops the most nodes).
+        let mut by_drop = internals.clone();
+        by_drop.sort_by_key(|&n| std::cmp::Reverse(subtree_size(&best, n)));
+        for &n in &by_drop {
+            if evals >= MAX_EVALS {
+                break 'outer;
+            }
+            let candidate = rebuild(&best, best.root(), Some(n), &HashMap::new());
+            evals += 1;
+            if let Some(f) = still_fails(&candidate, cfg, failure.oracle) {
+                best = candidate;
+                best_failure = f;
+                continue 'outer;
+            }
+        }
+
+        // 3. Extent shrink: one index at a time, down to the divisor.
+        for i in 0..best.space.len() {
+            if evals >= MAX_EVALS {
+                break 'outer;
+            }
+            let id = IndexId(u32::try_from(i).expect("index arena fits u32"));
+            if best.space.extent(id) <= cfg.tree_params.divisor {
+                continue;
+            }
+            let overrides = HashMap::from([(id, cfg.tree_params.divisor)]);
+            let candidate = rebuild(&best, best.root(), None, &overrides);
+            evals += 1;
+            if let Some(f) = still_fails(&candidate, cfg, failure.oracle) {
+                best = candidate;
+                best_failure = f;
+                continue 'outer;
+            }
+        }
+
+        break; // fixpoint: no reduction keeps the failure alive
+    }
+    (best, best_failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tce_bench::randtree::{random_tree, TreeParams};
+
+    #[test]
+    fn rebuild_is_identity_without_surgery() {
+        let p = TreeParams::default();
+        for seed in 0..20 {
+            let t = random_tree(seed, &p);
+            let r = rebuild(&t, t.root(), None, &HashMap::new());
+            assert_eq!(t.postorder().len(), r.postorder().len());
+            assert_eq!(t.node(t.root()).tensor.name, r.node(r.root()).tensor.name, "seed {seed}");
+            // Extents survive the index remap.
+            for n in t.postorder() {
+                let a = &t.node(n).tensor;
+                if let Some(b) =
+                    r.postorder().into_iter().find(|&m| r.node(m).tensor.name == a.name)
+                {
+                    let b = &r.node(b).tensor;
+                    let ea: Vec<u64> = a.dims.iter().map(|&d| t.space.extent(d)).collect();
+                    let eb: Vec<u64> = b.dims.iter().map(|&d| r.space.extent(d)).collect();
+                    assert_eq!(ea, eb, "seed {seed} tensor {}", a.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leafify_drops_the_subtree() {
+        let p = TreeParams::default();
+        let t = random_tree(3, &p);
+        let internal: Vec<NodeId> =
+            t.postorder().into_iter().filter(|&n| !t.node(n).is_leaf() && n != t.root()).collect();
+        if let Some(&n) = internal.first() {
+            let r = rebuild(&t, t.root(), Some(n), &HashMap::new());
+            assert!(r.postorder().len() < t.postorder().len());
+            let name = &t.node(n).tensor.name;
+            let kept = r
+                .postorder()
+                .into_iter()
+                .find(|&m| &r.node(m).tensor.name == name)
+                .expect("leafified node keeps its tensor");
+            assert!(r.node(kept).is_leaf());
+        }
+    }
+
+    #[test]
+    fn extent_override_applies() {
+        let p = TreeParams::default();
+        let t = random_tree(7, &p);
+        let wide = (0..t.space.len())
+            .map(|i| IndexId(i as u32))
+            .find(|&id| t.space.extent(id) > p.divisor);
+        if let Some(id) = wide {
+            let overrides = HashMap::from([(id, p.divisor)]);
+            let r = rebuild(&t, t.root(), None, &overrides);
+            let name = t.space.name(id);
+            let rid = (0..r.space.len())
+                .map(|i| IndexId(i as u32))
+                .find(|&i| r.space.name(i) == name)
+                .expect("index survives");
+            assert_eq!(r.space.extent(rid), p.divisor);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+use tce_fuzz::{run_seeds, FuzzConfig};
+
+#[test]
+#[ignore = "long-running campaign; run explicitly"]
+fn deep_campaign() {
+    let cfg = FuzzConfig::default();
+    let mut log = |s: &str| eprintln!("{s}");
+    let summary = run_seeds(200, 400, &cfg, None, &mut log);
+    for f in &summary.failures {
+        eprintln!("seed {}: {}\n{}", f.seed, f.failure, f.source);
+    }
+    assert!(summary.failures.is_empty(), "{} failures", summary.failures.len());
+}

@@ -1,0 +1,151 @@
+//! Named regression tests for the three simulator bugs the differential
+//! fuzzing harness surfaced (seeds 27/42/45 and 32/50/53 of the initial
+//! campaign). Each test rebuilds the *minimized* reproducer tree — the
+//! same workloads pinned under `golden/fuzz_corpus/` — and asserts the
+//! specific behaviour that was wrong, so a reintroduction fails here with
+//! a targeted message rather than only through the full replay loop.
+
+use std::collections::HashMap;
+
+use tce_core::{extract_plan, optimize, ExecutionPlan, OptimizerConfig};
+use tce_cost::CostModel;
+use tce_expr::{ExprTree, IndexSpace, Tensor};
+use tce_sim::{simulate_traced, CommKind};
+
+/// Minimized from fuzz seed 45: an element-wise product feeding a full
+/// reduction over the shared index.
+fn fused_reduce_tree() -> ExprTree {
+    let mut sp = IndexSpace::new();
+    let x1 = sp.declare("x1", 8);
+    let x0 = sp.declare("x0", 4);
+    let mut t = ExprTree::new(sp);
+    let a1 = t.add_leaf(Tensor::new("A1", vec![x0, x1]));
+    let a0 = t.add_leaf(Tensor::new("A0", vec![x0]));
+    let t0 = t
+        .add_contract(Tensor::new("T0", vec![x0, x1]), Default::default(), a0, a1)
+        .expect("valid contraction");
+    let t1 = t.add_reduce(Tensor::new("T1", vec![x1]), x0, t0).expect("valid reduction");
+    t.set_root(t1);
+    t
+}
+
+/// Optimize under a limit tight enough that the reduce edge fuses.
+fn tight_fused_plan(tree: &ExprTree, cm: &CostModel) -> ExecutionPlan {
+    let cfg = OptimizerConfig { max_prefix_len: 2, threads: 1, ..OptimizerConfig::default() };
+    let free = optimize(tree, cm, &cfg).expect("free optimization");
+    let tight = (free.mem_words + free.max_msg_words) * 3 / 4;
+    let cfg = OptimizerConfig { mem_limit_words: Some(tight), ..cfg };
+    let opt = optimize(tree, cm, &cfg).expect("tight optimization stays feasible");
+    let plan = extract_plan(tree, &opt);
+    assert!(
+        plan.steps.iter().any(|s| !s.surrounding.is_empty()),
+        "the tight limit no longer forces fusion — the regression is not exercised"
+    );
+    plan
+}
+
+/// Seeds 27/42/45: the fused allreduce combined each processor's *entire*
+/// stored result block on every surrounding-loop invocation, re-reducing
+/// slices that earlier invocations had already combined (values came out
+/// multiplied by the grid line length). It must narrow to the pinned slice.
+#[test]
+fn fused_allreduce_combines_only_the_pinned_slice() {
+    let tree = fused_reduce_tree();
+    let cm = tce_bench::paper_cost_model(4);
+    let plan = tight_fused_plan(&tree, &cm);
+    let (report, _) = simulate_traced(&tree, &plan, &cm, 42, false).expect("simulates");
+    assert!(
+        report.max_abs_err <= 1e-9,
+        "fused reduction corrupted the result: max |error| = {:.3e}",
+        report.max_abs_err
+    );
+}
+
+/// Companion overcharge bug on the same path: the plan's reduction cost is
+/// a total over the whole fused nest, but the simulator charged that total
+/// once per invocation. The measured Reduce seconds must equal the plan's.
+#[test]
+fn fused_reduce_cost_is_charged_once_not_per_invocation() {
+    let tree = fused_reduce_tree();
+    let cm = tce_bench::paper_cost_model(4);
+    let plan = tight_fused_plan(&tree, &cm);
+    let (_, events) = simulate_traced(&tree, &plan, &cm, 42, true).expect("simulates");
+    let measured: f64 =
+        events.iter().filter(|e| e.kind == CommKind::Reduce).map(|e| e.seconds).sum();
+    let planned: f64 =
+        plan.steps.iter().filter(|s| s.pattern.is_none()).map(|s| s.result_rotate_cost).sum();
+    assert!(planned > 0.0, "plan no longer prices a distributed reduction");
+    assert!(
+        (measured - planned).abs() <= 1e-9 * planned,
+        "Reduce charge {measured} s diverged from the planned {planned} s"
+    );
+}
+
+/// Seeds 32/50/53: with an input array pinned to a distribution the kernel
+/// cannot consume, the plan charges a redistribution but the simulator
+/// skipped leaf operands, so the transfer never reached the cost ledger.
+/// Exercises both kernel paths: Cannon (proper contraction, seed 50) and
+/// pattern-less element-wise multiply (seed 53).
+#[test]
+fn pinned_leaf_redistribution_reaches_the_ledger() {
+    // Seed 50 (minimized): proper contraction of two pinned-order leaves.
+    let mut sp = IndexSpace::new();
+    let x1 = sp.declare("x1", 4);
+    let x4 = sp.declare("x4", 4);
+    let x6 = sp.declare("x6", 4);
+    let x7 = sp.declare("x7", 4);
+    let mut t = ExprTree::new(sp);
+    let t5 = t.add_leaf(Tensor::new("T5", vec![x1, x4]));
+    let t4 = t.add_leaf(Tensor::new("T4", vec![x6, x7]));
+    let sum = tce_expr::IndexSet::from_iter([x7]);
+    let t6 = t
+        .add_contract(Tensor::new("T6", vec![x1, x4, x6]), sum, t5, t4)
+        .expect("valid contraction");
+    t.set_root(t6);
+    assert_leaf_redistribution_is_measured(&t, "T4", tce_dist::Distribution::pair(x6, x7));
+
+    // Seed 53 (minimized): element-wise multiply with a pinned leaf.
+    let mut sp = IndexSpace::new();
+    let x5 = sp.declare("x5", 4);
+    let x1 = sp.declare("x1", 4);
+    let x3 = sp.declare("x3", 4);
+    let mut t = ExprTree::new(sp);
+    let t2 = t.add_leaf(Tensor::new("T2", vec![x5]));
+    let t1 = t.add_leaf(Tensor::new("T1", vec![x1, x3]));
+    let t3 = t
+        .add_contract(Tensor::new("T3", vec![x5, x1, x3]), Default::default(), t2, t1)
+        .expect("valid multiply");
+    t.set_root(t3);
+    assert_leaf_redistribution_is_measured(&t, "T1", tce_dist::Distribution::pair(x1, x3));
+}
+
+fn assert_leaf_redistribution_is_measured(
+    tree: &ExprTree,
+    pinned: &str,
+    dist: tce_dist::Distribution,
+) {
+    let cm = tce_bench::paper_cost_model(4);
+    let cfg = OptimizerConfig {
+        max_prefix_len: 2,
+        threads: 1,
+        input_dists: HashMap::from([(pinned.to_string(), dist)]),
+        ..OptimizerConfig::default()
+    };
+    let opt = optimize(tree, &cm, &cfg).expect("pinned optimization");
+    let plan = extract_plan(tree, &opt);
+    let planned: f64 = plan
+        .steps
+        .iter()
+        .flat_map(|s| &s.operands)
+        .filter(|o| o.fusion.is_empty() && o.produced_dist != o.required_dist)
+        .map(|o| o.redist_cost)
+        .sum();
+    let (_, events) = simulate_traced(tree, &plan, &cm, 42, true).expect("simulates");
+    let measured: f64 =
+        events.iter().filter(|e| e.kind == CommKind::Redistribute).map(|e| e.seconds).sum();
+    assert!(planned > 0.0, "pin on `{pinned}` no longer forces a redistribution");
+    assert!(
+        (measured - planned).abs() <= 1e-9 * planned,
+        "measured redistribution {measured} s, plan charges {planned} s"
+    );
+}

@@ -443,7 +443,19 @@ impl<'a> Sim<'a> {
         // first kernel invocation (pins all at position 0).
         if pins.iter().all(|p| p.pos == 0) {
             for op in &step.operands {
-                if !op.is_leaf && op.fusion.is_empty() && op.produced_dist != op.required_dist {
+                if !op.fusion.is_empty() || op.produced_dist == op.required_dist {
+                    continue;
+                }
+                if op.is_leaf {
+                    // Leaf blocks materialize from the input arrays on
+                    // demand, so no stored data moves here — but leaving the
+                    // pinned initial layout is real traffic that the plan
+                    // paid for, and it must be charged to stay comparable.
+                    let msgs = self.grid().num_procs() as u64;
+                    self.metrics.comm_seconds += op.redist_cost;
+                    self.metrics.messages += msgs;
+                    self.record(CommKind::Redistribute, 0, msgs, op.redist_cost);
+                } else {
                     self.redistribute(op.node, op.produced_dist, op.required_dist, op.redist_cost)?;
                 }
             }
@@ -662,18 +674,26 @@ impl<'a> Sim<'a> {
                 }
                 self.metrics.charge_compute(per_proc, total, self.cm.machine.flops_per_proc);
                 // If the summed dimension was distributed, combine the
-                // partial sums across that grid dimension (allreduce).
+                // partial sums across that grid dimension (allreduce),
+                // narrowed to this invocation's slice — earlier slices were
+                // already combined and must not be summed again.
                 if let Some(d) = op.required_dist.position_of(*sum) {
-                    self.allreduce_along(step.node, d)?;
-                    // Charge the model's reduce cost as recorded in the plan.
-                    self.metrics.comm_seconds += step.result_rotate_cost;
+                    self.allreduce_along(step, d, pins)?;
+                    // Charge the model's reduce cost as recorded in the
+                    // plan. The plan prices the whole fused loop nest, so
+                    // each invocation carries its share.
+                    let invocations: u64 = step
+                        .surrounding
+                        .iter()
+                        .map(|idx| match self.placement_at(step, idx) {
+                            None => self.extent(idx),
+                            Some(g) => self.extent(idx) / u64::from(grid.extent(g)),
+                        })
+                        .product();
+                    let share = step.result_rotate_cost / invocations as f64;
+                    self.metrics.comm_seconds += share;
                     self.metrics.messages += u64::from(grid.extent(d));
-                    self.record(
-                        CommKind::Reduce,
-                        0,
-                        u64::from(grid.extent(d)),
-                        step.result_rotate_cost,
-                    );
+                    self.record(CommKind::Reduce, 0, u64::from(grid.extent(d)), share);
                 }
                 Ok(())
             }
@@ -714,10 +734,21 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Sum blocks across one grid dimension and replicate the total (the
-    /// result distribution has `None` in that position).
-    fn allreduce_along(&mut self, node: NodeId, d: GridDim) -> Result<(), SimError> {
+    /// Sum the current invocation's result slice across one grid dimension
+    /// and replicate the total (the result distribution has `None` in that
+    /// position). Only the slice selected by `pins` participates: inside a
+    /// fused loop the rest of the stored block holds slices of *earlier*
+    /// invocations that were already combined — summing them again would
+    /// multiply them by the line length.
+    fn allreduce_along(
+        &mut self,
+        step: &PlanStep,
+        d: GridDim,
+        pins: &[Pin],
+    ) -> Result<(), SimError> {
         let grid = self.grid();
+        let node = step.node;
+        let tensor = self.tree.node(node).tensor.clone();
         let lines: Vec<Vec<u32>> = match d {
             GridDim::Dim1 => (0..grid.dim2)
                 .map(|z2| (0..grid.dim1).map(|z1| grid.rank(ProcCoord { z1, z2 })).collect())
@@ -727,12 +758,15 @@ impl<'a> Sim<'a> {
                 .collect(),
         };
         for line in lines {
-            // Sum the line's blocks…
+            // Sum the line's current slices…
             let mut total: Option<Block> = None;
             for &rank in &line {
-                let (_, b) = &self.store[rank as usize][&node];
+                let coord = grid.coord(rank);
+                let ranges = self.block_ranges(&tensor, step.result_dist, coord, pins);
+                let (_, stored) = &self.store[rank as usize][&node];
+                let b = stored.sub_block(ranges);
                 match &mut total {
-                    None => total = Some(b.clone()),
+                    None => total = Some(b),
                     Some(t) => {
                         if t.ranges != b.ranges {
                             return Err(SimError::Inconsistent(
@@ -745,12 +779,14 @@ impl<'a> Sim<'a> {
                     }
                 }
             }
-            // …and replicate it back.
+            // …and replicate the combined slice back into the home blocks.
             let total = total.expect("nprocs > 0: at least one contribution");
             for &rank in &line {
                 let entry =
                     self.store[rank as usize].get_mut(&node).expect("result allocated above");
-                entry.1 = total.clone();
+                for idx in BoxIter::new(total.ranges.clone()) {
+                    entry.1.set(&idx, total.get(&idx));
+                }
             }
         }
         Ok(())

@@ -62,11 +62,20 @@ struct Args {
     threads: usize,
     /// Statically verify the optimizer's plan even in release builds.
     verify: bool,
+    /// fuzz: number of generator seeds to run.
+    fuzz_seeds: u64,
+    /// fuzz: first generator seed.
+    fuzz_start: u64,
+    /// fuzz: replay one `.tce` workload through the differential loop.
+    replay: Option<String>,
+    /// fuzz: directory for minimized reproducers (`none` disables).
+    corpus: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tce <command> <file.tce> [options]
+       tce fuzz [--seeds N] [--start S] [--replay file.tce] [--corpus DIR]
 
 commands:
   optimize   run the memory-constrained communication optimization and
@@ -80,6 +89,9 @@ commands:
              freshly optimized one) against the workload: structure,
              shapes, distributions, Cannon patterns, fusion, memory,
              and costs, with stable TCE0xx diagnostics
+  fuzz       differential fuzzing: random trees through optimizer,
+             checker, simulator, and exhaustive search; failures are
+             minimized and pinned as reproducers (no file argument)
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -105,7 +117,13 @@ options:
                          or the virtual-time communication timeline
                          (simulate)
   --stats                print search statistics (optimize) and per-kind
-                         communication totals (simulate)"
+                         communication totals (simulate)
+  --seeds N              fuzz: generator seeds to run [50]
+  --start S              fuzz: first generator seed [0]
+  --replay file.tce      fuzz: run one workload (e.g. a pinned reproducer)
+                         through the full differential loop
+  --corpus DIR           fuzz: where minimized reproducers are pinned
+                         [golden/fuzz_corpus]; `none` disables"
     );
     ExitCode::from(2)
 }
@@ -119,7 +137,8 @@ fn bad_value(flag: &str, value: &str) -> ExitCode {
 fn parse_args() -> Result<Args, ExitCode> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
-    let file = argv.next().ok_or_else(usage)?;
+    // `fuzz` generates its own workloads and takes no file positional.
+    let file = if command == "fuzz" { String::new() } else { argv.next().ok_or_else(usage)? };
     let mut args = Args {
         command,
         file,
@@ -139,6 +158,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         stats: false,
         threads: 0,
         verify: false,
+        fuzz_seeds: 50,
+        fuzz_start: 0,
+        replay: None,
+        corpus: "golden/fuzz_corpus".into(),
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -179,6 +202,10 @@ fn parse_args() -> Result<Args, ExitCode> {
                 args.pin_inputs.push((name.to_string(), dist.to_string()));
             }
             "--output-dist" => args.output_dist = Some(value("--output-dist")?),
+            "--seeds" => args.fuzz_seeds = parsed!("--seeds"),
+            "--start" => args.fuzz_start = parsed!("--start"),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--corpus" => args.corpus = value("--corpus")?,
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -309,6 +336,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "frontier" => cmd_frontier(&args),
         "check" => cmd_check(&args),
+        "fuzz" => cmd_fuzz(&args),
         _ => return usage(),
     };
     match result {
@@ -393,6 +421,24 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Turn a simulator error into an actionable CLI diagnostic.
+fn render_sim_error(e: tensor_contraction_opt::sim::SimError) -> String {
+    use tensor_contraction_opt::sim::SimError;
+    match &e {
+        SimError::Indivisible { index, extent, parts } => format!(
+            "{e}\nhint: declare `{index}` with an extent divisible by {parts} \
+             (e.g. {}) or simulate on fewer processors",
+            extent.next_multiple_of(u64::from(*parts)).max(u64::from(*parts))
+        ),
+        SimError::NonSquareGrid => {
+            format!("{e}\nhint: pass a processor count that is a perfect square (4, 16, 64, ...)")
+        }
+        SimError::Inconsistent(_) => {
+            format!("{e}\nhint: this is a bug; re-run with --trace and report it")
+        }
+    }
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
@@ -411,7 +457,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         }
     };
     let (report, events) = with_trace(args.trace.as_deref(), || {
-        simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(|e| e.to_string())
+        simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(render_sim_error)
     })?;
     println!(
         "simulated {} processors: comm {:.4} s (predicted {:.4} s), compute {:.4} s",
@@ -494,6 +540,57 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let cfg =
+        tensor_contraction_opt::fuzz::FuzzConfig { data_seed: args.seed, ..Default::default() };
+    // Replay mode: one workload file through the full differential loop.
+    if let Some(path) = &args.replay {
+        let stats = tensor_contraction_opt::fuzz::replay_file(path, &cfg)
+            .map_err(|f| format!("replay {path}: {f}"))?;
+        println!(
+            "replay {path}: clean ({} optimizer configs, {} simulations{})",
+            stats.optimizations,
+            stats.simulations,
+            if stats.exhaustive { ", exhaustive oracle" } else { "" }
+        );
+        return Ok(());
+    }
+    let corpus = (args.corpus != "none").then(|| std::path::PathBuf::from(&args.corpus));
+    let mut log = |line: &str| eprintln!("{line}");
+    let summary = tensor_contraction_opt::fuzz::run_seeds(
+        args.fuzz_start,
+        args.fuzz_seeds,
+        &cfg,
+        corpus.as_deref(),
+        &mut log,
+    );
+    println!(
+        "fuzzed seeds {}..{}: {} optimizer configs, {} simulations, \
+         {} trees covered by the exhaustive oracle",
+        args.fuzz_start,
+        args.fuzz_start + summary.seeds_run,
+        summary.optimizations,
+        summary.simulations,
+        summary.exhaustive_trees,
+    );
+    if summary.failures.is_empty() {
+        println!("no discrepancies found");
+        Ok(())
+    } else {
+        for f in &summary.failures {
+            println!("seed {}: {}", f.seed, f.failure);
+            if let Some(p) = &f.path {
+                println!("  reproducer: {}", p.display());
+            }
+        }
+        Err(format!(
+            "{} of {} seeds found discrepancies",
+            summary.failures.len(),
+            summary.seeds_run
+        ))
+    }
+}
+
 fn cmd_frontier(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
@@ -560,6 +657,10 @@ mod tests {
             stats: false,
             threads: 3,
             verify: false,
+            fuzz_seeds: 50,
+            fuzz_start: 0,
+            replay: None,
+            corpus: "golden/fuzz_corpus".into(),
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);

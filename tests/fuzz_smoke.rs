@@ -1,0 +1,48 @@
+//! Seed-pinned differential fuzzing smoke test (tier-1 budget) plus the
+//! expect-pass replay of every pinned reproducer in `golden/fuzz_corpus/`.
+//!
+//! The smoke range 0..25 deliberately covers seed 0 (historical proptest
+//! shrink target) but stops short of the seeds that originally exposed the
+//! simulator bugs (27, 32, 42, 45, 50, 53) — those are pinned as
+//! *minimized* corpus entries below, which replay the exact failing
+//! configuration far faster than re-fuzzing the original trees.
+
+use tensor_contraction_opt::fuzz::{replay_file, run_seeds, FuzzConfig};
+
+#[test]
+fn seeds_0_to_24_run_clean() {
+    let cfg = FuzzConfig::default();
+    let mut log = |_: &str| {};
+    let summary = run_seeds(0, 25, &cfg, None, &mut log);
+    assert_eq!(summary.seeds_run, 25);
+    // The loop really ran: every seed optimizes at two processor counts
+    // and simulates the surviving plans.
+    assert!(summary.optimizations >= 50, "only {} optimizations", summary.optimizations);
+    assert!(summary.simulations >= 25, "only {} simulations", summary.simulations);
+    for f in &summary.failures {
+        eprintln!("seed {}: {}\n{}", f.seed, f.failure, f.source);
+    }
+    assert!(
+        summary.failures.is_empty(),
+        "{} of 25 seeds found discrepancies",
+        summary.failures.len()
+    );
+}
+
+#[test]
+fn pinned_corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/fuzz_corpus");
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("golden/fuzz_corpus exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "tce"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must hold the pinned reproducers");
+    let cfg = FuzzConfig::default();
+    for path in &entries {
+        if let Err(f) = replay_file(path.to_str().expect("utf-8 path"), &cfg) {
+            panic!("reproducer {} regressed: {f}", path.display());
+        }
+    }
+}
