@@ -15,6 +15,7 @@
 //! | S4 | comm vs memory limit | `sweep_memory` |
 //! | X1 | beyond-paper search extensions | `extensions` |
 //! | —  | simulator cross-validation | `simulate_check` |
+//! | X8 | tracked search-benchmark grid | `tce bench` (the [`suite`] module) |
 
 #![warn(missing_docs)]
 
@@ -24,6 +25,7 @@ use tce_expr::examples::{ccsd_tree, PaperExtents, PAPER_EXTENTS};
 use tce_expr::ExprTree;
 
 pub mod randtree;
+pub mod suite;
 
 /// The paper's cluster model with `procs` processors (square grid).
 pub fn paper_cost_model(procs: u32) -> CostModel {
@@ -42,12 +44,13 @@ pub fn tiny_tree() -> ExprTree {
 }
 
 /// Parse a `.tce` workload file into a contraction tree, the same
-/// lowering the `tce` CLI applies (parse → formula sequence → tree).
+/// lowering the `tce` CLI applies (parse → operation minimization →
+/// formula sequence → tree), so terms with three or more factors are
+/// decomposed rather than rejected.
 pub fn workload_tree(path: &str) -> Result<ExprTree, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    tce_expr::parse(&src)
-        .map_err(|e| format!("{path}: {e}"))?
-        .to_sequence()
+    let prog = tce_expr::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    tce_opmin::lower_program(&prog)
         .map_err(|e| format!("{path}: {e}"))?
         .to_tree()
         .map_err(|e| format!("{path}: {e}"))

@@ -1,0 +1,342 @@
+//! The tracked bench trajectory behind `tce bench`.
+//!
+//! Runs a fixed grid of search scenarios — the standard workload set, the
+//! enlarged-space configuration, and the `--no-pruning` ablation, each at
+//! 1/2/4 worker threads — and reports wall-clock plus the full search
+//! counter set as a schema-stable JSON document (`BENCH_<N>.json`, see the
+//! README for the schema). CI runs the `--smoke` subset and fails the
+//! build when the enlarged-space search regresses more than 25% against
+//! the committed baseline.
+//!
+//! Wall-clock is best-of-`repeats` (noise only ever slows a run down, so
+//! the minimum is the most stable estimator); every other field is
+//! deterministic — counters are bit-identical across runs and, except for
+//! `dp.memo_*`/`dp.bnb_*`, across thread counts too.
+
+use std::time::Instant;
+
+use serde_json::{Number, Value};
+use tce_core::{optimize, OptimizerConfig};
+
+use crate::{paper_cost_model, workload_tree};
+
+/// `Value::Object` from `(key, value)` pairs — the shimmed `serde_json`
+/// has no `json!` macro, and the `Vec`-backed object preserves insertion
+/// order, which keeps the report schema-stable byte-for-byte.
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num_u(n: u64) -> Value {
+    Value::Number(Number::UInt(u128::from(n)))
+}
+
+fn num_f(x: f64) -> Value {
+    Value::Number(Number::Float(x))
+}
+
+fn text(s: &str) -> Value {
+    Value::String(s.to_string())
+}
+
+fn get_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Schema identifier written into every report; bump only on breaking
+/// changes to the JSON layout.
+pub const SCHEMA: &str = "tce-bench/v1";
+
+/// Thread counts every scenario is run at.
+pub const THREAD_GRID: [usize; 3] = [1, 2, 4];
+
+/// One cell of the scenario grid.
+struct Scenario {
+    /// Stable name, also the baseline-matching key (with `threads`).
+    name: &'static str,
+    /// Workload file, relative to the repo root.
+    workload: &'static str,
+    procs: u32,
+    replication: bool,
+    unrelated_rotation: bool,
+    pruning: bool,
+    /// Included in the `--smoke` subset.
+    smoke: bool,
+    /// Wall-clock-guarded by the CI baseline comparison.
+    guarded: bool,
+}
+
+/// The fixed scenario grid: every standard workload at the paper's
+/// default 16 processors, the enlarged-space configuration (64 processors,
+/// replication, unrelated rotation) on `ccsd_tiny` and the full `ccsd`
+/// workload, and the `--no-pruning` ablation on `ccsd` — at paper extents,
+/// where the memory limit keeps the unpruned live sets bounded; at tiny
+/// extents everything fits, so unpruned live sets would multiply across
+/// the tree without bound (tens of GB).
+fn scenarios() -> Vec<Scenario> {
+    let std_wl = |name, workload| Scenario {
+        name,
+        workload,
+        procs: 16,
+        replication: false,
+        unrelated_rotation: false,
+        pruning: true,
+        smoke: false,
+        guarded: false,
+    };
+    vec![
+        Scenario { smoke: true, ..std_wl("ccsd_tiny", "workloads/ccsd_tiny.tce") },
+        std_wl("ccsd", "workloads/ccsd.tce"),
+        std_wl("fig1", "workloads/fig1.tce"),
+        std_wl("ladder", "workloads/ladder.tce"),
+        std_wl("transform", "workloads/transform.tce"),
+        Scenario { name: "ccsd/no-pruning", pruning: false, ..std_wl("", "workloads/ccsd.tce") },
+        Scenario {
+            name: "ccsd_tiny/enlarged",
+            workload: "workloads/ccsd_tiny.tce",
+            procs: 64,
+            replication: true,
+            unrelated_rotation: true,
+            pruning: true,
+            smoke: true,
+            guarded: true,
+        },
+        Scenario {
+            name: "ccsd/enlarged",
+            workload: "workloads/ccsd.tce",
+            procs: 64,
+            replication: true,
+            unrelated_rotation: true,
+            pruning: true,
+            smoke: false,
+            guarded: true,
+        },
+    ]
+}
+
+/// Options for [`run_suite`].
+#[derive(Default)]
+pub struct SuiteOptions {
+    /// Run only the smoke subset (CI): `ccsd_tiny` serial plus the
+    /// enlarged-space scenario at the top of the thread grid.
+    pub smoke: bool,
+    /// Wall-clock repeats per cell (best-of); `0` means the default
+    /// (3 full, 2 smoke — best-of-2 keeps the CI regression gate from
+    /// tripping on scheduler noise).
+    pub repeats: usize,
+}
+
+/// Run the grid and return the schema-stable report.
+///
+/// Workload paths are resolved relative to the current directory, so run
+/// from the repo root (the CLI reports a clear error otherwise).
+pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<Value, String> {
+    let repeats = match opts.repeats {
+        0 if opts.smoke => 2,
+        0 => 3,
+        n => n,
+    };
+    let mut rows = Vec::new();
+    for sc in scenarios() {
+        if opts.smoke && !sc.smoke {
+            continue;
+        }
+        let tree = workload_tree(sc.workload)?;
+        let cm = paper_cost_model(sc.procs);
+        for &threads in &THREAD_GRID {
+            // Smoke keeps one serial cell and one parallel guarded cell.
+            if opts.smoke && threads != if sc.guarded { *THREAD_GRID.last().unwrap() } else { 1 } {
+                continue;
+            }
+            progress(&format!("{} @ {} thread(s)", sc.name, threads));
+            let cfg = OptimizerConfig {
+                allow_replication: sc.replication,
+                allow_unrelated_rotation: sc.unrelated_rotation,
+                disable_pruning: !sc.pruning,
+                threads,
+                ..OptimizerConfig::default()
+            };
+            let mut wall_ms = Vec::with_capacity(repeats);
+            let mut last = None;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let opt = optimize(&tree, &cm, &cfg).map_err(|e| format!("{}: {e}", sc.name))?;
+                wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                last = Some(opt);
+            }
+            let opt = last.expect("repeats >= 1");
+            let best = wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+            let c = &opt.counters;
+            use tce_obs::names as k;
+            let counters = obj(vec![
+                (k::PRUNED_INFERIOR, num_u(c.get(k::PRUNED_INFERIOR))),
+                (k::PRUNED_MEMORY, num_u(c.get(k::PRUNED_MEMORY))),
+                (k::REDIST_FALLBACKS, num_u(c.get(k::REDIST_FALLBACKS))),
+                (k::MEMO_HIT, num_u(c.get(k::MEMO_HIT))),
+                (k::MEMO_MISS, num_u(c.get(k::MEMO_MISS))),
+                (k::BNB_SKIP, num_u(c.get(k::BNB_SKIP))),
+                (k::BNB_BLOCK, num_u(c.get(k::BNB_BLOCK))),
+            ]);
+            rows.push(obj(vec![
+                ("scenario", text(sc.name)),
+                ("workload", text(sc.workload)),
+                ("procs", num_u(u64::from(sc.procs))),
+                ("threads", num_u(threads as u64)),
+                ("pruning", Value::Bool(sc.pruning)),
+                ("replication", Value::Bool(sc.replication)),
+                ("unrelated_rotation", Value::Bool(sc.unrelated_rotation)),
+                ("guarded", Value::Bool(sc.guarded)),
+                ("repeats", num_u(repeats as u64)),
+                ("wall_ms_best", num_f(round3(best))),
+                ("wall_ms_all", Value::Array(wall_ms.iter().map(|&m| num_f(round3(m))).collect())),
+                ("comm_cost", num_f(opt.comm_cost)),
+                ("candidates", num_u(c.get(k::CANDIDATES))),
+                ("candidates_per_sec", num_f(round3(c.get(k::CANDIDATES) as f64 / (best / 1e3)))),
+                ("live", num_u(c.get(k::FRONTIER))),
+                ("counters", counters),
+            ]));
+        }
+    }
+    Ok(obj(vec![
+        ("schema", text(SCHEMA)),
+        ("bench_id", num_u(5)),
+        ("smoke", Value::Bool(opts.smoke)),
+        ("scenarios", Value::Array(rows)),
+    ]))
+}
+
+/// Truncate timing-derived floats so reports do not churn in irrelevant
+/// digits.
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+/// Compare a fresh report against a committed baseline: every *guarded*
+/// scenario cell present in both (matched on `scenario` + `threads`) must
+/// not have slowed down by more than `tolerance` (0.25 = 25%).
+///
+/// Returns the human-readable comparison table, or an error listing the
+/// regressed cells. Cells missing from either side are reported but never
+/// fail the check, so the grid can evolve without lockstep baseline edits.
+pub fn compare_to_baseline(
+    current: &Value,
+    baseline: &Value,
+    tolerance: f64,
+) -> Result<String, String> {
+    let cells = |v: &Value| -> Vec<(String, u64, bool, f64)> {
+        v.get("scenarios")
+            .and_then(Value::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r.get("scenario")?.as_str()?.to_string(),
+                            r.get("threads")?.as_u64()?,
+                            r.get("guarded").and_then(get_bool).unwrap_or(false),
+                            r.get("wall_ms_best")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = cells(baseline);
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for (name, threads, guarded, cur_ms) in cells(current) {
+        let Some((_, _, _, base_ms)) = base.iter().find(|(n, t, _, _)| *n == name && *t == threads)
+        else {
+            out.push_str(&format!("{name} @ {threads}t: no baseline cell (skipped)\n"));
+            continue;
+        };
+        let ratio = cur_ms / base_ms.max(1e-9);
+        let verdict = if !guarded {
+            "unguarded"
+        } else if ratio > 1.0 + tolerance {
+            regressions.push(format!(
+                "{name} @ {threads}t: {cur_ms:.1}ms vs {base_ms:.1}ms ({ratio:.2}x)"
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{name} @ {threads}t: {cur_ms:.1}ms vs baseline {base_ms:.1}ms ({ratio:.2}x) {verdict}\n"
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}enlarged-space wall-clock regressed more than {:.0}%:\n  {}",
+            tolerance * 100.0,
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: f64, guarded: bool) -> Value {
+        obj(vec![
+            ("schema", text(SCHEMA)),
+            (
+                "scenarios",
+                Value::Array(vec![obj(vec![
+                    ("scenario", text("s")),
+                    ("threads", num_u(1)),
+                    ("guarded", Value::Bool(guarded)),
+                    ("wall_ms_best", num_f(ms)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn baseline_comparison_flags_only_guarded_regressions() {
+        // Within tolerance.
+        assert!(compare_to_baseline(&report(110.0, true), &report(100.0, true), 0.25).is_ok());
+        // Beyond tolerance on a guarded cell.
+        let err = compare_to_baseline(&report(200.0, true), &report(100.0, true), 0.25);
+        assert!(err.is_err(), "{err:?}");
+        assert!(err.unwrap_err().contains("REGRESSED"));
+        // Beyond tolerance but unguarded: noise-prone cells never fail CI.
+        assert!(compare_to_baseline(&report(200.0, false), &report(100.0, false), 0.25).is_ok());
+        // Missing baseline cell: reported, not fatal.
+        let empty = obj(vec![("schema", text(SCHEMA)), ("scenarios", Value::Array(vec![]))]);
+        let out = compare_to_baseline(&report(200.0, true), &empty, 0.25).unwrap();
+        assert!(out.contains("no baseline cell"));
+    }
+
+    #[test]
+    fn smoke_suite_runs_and_matches_schema() {
+        // Resolve workloads/ from the crate dir's parent (repo root) so the
+        // test passes regardless of the harness's working directory.
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        std::env::set_current_dir(root).unwrap();
+        let v = run_suite(&SuiteOptions { smoke: true, repeats: 1 }, |_| {}).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        let rows = v.get("scenarios").unwrap().as_array().unwrap();
+        // Smoke = ccsd_tiny serial + enlarged at the top of the thread grid.
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        for r in rows {
+            assert!(r.get("wall_ms_best").unwrap().as_f64().unwrap() > 0.0);
+            assert!(r.get("candidates").unwrap().as_u64().unwrap() > 0);
+            let counters = r.get("counters").unwrap();
+            assert!(counters.get("dp.memo_miss").unwrap().as_u64().is_some());
+        }
+        let enlarged = rows
+            .iter()
+            .find(|r| r.get("scenario").unwrap().as_str() == Some("ccsd_tiny/enlarged"))
+            .unwrap();
+        assert_eq!(get_bool(enlarged.get("guarded").unwrap()), Some(true));
+        assert_eq!(enlarged.get("threads").unwrap().as_u64().unwrap() as usize, THREAD_GRID[2]);
+        let bnb = enlarged.get("counters").unwrap().get("dp.bnb_skip").unwrap();
+        assert!(bnb.as_u64().unwrap() > 0);
+    }
+}

@@ -21,7 +21,7 @@ use tce_dist::{dist_size, enumerate_patterns, CannonPattern, Distribution, GridD
 use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind};
 use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
 
-use crate::solution::{ChildBinding, Choice, Solution, SolutionSet};
+use crate::solution::{ChildBinding, Choice, SolutionSet};
 
 /// Search-space knobs.
 #[derive(Clone, Debug)]
@@ -45,6 +45,16 @@ pub struct OptimizerConfig {
     /// Disable dominance pruning (for the §3.3 pruning-effectiveness
     /// ablation; the result is unchanged, only the work done).
     pub disable_pruning: bool,
+    /// Disable the admissible lower-bound (branch-and-bound) corner skips
+    /// in the combine loops. The result and every pre-existing counter are
+    /// unchanged either way — only `dp.bnb_*` and the work done differ —
+    /// so this exists for ablations and benchmarks.
+    pub disable_lower_bounds: bool,
+    /// Answer dominance queries with the legacy O(live) linear scan instead
+    /// of the Pareto staircase (which also forces the lower-bound skips
+    /// off). Kept for one release as a differential-fuzzing oracle: both
+    /// paths must produce bit-identical frontiers, plans, and counters.
+    pub legacy_frontier: bool,
     /// Restrict the search to one fixed fusion configuration (the
     /// "fusion first" baseline).
     pub fixed_fusion: Option<tce_fusion::FusionConfig>,
@@ -82,6 +92,8 @@ impl Default for OptimizerConfig {
             allow_unrelated_rotation: false,
             mem_limit_words: None,
             disable_pruning: false,
+            disable_lower_bounds: false,
+            legacy_frontier: false,
             fixed_fusion: None,
             fixed_patterns: None,
             input_dists: HashMap::new(),
@@ -143,6 +155,12 @@ pub struct NodeStats {
     pub redist_fallbacks: u64,
     /// Live solutions kept.
     pub live: usize,
+    /// Distinct `(dist, fusion)` keys with live solutions — the number of
+    /// Pareto staircases at this node.
+    pub keys: usize,
+    /// Largest per-key live frontier (staircase occupancy). `live / keys`
+    /// average and this maximum bound the per-candidate dominance work.
+    pub widest_front: usize,
 }
 
 /// The optimization outcome: the per-node solution sets plus the winning
@@ -209,23 +227,23 @@ fn validate_input_dists(tree: &ExprTree, cfg: &OptimizerConfig) -> Result<(), Op
 
 /// Choose the winning root solution: the cheapest **live** solution with an
 /// empty fusion that fits the limit (final redistribution included in the
-/// comparison). The scan must not touch the rest of `SolutionSet::all`:
-/// it also stores entries evicted by later dominators (kept only so
-/// back-pointers stay valid), and on a cost tie an evicted entry earlier in
-/// storage order would win — selecting a dead solution that wastes memory.
+/// comparison). The scan must not touch the rest of the set's storage: it
+/// also holds entries evicted by later dominators (kept only so
+/// back-pointers stay valid until compaction), and on a cost tie an evicted
+/// entry earlier in storage order would win — selecting a dead solution
+/// that wastes memory.
 fn select_root_index(
     set: &SolutionSet,
     limit: u128,
     final_redist: impl Fn(Distribution) -> f64,
 ) -> Option<usize> {
-    set.live_indices()
-        .into_iter()
-        .filter(|&i| set.all[i].fusion.is_empty() && set.all[i].footprint_words() <= limit)
-        .min_by(|&a, &b| {
-            let ca = set.all[a].comm_cost + final_redist(set.all[a].dist);
-            let cb = set.all[b].comm_cost + final_redist(set.all[b].dist);
+    set.live_indices().filter(|&i| set.fusion(i).is_empty() && set.footprint(i) <= limit).min_by(
+        |&a, &b| {
+            let ca = set.cost(a) + final_redist(set.dist(a));
+            let cb = set.cost(b) + final_redist(set.dist(b));
             ca.total_cmp(&cb)
-        })
+        },
+    )
 }
 
 /// Run the §3.3 dynamic programming.
@@ -262,7 +280,11 @@ pub fn optimize(
             Some(fc) => vec![fc.prefix(node)],
             None => enumerate_prefixes(&edge_candidates(tree, node), cfg.max_prefix_len),
         };
-        let mut set = SolutionSet::with_pruning(!cfg.disable_pruning);
+        let mut set = SolutionSet::with_mode(
+            !cfg.disable_pruning,
+            cfg.legacy_frontier,
+            !cfg.disable_lower_bounds,
+        );
         let enum_stats = match &n.kind {
             NodeKind::Contract { left, right, .. } => {
                 if let Ok(groups) = tree.contraction_groups(node) {
@@ -327,6 +349,11 @@ pub fn optimize(
         counters.add(tce_obs::names::PRUNED_MEMORY, set.pruned_memory);
         counters.add(tce_obs::names::REDIST_FALLBACKS, set.redist_fallbacks);
         counters.add(tce_obs::names::FRONTIER, set.total_live());
+        // Like the memo pair, the corner-skip totals depend on worker
+        // interleaving (worker-local frontiers differ), so equivalence
+        // checks skip them; every other counter is interleaving-invariant.
+        counters.add(tce_obs::names::BNB_SKIP, set.bnb_skip);
+        counters.add(tce_obs::names::BNB_BLOCK, set.bnb_block);
         // Memo totals are cumulative over the run; `set` overwrites the
         // previous node's sample. Hit/miss counts depend on how worker
         // threads interleave, so equivalence checks must skip them.
@@ -349,7 +376,13 @@ pub fn optimize(
             pruned_memory: set.pruned_memory,
             redist_fallbacks: set.redist_fallbacks,
             live: set.live_len(),
+            keys: set.key_count(),
+            widest_front: set.max_key_live(),
         });
+        // The node is finished: nothing can reference its dead (evicted)
+        // entries anymore — parents bind only live indices and run strictly
+        // later — so drop them and free their decision records.
+        set.compact();
         sets.insert(node, set);
     }
 
@@ -375,16 +408,16 @@ pub fn optimize(
     };
     let best_index = select_root_index(root_set, limit, final_redist)
         .ok_or(OptimizeError::NoFeasibleSolution { limit_words: limit })?;
-    let best = &root_set.all[best_index];
-    let output_redist_cost = final_redist(best.dist);
+    let output_redist_cost = final_redist(root_set.dist(best_index));
+    let best_cost = root_set.cost(best_index);
     run_span.arg("nodes", counters.get(tce_obs::names::NODES));
     run_span.arg("candidates", counters.get(tce_obs::names::CANDIDATES));
-    run_span.arg("comm_cost", best.comm_cost + output_redist_cost);
+    run_span.arg("comm_cost", best_cost + output_redist_cost);
     drop(run_span);
     let result = Optimized {
-        comm_cost: best.comm_cost + output_redist_cost,
-        mem_words: best.mem_words,
-        max_msg_words: best.max_msg_words,
+        comm_cost: best_cost + output_redist_cost,
+        mem_words: root_set.mem(best_index),
+        max_msg_words: root_set.msg(best_index),
         best_index,
         output_redist_cost,
         stats,
@@ -431,15 +464,14 @@ fn run_partitioned<T: Sync>(
         chunk_fn(items, out);
         return EnumStats { workers: 1, merge_us: 0 };
     }
-    let pruning = out.pruning_enabled();
     let mut locals = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let chunk = &items[w * items.len() / workers..(w + 1) * items.len() / workers];
                 let chunk_fn = &chunk_fn;
+                let mut local = out.empty_like();
                 s.spawn(move || {
-                    let mut local = SolutionSet::with_pruning(pruning);
                     chunk_fn(chunk, &mut local);
                     local
                 })
@@ -462,6 +494,118 @@ struct ChildOpt {
     mem_words: u128,
     max_msg_words: u128,
     redist_cost: f64,
+}
+
+/// A child's option list plus suffix aggregates over it, all in the
+/// **original** option order (the enumeration order is part of the
+/// bit-identity contract, so options are never re-sorted — the suffix
+/// tables make the admissible tail bound cheap anyway):
+///
+/// * `floors[i]` — per-axis minimum of `(comm_cost + redist_cost,
+///   mem_words, max_msg_words)` over `opts[i..]` (the lower-bound corner);
+/// * `sfx_max_mem[i]` / `sfx_max_msg[i]` — per-axis maxima over `opts[i..]`
+///   (an upper bound proving a whole skipped block fits the memory limit);
+/// * `sfx_noredist[i]` — options in `opts[i..]` with zero redistribution
+///   cost (for O(1) `redist_fallbacks` accounting of skipped blocks).
+struct OptSlate {
+    opts: Vec<ChildOpt>,
+    floors: Vec<(f64, u128, u128)>,
+    sfx_max_mem: Vec<u128>,
+    sfx_max_msg: Vec<u128>,
+    sfx_noredist: Vec<u64>,
+}
+
+impl OptSlate {
+    fn new(opts: Vec<ChildOpt>) -> Self {
+        let floors = tce_cost::bound::suffix_floors(
+            opts.iter().map(|o| (o.comm_cost + o.redist_cost, o.mem_words, o.max_msg_words)),
+        );
+        let n = opts.len();
+        let mut sfx_max_mem = vec![0u128; n];
+        let mut sfx_max_msg = vec![0u128; n];
+        let mut sfx_noredist = vec![0u64; n];
+        let (mut mem, mut msg, mut nored) = (0u128, 0u128, 0u64);
+        for i in (0..n).rev() {
+            mem = mem.max(opts[i].mem_words);
+            msg = msg.max(opts[i].max_msg_words);
+            nored += (opts[i].redist_cost == 0.0) as u64;
+            sfx_max_mem[i] = mem;
+            sfx_max_msg[i] = msg;
+            sfx_noredist[i] = nored;
+        }
+        Self { opts, floors, sfx_max_mem, sfx_max_msg, sfx_noredist }
+    }
+}
+
+/// Account a skipped block `lslate.opts[row..] × rslate.opts` (every pair
+/// proven dominated by a corner query) with the exact per-candidate
+/// classification [`SolutionSet::try_insert`] would have applied. O(1) when
+/// the suffix maxima prove every pair fits the memory limit (the common
+/// case); exact per-pair fallback otherwise.
+#[allow(clippy::too_many_arguments)]
+fn account_block(
+    local: &mut SolutionSet,
+    lslate: &OptSlate,
+    row: usize,
+    rslate: &OptSlate,
+    my_mem: u128,
+    block_msg: u128,
+    limit: u128,
+) {
+    let rows = &lslate.opts[row..];
+    let pairs = (rows.len() * rslate.opts.len()) as u64;
+    let max_fp = lslate.sfx_max_mem[row]
+        + rslate.sfx_max_mem[0]
+        + my_mem
+        + block_msg.max(lslate.sfx_max_msg[row]).max(rslate.sfx_max_msg[0]);
+    if max_fp <= limit {
+        let nored = lslate.sfx_noredist[row] * rslate.sfx_noredist[0];
+        local.account_skipped_many(pairs, pairs - nored, 0);
+    } else {
+        for l2 in rows {
+            for r2 in &rslate.opts {
+                local.account_skipped(
+                    l2.redist_cost > 0.0 || r2.redist_cost > 0.0,
+                    l2.mem_words
+                        + r2.mem_words
+                        + my_mem
+                        + block_msg.max(l2.max_msg_words).max(r2.max_msg_words),
+                    limit,
+                );
+            }
+        }
+    }
+}
+
+/// [`account_block`] for a single left option (a row skip).
+fn account_row(
+    local: &mut SolutionSet,
+    lopt: &ChildOpt,
+    rslate: &OptSlate,
+    my_mem: u128,
+    block_msg: u128,
+    limit: u128,
+) {
+    let pairs = rslate.opts.len() as u64;
+    let max_fp = lopt.mem_words
+        + rslate.sfx_max_mem[0]
+        + my_mem
+        + block_msg.max(lopt.max_msg_words).max(rslate.sfx_max_msg[0]);
+    if max_fp <= limit {
+        let nored = if lopt.redist_cost == 0.0 { rslate.sfx_noredist[0] } else { 0 };
+        local.account_skipped_many(pairs, pairs - nored, 0);
+    } else {
+        for r2 in &rslate.opts {
+            local.account_skipped(
+                lopt.redist_cost > 0.0 || r2.redist_cost > 0.0,
+                lopt.mem_words
+                    + r2.mem_words
+                    + my_mem
+                    + block_msg.max(lopt.max_msg_words).max(r2.max_msg_words),
+                limit,
+            );
+        }
+    }
 }
 
 /// Enumerate the ways child `c` can supply its array in `required` layout
@@ -525,22 +669,21 @@ fn child_options(
         set.with_fusion(f)
             .into_iter()
             .map(|i| {
-                let s = &set.all[i];
                 let redist = memo.redistribution_cost(
                     cm,
                     c.0,
                     &n.tensor,
                     &tree.space,
-                    s.dist,
+                    set.dist(i),
                     required,
                     &IndexSet::new(),
                 );
                 ChildOpt {
                     sol_index: i,
-                    produced: s.dist,
-                    comm_cost: s.comm_cost,
-                    mem_words: s.mem_words,
-                    max_msg_words: s.max_msg_words,
+                    produced: set.dist(i),
+                    comm_cost: set.cost(i),
+                    mem_words: set.mem(i),
+                    max_msg_words: set.msg(i),
                     redist_cost: redist,
                 }
             })
@@ -552,16 +695,13 @@ fn child_options(
         // identically (or not at all) at both ends.
         set.lookup(required, f)
             .into_iter()
-            .map(|i| {
-                let s = &set.all[i];
-                ChildOpt {
-                    sol_index: i,
-                    produced: s.dist,
-                    comm_cost: s.comm_cost,
-                    mem_words: s.mem_words,
-                    max_msg_words: s.max_msg_words,
-                    redist_cost: 0.0,
-                }
+            .map(|i| ChildOpt {
+                sol_index: i,
+                produced: set.dist(i),
+                comm_cost: set.cost(i),
+                mem_words: set.mem(i),
+                max_msg_words: set.msg(i),
+                redist_cost: 0.0,
             })
             .collect()
     }
@@ -632,8 +772,8 @@ fn combine_contraction(
     run_partitioned(&items, threads, out, |chunk, local| {
         // Child options depend only on (edge fusion, required layout), not
         // on which pattern/triple asked — cache them per worker.
-        let mut lcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
-        let mut rcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        let mut lcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
+        let mut rcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
         for &(p, t) in chunk {
             let pat = &patterns[p];
             let ldist = pat.operand_dist(Operand::Left);
@@ -712,14 +852,56 @@ fn combine_contraction(
 
             let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
 
-            let lopts = lcache
-                .entry((li, ldist))
-                .or_insert_with(|| child_options(tree, cm, cfg, memo, left, fl, ldist, sets));
-            let ropts = rcache
-                .entry((ri, rdist))
-                .or_insert_with(|| child_options(tree, cm, cfg, memo, right, fr, rdist, sets));
-            for lopt in lopts.iter() {
-                for ropt in ropts.iter() {
+            let lslate = lcache.entry((li, ldist)).or_insert_with(|| {
+                OptSlate::new(child_options(tree, cm, cfg, memo, left, fl, ldist, sets))
+            });
+            let rslate = rcache.entry((ri, rdist)).or_insert_with(|| {
+                OptSlate::new(child_options(tree, cm, cfg, memo, right, fr, rdist, sets))
+            });
+            if rslate.opts.is_empty() {
+                continue;
+            }
+            // This block's exact node-local communication floor (children
+            // contribute through the slate floors) and message size.
+            let rot_total = rotate[0] + rotate[1] + rotate[2];
+            let block_msg = msg[0].max(msg[1]).max(msg[2]);
+            let (rc0, rm0, rg0) =
+                if rslate.floors.is_empty() { (0.0, 0, 0) } else { rslate.floors[0] };
+            let bnb = local.bounds_active();
+            let mut kh = local.key_handle(odist, fu);
+            'rows: for (row, lopt) in lslate.opts.iter().enumerate() {
+                if bnb {
+                    // Tail corner over this row AND every later one: if a
+                    // live entry dominates it, every remaining candidate of
+                    // the block is dominated — account them and move on.
+                    let (lc, lm, lg) = lslate.floors[row];
+                    let tail = tce_cost::bound::certify(lc + rc0 + rot_total);
+                    if local.dominates_corner_keyed(
+                        &kh,
+                        tail,
+                        lm + rm0 + my_mem,
+                        block_msg.max(lg).max(rg0),
+                    ) {
+                        account_block(local, lslate, row, rslate, my_mem, block_msg, limit);
+                        local.bnb_block += 1;
+                        break 'rows;
+                    }
+                    // Row corner (this left option against the best of all
+                    // right options) — tighter, skips just this row.
+                    let lt = lopt.comm_cost + lopt.redist_cost;
+                    let rowb = tce_cost::bound::certify(lt + rc0 + rot_total);
+                    if local.dominates_corner_keyed(
+                        &kh,
+                        rowb,
+                        lopt.mem_words + rm0 + my_mem,
+                        block_msg.max(lopt.max_msg_words).max(rg0),
+                    ) {
+                        account_row(local, lopt, rslate, my_mem, block_msg, limit);
+                        local.bnb_block += 1;
+                        continue 'rows;
+                    }
+                }
+                for ropt in rslate.opts.iter() {
                     let comm_cost = lopt.comm_cost
                         + ropt.comm_cost
                         + lopt.redist_cost
@@ -734,41 +916,42 @@ fn combine_contraction(
                         .max(msg[0])
                         .max(msg[1])
                         .max(msg[2]);
-                    let choice = Choice {
-                        pattern: Some(*pat),
-                        children: vec![
-                            ChildBinding {
-                                node: left,
-                                sol_index: lopt.sol_index,
-                                produced_dist: lopt.produced,
-                                required_dist: ldist,
-                                fusion: fl.clone(),
-                                redist_cost: lopt.redist_cost,
-                                rotate_cost: rotate[0],
-                            },
-                            ChildBinding {
-                                node: right,
-                                sol_index: ropt.sol_index,
-                                produced_dist: ropt.produced,
-                                required_dist: rdist,
-                                fusion: fr.clone(),
-                                redist_cost: ropt.redist_cost,
-                                rotate_cost: rotate[1],
-                            },
-                        ],
-                        result_rotate_cost: rotate[2],
-                        surrounding: surrounding.clone(),
-                    };
-                    local.insert(
-                        Solution {
-                            dist: odist,
-                            fusion: fu.clone(),
-                            comm_cost,
-                            mem_words,
-                            max_msg_words,
-                            choice: Some(Box::new(choice)),
-                        },
+                    local.try_insert_keyed(
+                        &mut kh,
+                        odist,
+                        fu,
+                        comm_cost,
+                        mem_words,
+                        max_msg_words,
+                        lopt.redist_cost > 0.0 || ropt.redist_cost > 0.0,
                         limit,
+                        || {
+                            Some(Box::new(Choice {
+                                pattern: Some(*pat),
+                                children: vec![
+                                    ChildBinding {
+                                        node: left,
+                                        sol_index: lopt.sol_index,
+                                        produced_dist: lopt.produced,
+                                        required_dist: ldist,
+                                        fusion: fl.clone(),
+                                        redist_cost: lopt.redist_cost,
+                                        rotate_cost: rotate[0],
+                                    },
+                                    ChildBinding {
+                                        node: right,
+                                        sol_index: ropt.sol_index,
+                                        produced_dist: ropt.produced,
+                                        required_dist: rdist,
+                                        fusion: fr.clone(),
+                                        redist_cost: ropt.redist_cost,
+                                        rotate_cost: rotate[1],
+                                    },
+                                ],
+                                result_rotate_cost: rotate[2],
+                                surrounding: surrounding.clone(),
+                            }))
+                        },
                     );
                 }
             }
@@ -825,8 +1008,8 @@ fn combine_elementwise(
         (0..dists.len()).flat_map(|d| (0..triples.len()).map(move |t| (d, t))).collect();
 
     run_partitioned(&items, threads, out, |chunk, local| {
-        let mut lcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
-        let mut rcache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        let mut lcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
+        let mut rcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
         for &(d, t) in chunk {
             let odist = dists[d];
             let ldist = restrict(odist, &tree.node(left).tensor);
@@ -835,51 +1018,80 @@ fn combine_elementwise(
             let (fl, fr, fu) = (&lf_all[li], &rf_all[ri], &my_prefixes[ui]);
             let surrounding = fl.join(fr).join(fu).clone();
             let my_mem = dist_size(result_tensor, space, cm.grid, odist, &fu.as_set());
-            let lopts = lcache
-                .entry((li, ldist))
-                .or_insert_with(|| child_options(tree, cm, cfg, memo, left, fl, ldist, sets));
-            let ropts = rcache
-                .entry((ri, rdist))
-                .or_insert_with(|| child_options(tree, cm, cfg, memo, right, fr, rdist, sets));
-            for lopt in lopts.iter() {
-                for ropt in ropts.iter() {
+            let lslate = lcache.entry((li, ldist)).or_insert_with(|| {
+                OptSlate::new(child_options(tree, cm, cfg, memo, left, fl, ldist, sets))
+            });
+            let rslate = rcache.entry((ri, rdist)).or_insert_with(|| {
+                OptSlate::new(child_options(tree, cm, cfg, memo, right, fr, rdist, sets))
+            });
+            if rslate.opts.is_empty() {
+                continue;
+            }
+            let (rc0, rm0, rg0) =
+                if rslate.floors.is_empty() { (0.0, 0, 0) } else { rslate.floors[0] };
+            let bnb = local.bounds_active();
+            let mut kh = local.key_handle(odist, fu);
+            'rows: for (row, lopt) in lslate.opts.iter().enumerate() {
+                if bnb {
+                    let (lc, lm, lg) = lslate.floors[row];
+                    let tail = tce_cost::bound::certify(lc + rc0);
+                    if local.dominates_corner_keyed(&kh, tail, lm + rm0 + my_mem, lg.max(rg0)) {
+                        account_block(local, lslate, row, rslate, my_mem, 0, limit);
+                        local.bnb_block += 1;
+                        break 'rows;
+                    }
+                    let lt = lopt.comm_cost + lopt.redist_cost;
+                    let rowb = tce_cost::bound::certify(lt + rc0);
+                    if local.dominates_corner_keyed(
+                        &kh,
+                        rowb,
+                        lopt.mem_words + rm0 + my_mem,
+                        lopt.max_msg_words.max(rg0),
+                    ) {
+                        account_row(local, lopt, rslate, my_mem, 0, limit);
+                        local.bnb_block += 1;
+                        continue 'rows;
+                    }
+                }
+                for ropt in rslate.opts.iter() {
                     let comm_cost =
                         lopt.comm_cost + ropt.comm_cost + lopt.redist_cost + ropt.redist_cost;
-                    let choice = Choice {
-                        pattern: None,
-                        children: vec![
-                            ChildBinding {
-                                node: left,
-                                sol_index: lopt.sol_index,
-                                produced_dist: lopt.produced,
-                                required_dist: ldist,
-                                fusion: fl.clone(),
-                                redist_cost: lopt.redist_cost,
-                                rotate_cost: 0.0,
-                            },
-                            ChildBinding {
-                                node: right,
-                                sol_index: ropt.sol_index,
-                                produced_dist: ropt.produced,
-                                required_dist: rdist,
-                                fusion: fr.clone(),
-                                redist_cost: ropt.redist_cost,
-                                rotate_cost: 0.0,
-                            },
-                        ],
-                        result_rotate_cost: 0.0,
-                        surrounding: surrounding.clone(),
-                    };
-                    local.insert(
-                        Solution {
-                            dist: odist,
-                            fusion: fu.clone(),
-                            comm_cost,
-                            mem_words: lopt.mem_words + ropt.mem_words + my_mem,
-                            max_msg_words: lopt.max_msg_words.max(ropt.max_msg_words),
-                            choice: Some(Box::new(choice)),
-                        },
+                    local.try_insert_keyed(
+                        &mut kh,
+                        odist,
+                        fu,
+                        comm_cost,
+                        lopt.mem_words + ropt.mem_words + my_mem,
+                        lopt.max_msg_words.max(ropt.max_msg_words),
+                        lopt.redist_cost > 0.0 || ropt.redist_cost > 0.0,
                         limit,
+                        || {
+                            Some(Box::new(Choice {
+                                pattern: None,
+                                children: vec![
+                                    ChildBinding {
+                                        node: left,
+                                        sol_index: lopt.sol_index,
+                                        produced_dist: lopt.produced,
+                                        required_dist: ldist,
+                                        fusion: fl.clone(),
+                                        redist_cost: lopt.redist_cost,
+                                        rotate_cost: 0.0,
+                                    },
+                                    ChildBinding {
+                                        node: right,
+                                        sol_index: ropt.sol_index,
+                                        produced_dist: ropt.produced,
+                                        required_dist: rdist,
+                                        fusion: fr.clone(),
+                                        redist_cost: ropt.redist_cost,
+                                        rotate_cost: 0.0,
+                                    },
+                                ],
+                                result_rotate_cost: 0.0,
+                                surrounding: surrounding.clone(),
+                            }))
+                        },
                     );
                 }
             }
@@ -931,7 +1143,7 @@ fn combine_reduce(
         (0..cdists.len()).flat_map(|d| (0..pairs.len()).map(move |p| (d, p))).collect();
 
     run_partitioned(&items, threads, out, |chunk, local| {
-        let mut ccache: HashMap<(usize, Distribution), Vec<ChildOpt>> = HashMap::new();
+        let mut ccache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
         for &(d, p) in chunk {
             let cdist = cdists[d];
             // The summed dimension disappears; if it was distributed along
@@ -972,34 +1184,60 @@ fn combine_reduce(
                     },
                 ),
             };
-            let copts = ccache
-                .entry((ci, cdist))
-                .or_insert_with(|| child_options(tree, cm, cfg, memo, child, fc, cdist, sets));
-            for copt in copts.iter() {
-                let choice = Choice {
-                    pattern: None,
-                    children: vec![ChildBinding {
-                        node: child,
-                        sol_index: copt.sol_index,
-                        produced_dist: copt.produced,
-                        required_dist: cdist,
-                        fusion: fc.clone(),
-                        redist_cost: copt.redist_cost,
-                        rotate_cost: 0.0,
-                    }],
-                    result_rotate_cost: reduce_cost,
-                    surrounding: surrounding.clone(),
-                };
-                local.insert(
-                    Solution {
-                        dist: odist,
-                        fusion: fu.clone(),
-                        comm_cost: copt.comm_cost + copt.redist_cost + reduce_cost,
-                        mem_words: copt.mem_words + my_mem,
-                        max_msg_words: copt.max_msg_words,
-                        choice: Some(Box::new(choice)),
-                    },
+            let cslate = ccache.entry((ci, cdist)).or_insert_with(|| {
+                OptSlate::new(child_options(tree, cm, cfg, memo, child, fc, cdist, sets))
+            });
+            if cslate.opts.is_empty() {
+                continue;
+            }
+            let mut kh = local.key_handle(odist, fu);
+            if local.bounds_active() {
+                let (cc0, cm0, cg0) = cslate.floors[0];
+                let lb = tce_cost::bound::certify(cc0 + reduce_cost);
+                if local.dominates_corner_keyed(&kh, lb, cm0 + my_mem, cg0) {
+                    let n = cslate.opts.len() as u64;
+                    let max_fp = cslate.sfx_max_mem[0] + my_mem + cslate.sfx_max_msg[0];
+                    if max_fp <= limit {
+                        local.account_skipped_many(n, n - cslate.sfx_noredist[0], 0);
+                    } else {
+                        for c2 in &cslate.opts {
+                            local.account_skipped(
+                                c2.redist_cost > 0.0,
+                                c2.mem_words + my_mem + c2.max_msg_words,
+                                limit,
+                            );
+                        }
+                    }
+                    local.bnb_block += 1;
+                    continue;
+                }
+            }
+            for copt in cslate.opts.iter() {
+                local.try_insert_keyed(
+                    &mut kh,
+                    odist,
+                    fu,
+                    copt.comm_cost + copt.redist_cost + reduce_cost,
+                    copt.mem_words + my_mem,
+                    copt.max_msg_words,
+                    copt.redist_cost > 0.0,
                     limit,
+                    || {
+                        Some(Box::new(Choice {
+                            pattern: None,
+                            children: vec![ChildBinding {
+                                node: child,
+                                sol_index: copt.sol_index,
+                                produced_dist: copt.produced,
+                                required_dist: cdist,
+                                fusion: fc.clone(),
+                                redist_cost: copt.redist_cost,
+                                rotate_cost: 0.0,
+                            }],
+                            result_rotate_cost: reduce_cost,
+                            surrounding: surrounding.clone(),
+                        }))
+                    },
                 );
             }
         }
@@ -1009,6 +1247,7 @@ fn combine_reduce(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solution::Solution;
     use tce_cost::{CostModel, MachineModel};
     use tce_expr::parse;
 
@@ -1030,10 +1269,10 @@ mod tests {
         // the freed grid dimension is left unoccupied (S is 1-dim).
         let i = tree.space.lookup("i").unwrap();
         let set = &opt.sets[&tree.root()];
-        assert!(!set.all.is_empty());
-        for s in &set.all {
-            assert!(!s.dist.contains(i));
-            assert!(s.dist.d1.is_none() || s.dist.d2.is_none());
+        assert!(!set.is_empty());
+        for s in set.live_indices() {
+            assert!(!set.dist(s).contains(i));
+            assert!(set.dist(s).d1.is_none() || set.dist(s).d2.is_none());
         }
     }
 
@@ -1081,8 +1320,8 @@ S[t] = sum[j] T3[j,t];
         let mut set = SolutionSet::new();
         set.insert(mk(100), u128::MAX);
         set.insert(mk(50), u128::MAX); // same cost, less memory: evicts #0
-        assert_eq!(set.all.len(), 2, "the evicted entry must stay in storage");
-        assert_eq!(set.live_indices(), vec![1]);
+        assert_eq!(set.len(), 2, "the evicted entry must stay in storage");
+        assert_eq!(set.live_indices().collect::<Vec<_>>(), vec![1]);
         let best = select_root_index(&set, u128::MAX, |_| 0.0);
         assert_eq!(best, Some(1), "the dead twin at index 0 must not win the tie");
     }

@@ -28,17 +28,16 @@ pub struct FrontierPoint {
 /// memory-frugal feasible plan; the last is the communication optimum.
 pub fn root_frontier(tree: &ExprTree, opt: &Optimized) -> Vec<FrontierPoint> {
     let set = &opt.sets[&tree.root()];
-    // Only live solutions: `all` also keeps entries evicted by later
+    // Only live solutions: the arena also keeps entries evicted by later
     // dominators as dead storage for back-pointers. (The monotone filter
     // below would drop a dead point anyway — its evictor sorts first — but
     // scanning them is wasted work and a trap for future edits.)
     let mut points: Vec<FrontierPoint> = set
         .live_indices()
-        .into_iter()
-        .filter(|&i| set.all[i].fusion.is_empty())
+        .filter(|&i| set.fusion(i).is_empty())
         .map(|i| FrontierPoint {
-            footprint_words: set.all[i].footprint_words(),
-            comm_cost: set.all[i].comm_cost,
+            footprint_words: set.footprint(i),
+            comm_cost: set.cost(i),
             solution_index: i,
         })
         .collect();

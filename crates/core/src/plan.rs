@@ -9,7 +9,6 @@ use tce_expr::{ExprTree, NodeId};
 use tce_fusion::{FusionConfig, FusionPrefix};
 
 use crate::dp::Optimized;
-use crate::solution::Solution;
 
 /// One operand of a plan step.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -131,21 +130,22 @@ pub fn extract_plan(tree: &ExprTree, opt: &Optimized) -> ExecutionPlan {
 /// memory/communication frontier).
 pub fn extract_plan_for(tree: &ExprTree, opt: &Optimized, index: usize) -> ExecutionPlan {
     let mut steps = Vec::new();
-    let root_sol = &opt.sets[&tree.root()].all[index];
-    walk(tree, opt, tree.root(), root_sol, &mut steps);
+    let root_set = &opt.sets[&tree.root()];
+    walk(tree, opt, tree.root(), index, &mut steps);
     steps.reverse(); // walk emits consumers first; execution wants postorder
     ExecutionPlan {
-        comm_cost: root_sol.comm_cost,
-        mem_words: root_sol.mem_words,
-        max_msg_words: root_sol.max_msg_words,
+        comm_cost: root_set.cost(index),
+        mem_words: root_set.mem(index),
+        max_msg_words: root_set.msg(index),
         steps,
     }
 }
 
-fn walk(tree: &ExprTree, opt: &Optimized, node: NodeId, sol: &Solution, out: &mut Vec<PlanStep>) {
-    let Some(choice) = &sol.choice else { return };
+fn walk(tree: &ExprTree, opt: &Optimized, node: NodeId, index: usize, out: &mut Vec<PlanStep>) {
+    let set = &opt.sets[&node];
+    let Some(choice) = set.choice(index) else { return };
     let mut operands = Vec::new();
-    let mut recurse: Vec<(NodeId, &Solution)> = Vec::new();
+    let mut recurse: Vec<(NodeId, usize)> = Vec::new();
     for b in &choice.children {
         let is_leaf = tree.node(b.node).is_leaf();
         operands.push(PlanOperand {
@@ -159,21 +159,21 @@ fn walk(tree: &ExprTree, opt: &Optimized, node: NodeId, sol: &Solution, out: &mu
             is_leaf,
         });
         if !is_leaf {
-            recurse.push((b.node, &opt.sets[&b.node].all[b.sol_index]));
+            recurse.push((b.node, b.sol_index));
         }
     }
     out.push(PlanStep {
         node,
         result_name: tree.node(node).tensor.name.clone(),
         pattern: choice.pattern,
-        result_dist: sol.dist,
-        result_fusion: sol.fusion.clone(),
+        result_dist: set.dist(index),
+        result_fusion: set.fusion(index).clone(),
         result_rotate_cost: choice.result_rotate_cost,
         surrounding: choice.surrounding.clone(),
         operands,
     });
-    for (n, s) in recurse {
-        walk(tree, opt, n, s, out);
+    for (n, i) in recurse {
+        walk(tree, opt, n, i, out);
     }
 }
 

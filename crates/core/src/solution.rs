@@ -5,6 +5,36 @@
 //! total communication cost of the subtree, and its memory usage — plus the
 //! largest message (the temporary send/receive buffer the paper adds to the
 //! memory requirement) and the decisions needed to reconstruct the plan.
+//!
+//! # Storage layout
+//!
+//! Solutions live in a struct-of-arrays **arena**: costs and memory numbers
+//! in flat vectors (scanned millions of times per search), decision records
+//! boxed in a parallel vector (touched only on accept and during plan
+//! reconstruction). Entries evicted by later dominators stay in the arena
+//! as *dead* storage so `sol_index` back-pointers remain valid while the
+//! node is still being enumerated; [`SolutionSet::compact`] drops them once
+//! the node is finished and nothing can reference them anymore.
+//!
+//! # The Pareto staircase
+//!
+//! Per `(dist, fusion)` key the live entries are additionally kept in a
+//! **staircase**: sorted by `(comm_cost, storage index)` with prefix-minimum
+//! envelopes over `mem_words` and `max_msg_words`. A dominance query binary
+//! searches the cost axis and walks backwards, stopping as soon as the
+//! envelope proves no earlier entry can dominate — the common cases ("clearly
+//! dominated" and "clearly novel") resolve in O(log n). The staircase also
+//! answers the branch-and-bound corner query ([`SolutionSet::dominates_corner`]):
+//! *is some live entry at least as good as this idealized candidate on all
+//! three axes?* — which lets the combine loops skip whole blocks of
+//! candidates without constructing them.
+//!
+//! Every query is a pure reformulation of the legacy linear scan — the same
+//! boolean on the same predicate — so accept/reject outcomes, storage
+//! order, and counters are bit-identical to the pre-staircase search. The
+//! legacy scan is kept for one release behind
+//! [`OptimizerConfig::legacy_frontier`](crate::OptimizerConfig) as a fuzzing
+//! oracle.
 
 use std::collections::HashMap;
 
@@ -49,7 +79,9 @@ pub struct Choice {
     pub surrounding: FusionPrefix,
 }
 
-/// One entry of a node's solution set.
+/// One entry of a node's solution set, as a by-value record (the storage
+/// itself is struct-of-arrays; this is the shape used to offer candidates
+/// and to replay worker-local sets during [`SolutionSet::absorb`]).
 #[derive(Clone, Debug)]
 pub struct Solution {
     /// Distribution in which this node's array is produced.
@@ -86,13 +118,164 @@ impl Solution {
     }
 }
 
-/// A node's solution set, indexed by `(dist, fusion)` with a small Pareto
-/// front per key.
+/// Struct-of-arrays storage for all solutions of one node (live and dead).
+/// Scalar columns are flat vectors; decision records are boxed and only
+/// touched on accept / plan reconstruction.
+#[derive(Clone, Debug, Default)]
+struct Arena {
+    costs: Vec<f64>,
+    mems: Vec<u128>,
+    msgs: Vec<u128>,
+    dists: Vec<Distribution>,
+    fusions: Vec<FusionPrefix>,
+    choices: Vec<Option<Box<Choice>>>,
+}
+
+impl Arena {
+    fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn push(
+        &mut self,
+        dist: Distribution,
+        fusion: FusionPrefix,
+        cost: f64,
+        mem: u128,
+        msg: u128,
+        choice: Option<Box<Choice>>,
+    ) {
+        self.costs.push(cost);
+        self.mems.push(mem);
+        self.msgs.push(msg);
+        self.dists.push(dist);
+        self.fusions.push(fusion);
+        self.choices.push(choice);
+    }
+
+    /// Keep only the (ascending) `live` indices, in order. Safe because
+    /// `live[new] >= new` for every position, so each source slot is read
+    /// before any write could reach it.
+    fn compact_to(&mut self, live: &[u32]) {
+        for (new, &old) in live.iter().enumerate() {
+            let old = old as usize;
+            if new != old {
+                self.costs[new] = self.costs[old];
+                self.mems[new] = self.mems[old];
+                self.msgs[new] = self.msgs[old];
+                self.dists[new] = self.dists[old];
+                self.fusions.swap(new, old);
+                self.choices.swap(new, old);
+            }
+        }
+        self.costs.truncate(live.len());
+        self.mems.truncate(live.len());
+        self.msgs.truncate(live.len());
+        self.dists.truncate(live.len());
+        self.fusions.truncate(live.len());
+        self.choices.truncate(live.len());
+    }
+}
+
+/// One step of a key's Pareto staircase.
+#[derive(Clone, Copy, Debug)]
+struct Stair {
+    /// Communication cost of the entry (the sort key, ties broken by
+    /// ascending storage index).
+    cost: f64,
+    mem: u128,
+    msg: u128,
+    /// Minimum `mem` over the staircase prefix ending here (inclusive).
+    env_mem: u128,
+    /// Minimum `msg` over the staircase prefix ending here (inclusive).
+    env_msg: u128,
+    /// Storage index in the arena.
+    idx: u32,
+}
+
+/// Per-`(dist, fusion)` bookkeeping: the live indices in storage order (the
+/// iteration-order contract of [`SolutionSet::lookup`]) plus the staircase.
+#[derive(Clone, Debug, Default)]
+struct KeyFront {
+    /// Live storage indices, ascending — lookup and candidate-enumeration
+    /// order at the parent, which must never change (it feeds tie-breaks).
+    live: Vec<u32>,
+    /// Cost-sorted staircase with envelopes; empty in legacy / pruning-off
+    /// modes.
+    stair: Vec<Stair>,
+}
+
+/// Is some staircase entry at least as good as `(cost, mem, msg)` on all
+/// three axes? Binary search on the cost axis, backward walk with envelope
+/// early-exit.
+fn stair_dominated(stair: &[Stair], cost: f64, mem: u128, msg: u128) -> bool {
+    let p = stair.partition_point(|e| e.cost <= cost);
+    for e in stair[..p].iter().rev() {
+        // The envelope is the min over the whole prefix ending at `e`: if
+        // even the min exceeds the candidate, no earlier entry qualifies.
+        if e.env_mem > mem || e.env_msg > msg {
+            return false;
+        }
+        if e.mem <= mem && e.msg <= msg {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rebuild the envelope fields of `stair[from..]` from their predecessors.
+fn rebuild_envelopes(stair: &mut [Stair], from: usize) {
+    let (mut env_mem, mut env_msg) = if from == 0 {
+        (u128::MAX, u128::MAX)
+    } else {
+        (stair[from - 1].env_mem, stair[from - 1].env_msg)
+    };
+    for e in stair[from..].iter_mut() {
+        env_mem = env_mem.min(e.mem);
+        env_msg = env_msg.min(e.msg);
+        e.env_mem = env_mem;
+        e.env_msg = env_msg;
+    }
+}
+
+/// Remove `value` from an ascending index vector (no-op when absent).
+fn remove_sorted(v: &mut Vec<u32>, value: u32) {
+    if let Ok(pos) = v.binary_search(&value) {
+        v.remove(pos);
+    }
+}
+
+/// A resolved `(dist, fusion)` key of a [`SolutionSet`].
+///
+/// The combine loops offer millions of candidates that all share one key
+/// (the key is fixed across an entire `(lopt, ropt)` block); resolving the
+/// two hash lookups once per block instead of once per candidate is a
+/// measurable win. `slot` is `None` while the key has never accepted a
+/// solution — the keyed operations then skip dominance queries (nothing to
+/// dominate) and create the key lazily on first accept, so a block that
+/// rejects everything leaves no empty key behind.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyHandle {
+    slot: Option<u32>,
+}
+
+/// A node's solution set: an arena of all offered-and-accepted solutions
+/// (live and dead), indexed by `(dist, fusion)` with a Pareto staircase per
+/// key.
 #[derive(Clone, Debug)]
 pub struct SolutionSet {
-    /// Flat storage; stable indices are used as back-pointers by parents.
-    pub all: Vec<Solution>,
-    by_key: HashMap<(Distribution, FusionPrefix), Vec<usize>>,
+    arena: Arena,
+    /// Fusion-major so the hot path can look a key up from a borrowed
+    /// `&FusionPrefix` without cloning. Maps to a slot in `fronts` so a
+    /// resolved key ([`KeyHandle`]) survives later insertions.
+    keys: HashMap<FusionPrefix, HashMap<Distribution, u32>>,
+    /// Per-key bookkeeping, indexed by the slots in `keys`. Slots are
+    /// append-only while a node is enumerated (evictions mutate a front in
+    /// place), which is what makes [`KeyHandle`]s stable.
+    fronts: Vec<KeyFront>,
+    /// All live storage indices, ascending — maintained incrementally so
+    /// [`Self::live_indices`] is allocation-free.
+    live_all: Vec<u32>,
     /// Candidates offered to `insert` (before pruning), for §3.3's
     /// pruning-effectiveness statistics.
     pub candidates_seen: u64,
@@ -103,9 +286,24 @@ pub struct SolutionSet {
     /// Candidates that could reach a child's required layout only by
     /// inserting a redistribution (an unfused child produced elsewhere).
     pub redist_fallbacks: u64,
+    /// Candidates disposed of by a branch-and-bound corner skip without a
+    /// per-candidate dominance query (their `candidates_seen` /
+    /// `pruned_*` classification is still counted exactly). Depends on
+    /// worker-thread interleaving, like the memo counters.
+    pub bnb_skip: u64,
+    /// Corner-skip events (each covering one or more candidates). Also
+    /// interleaving-dependent.
+    pub bnb_block: u64,
     /// When `false`, dominated candidates are kept (the §3.3 pruning
     /// ablation); memory-limit pruning stays active.
     pruning_enabled: bool,
+    /// Answer dominance queries with the legacy O(live) linear scan instead
+    /// of the staircase (differential-fuzzing oracle; removed after one
+    /// release).
+    legacy_frontier: bool,
+    /// Whether branch-and-bound corner queries are allowed (requires the
+    /// staircase, i.e. pruning on and legacy off).
+    bounds_enabled: bool,
 }
 
 impl Default for SolutionSet {
@@ -115,21 +313,100 @@ impl Default for SolutionSet {
 }
 
 impl SolutionSet {
-    /// Empty set with dominance pruning on.
+    /// Empty set with dominance pruning on (staircase mode, bounds allowed).
     pub fn new() -> Self {
-        Self::with_pruning(true)
+        Self::with_mode(true, false, true)
     }
 
     /// Empty set with dominance pruning switched on or off.
     pub fn with_pruning(enabled: bool) -> Self {
+        Self::with_mode(enabled, false, enabled)
+    }
+
+    /// Empty set with every mode knob explicit: dominance pruning, the
+    /// legacy linear-scan dominance path, and branch-and-bound corner
+    /// queries (forced off without pruning or under the legacy path —
+    /// both lack the staircase the corner query reads).
+    pub fn with_mode(pruning: bool, legacy_frontier: bool, bounds: bool) -> Self {
         Self {
-            all: Vec::new(),
-            by_key: HashMap::new(),
+            arena: Arena::default(),
+            keys: HashMap::new(),
+            fronts: Vec::new(),
+            live_all: Vec::new(),
             candidates_seen: 0,
             pruned_inferior: 0,
             pruned_memory: 0,
             redist_fallbacks: 0,
-            pruning_enabled: enabled,
+            bnb_skip: 0,
+            bnb_block: 0,
+            pruning_enabled: pruning,
+            legacy_frontier,
+            bounds_enabled: bounds && pruning && !legacy_frontier,
+        }
+    }
+
+    /// An empty set in the same mode — what worker threads start from so
+    /// [`Self::absorb`] merges like with like.
+    pub fn empty_like(&self) -> Self {
+        Self::with_mode(self.pruning_enabled, self.legacy_frontier, self.bounds_enabled)
+    }
+
+    /// Entries in storage (live + dead). Valid indices for the accessors
+    /// are `0..len()`.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether nothing was ever accepted.
+    pub fn is_empty(&self) -> bool {
+        self.arena.len() == 0
+    }
+
+    /// Communication cost (seconds) of entry `i`.
+    pub fn cost(&self, i: usize) -> f64 {
+        self.arena.costs[i]
+    }
+
+    /// Stored words of entry `i`.
+    pub fn mem(&self, i: usize) -> u128 {
+        self.arena.mems[i]
+    }
+
+    /// Largest message (words) of entry `i`.
+    pub fn msg(&self, i: usize) -> u128 {
+        self.arena.msgs[i]
+    }
+
+    /// Memory footprint of entry `i` including the staging buffer — the
+    /// quantity checked against the per-processor limit.
+    pub fn footprint(&self, i: usize) -> u128 {
+        self.arena.mems[i] + self.arena.msgs[i]
+    }
+
+    /// Distribution of entry `i`.
+    pub fn dist(&self, i: usize) -> Distribution {
+        self.arena.dists[i]
+    }
+
+    /// Fusion prefix of entry `i`.
+    pub fn fusion(&self, i: usize) -> &FusionPrefix {
+        &self.arena.fusions[i]
+    }
+
+    /// Decision record of entry `i` (`None` for leaf-style entries).
+    pub fn choice(&self, i: usize) -> Option<&Choice> {
+        self.arena.choices[i].as_deref()
+    }
+
+    /// Entry `i` as a by-value [`Solution`] record (clones the plan).
+    pub fn solution(&self, i: usize) -> Solution {
+        Solution {
+            dist: self.arena.dists[i],
+            fusion: self.arena.fusions[i].clone(),
+            comm_cost: self.arena.costs[i],
+            mem_words: self.arena.mems[i],
+            max_msg_words: self.arena.msgs[i],
+            choice: self.arena.choices[i].clone(),
         }
     }
 
@@ -139,36 +416,263 @@ impl SolutionSet {
     /// index survives so back-pointers stay valid, but they are excluded
     /// from key lookups).
     pub fn insert(&mut self, sol: Solution, mem_limit: u128) -> bool {
+        let Solution { dist, fusion, comm_cost, mem_words, max_msg_words, choice } = sol;
+        let has_redist =
+            choice.as_ref().is_some_and(|c| c.children.iter().any(|b| b.redist_cost > 0.0));
+        self.try_insert(
+            dist,
+            &fusion,
+            comm_cost,
+            mem_words,
+            max_msg_words,
+            has_redist,
+            mem_limit,
+            move || choice,
+        )
+    }
+
+    /// Resolve a `(dist, fusion)` key once, for a block of keyed operations
+    /// ([`Self::try_insert_keyed`], [`Self::dominates_corner_keyed`]). The
+    /// handle stays valid across insertions into this set (slots are
+    /// append-only; evictions mutate fronts in place).
+    pub fn key_handle(&self, dist: Distribution, fusion: &FusionPrefix) -> KeyHandle {
+        KeyHandle { slot: self.keys.get(fusion).and_then(|m| m.get(&dist)).copied() }
+    }
+
+    /// The hot-path form of [`Self::insert`]: the candidate arrives as bare
+    /// scalars and the decision record is built *only on accept* — for the
+    /// overwhelmingly common rejected candidate this does no allocation at
+    /// all. Counter semantics are identical to `insert` (seen, redist
+    /// fallback, memory check, dominance check, in that order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_insert(
+        &mut self,
+        dist: Distribution,
+        fusion: &FusionPrefix,
+        comm_cost: f64,
+        mem_words: u128,
+        max_msg_words: u128,
+        has_redist: bool,
+        mem_limit: u128,
+        choice: impl FnOnce() -> Option<Box<Choice>>,
+    ) -> bool {
+        let mut handle = self.key_handle(dist, fusion);
+        self.try_insert_keyed(
+            &mut handle,
+            dist,
+            fusion,
+            comm_cost,
+            mem_words,
+            max_msg_words,
+            has_redist,
+            mem_limit,
+            choice,
+        )
+    }
+
+    /// [`Self::try_insert`] against a pre-resolved key (see
+    /// [`Self::key_handle`]); `dist`/`fusion` must be the pair the handle
+    /// was resolved for — they are only read to create the key on a first
+    /// accept and to fill the arena columns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_insert_keyed(
+        &mut self,
+        handle: &mut KeyHandle,
+        dist: Distribution,
+        fusion: &FusionPrefix,
+        comm_cost: f64,
+        mem_words: u128,
+        max_msg_words: u128,
+        has_redist: bool,
+        mem_limit: u128,
+        choice: impl FnOnce() -> Option<Box<Choice>>,
+    ) -> bool {
         self.candidates_seen += 1;
-        if let Some(choice) = &sol.choice {
-            if choice.children.iter().any(|c| c.redist_cost > 0.0) {
-                self.redist_fallbacks += 1;
-            }
+        if has_redist {
+            self.redist_fallbacks += 1;
         }
-        if sol.footprint_words() > mem_limit {
+        if mem_words + max_msg_words > mem_limit {
             self.pruned_memory += 1;
             return false;
         }
-        self.insert_checked(sol)
+        self.insert_checked_keyed(handle, dist, fusion, comm_cost, mem_words, max_msg_words, choice)
     }
 
-    /// The dominance half of [`Self::insert`]: the candidate has already
-    /// been counted and has already passed the memory limit.
-    fn insert_checked(&mut self, sol: Solution) -> bool {
-        let key = (sol.dist, sol.fusion.clone());
-        let slot = self.by_key.entry(key).or_default();
+    /// The dominance half of the insert path, against an unresolved key.
+    fn insert_checked(
+        &mut self,
+        dist: Distribution,
+        fusion: &FusionPrefix,
+        cost: f64,
+        mem: u128,
+        msg: u128,
+        choice: impl FnOnce() -> Option<Box<Choice>>,
+    ) -> bool {
+        let mut handle = self.key_handle(dist, fusion);
+        self.insert_checked_keyed(&mut handle, dist, fusion, cost, mem, msg, choice)
+    }
+
+    /// The dominance half of [`Self::try_insert`]: the candidate has
+    /// already been counted and has already passed the memory limit.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_checked_keyed(
+        &mut self,
+        handle: &mut KeyHandle,
+        dist: Distribution,
+        fusion: &FusionPrefix,
+        cost: f64,
+        mem: u128,
+        msg: u128,
+        choice: impl FnOnce() -> Option<Box<Choice>>,
+    ) -> bool {
         if self.pruning_enabled {
-            for &i in slot.iter() {
-                if self.all[i].dominates(&sol) {
-                    self.pruned_inferior += 1;
-                    return false;
+            let dominated = match handle.slot {
+                None => false,
+                Some(s) => {
+                    let kf = &self.fronts[s as usize];
+                    if self.legacy_frontier {
+                        // Legacy oracle: first-dominator linear scan over the
+                        // live entries — the exact pre-staircase predicate.
+                        kf.live.iter().any(|&i| {
+                            let i = i as usize;
+                            self.arena.costs[i] <= cost
+                                && self.arena.mems[i] <= mem
+                                && self.arena.msgs[i] <= msg
+                        })
+                    } else {
+                        stair_dominated(&kf.stair, cost, mem, msg)
+                    }
                 }
+            };
+            if dominated {
+                self.pruned_inferior += 1;
+                return false;
             }
-            slot.retain(|&i| !sol.dominates(&self.all[i]));
         }
-        slot.push(self.all.len());
-        self.all.push(sol);
+        let idx = self.arena.len() as u32;
+        let slot = match handle.slot {
+            Some(s) => s as usize,
+            None => {
+                let s = self.fronts.len();
+                self.fronts.push(KeyFront::default());
+                self.keys.entry_ref_or_clone(fusion).insert(dist, s as u32);
+                handle.slot = Some(s as u32);
+                s
+            }
+        };
+        let kf = &mut self.fronts[slot];
+        if self.pruning_enabled {
+            if self.legacy_frontier {
+                // Evict live entries the newcomer dominates.
+                let (arena, live_all) = (&self.arena, &mut self.live_all);
+                kf.live.retain(|&i| {
+                    let u = i as usize;
+                    let dead =
+                        cost <= arena.costs[u] && mem <= arena.mems[u] && msg <= arena.msgs[u];
+                    if dead {
+                        remove_sorted(live_all, i);
+                    }
+                    !dead
+                });
+            } else {
+                // Every entry the newcomer dominates has cost >= `cost`, so
+                // eviction only scans the staircase tail.
+                let p0 = kf.stair.partition_point(|e| e.cost < cost);
+                let mut w = p0;
+                for r in p0..kf.stair.len() {
+                    let e = kf.stair[r];
+                    if mem <= e.mem && msg <= e.msg {
+                        remove_sorted(&mut kf.live, e.idx);
+                        remove_sorted(&mut self.live_all, e.idx);
+                    } else {
+                        kf.stair[w] = e;
+                        w += 1;
+                    }
+                }
+                kf.stair.truncate(w);
+                // Insert the newcomer after its cost ties (its storage index
+                // is the maximum, keeping `(cost, idx)` order).
+                let p = kf.stair.partition_point(|e| e.cost <= cost);
+                kf.stair.insert(p, Stair { cost, mem, msg, env_mem: 0, env_msg: 0, idx });
+                rebuild_envelopes(&mut kf.stair, p0.min(p));
+            }
+        }
+        kf.live.push(idx);
+        self.live_all.push(idx);
+        self.arena.push(dist, fusion.clone(), cost, mem, msg, choice());
         true
+    }
+
+    /// Branch-and-bound corner query: is some **live** solution with this
+    /// key at least as good as `(cost, mem, msg)` on all three axes? When
+    /// it is, every candidate of this key that the corner lower-bounds is
+    /// dominated by that entry (transitivity of `≤`) and can be disposed of
+    /// without being constructed. Only meaningful in staircase mode;
+    /// returns `false` otherwise so callers degrade to the full loop.
+    pub fn dominates_corner(
+        &self,
+        dist: Distribution,
+        fusion: &FusionPrefix,
+        cost: f64,
+        mem: u128,
+        msg: u128,
+    ) -> bool {
+        self.dominates_corner_keyed(&self.key_handle(dist, fusion), cost, mem, msg)
+    }
+
+    /// [`Self::dominates_corner`] against a pre-resolved key.
+    pub fn dominates_corner_keyed(
+        &self,
+        handle: &KeyHandle,
+        cost: f64,
+        mem: u128,
+        msg: u128,
+    ) -> bool {
+        if !self.bounds_enabled {
+            return false;
+        }
+        match handle.slot {
+            Some(s) => stair_dominated(&self.fronts[s as usize].stair, cost, mem, msg),
+            None => false,
+        }
+    }
+
+    /// Whether branch-and-bound corner queries are active (pruning on,
+    /// staircase mode, bounds not disabled).
+    pub fn bounds_active(&self) -> bool {
+        self.bounds_enabled
+    }
+
+    /// Account one candidate disposed of by a corner skip, replicating the
+    /// exact counter semantics [`Self::try_insert`] would have applied: the
+    /// candidate is seen, a redistribution fallback is recorded, and it is
+    /// classified as memory-pruned when over the limit and dominated
+    /// otherwise (the corner proof guarantees a live dominator exists).
+    pub fn account_skipped(&mut self, has_redist: bool, footprint_words: u128, mem_limit: u128) {
+        self.candidates_seen += 1;
+        if has_redist {
+            self.redist_fallbacks += 1;
+        }
+        if footprint_words > mem_limit {
+            self.pruned_memory += 1;
+        } else {
+            self.pruned_inferior += 1;
+        }
+        self.bnb_skip += 1;
+    }
+
+    /// Bulk form of [`Self::account_skipped`]: `n` candidates disposed of
+    /// by one corner skip, of which `redist_n` carried a redistribution
+    /// fallback and `memory_n` exceeded the memory limit (the rest are
+    /// dominated). The caller computes the split exactly — typically in
+    /// O(1) from per-block aggregates when it can prove `memory_n == 0`,
+    /// falling back to a per-candidate loop otherwise.
+    pub fn account_skipped_many(&mut self, n: u64, redist_n: u64, memory_n: u64) {
+        self.candidates_seen += n;
+        self.redist_fallbacks += redist_n;
+        self.pruned_memory += memory_n;
+        self.pruned_inferior += n - memory_n;
+        self.bnb_skip += n;
     }
 
     /// Fold a worker-local set into this one, replaying the worker's
@@ -178,67 +682,122 @@ impl SolutionSet {
     /// Because dominance (`≤` on cost, memory, and buffer) is transitive,
     /// merging per-worker sets in the order their chunks partition the
     /// serial candidate stream reproduces the serial search *exactly*: each
-    /// candidate's accept/reject outcome, the storage order of `all` (and
-    /// thus every `sol_index` back-pointer and tie-break), and the
+    /// candidate's accept/reject outcome, the storage order of the arena
+    /// (and thus every `sol_index` back-pointer and tie-break), and the
     /// `candidates_seen`/`pruned_*` totals are all bit-identical to a
     /// single-threaded run. A worker-local rejection (the dominator sat in
     /// the same chunk) and a merge-time rejection (the dominator sat in an
     /// earlier chunk) are the same rejection the serial run counted once.
+    /// The same argument covers worker-local **corner skips**: the local
+    /// dominator the corner proof found was offered earlier in the same
+    /// chunk, so the serial run either kept it or kept something dominating
+    /// it — either way the serial run rejects the skipped candidates as
+    /// dominated too. Only the `bnb_skip`/`bnb_block` totals (how the work
+    /// was avoided, not its outcome) depend on the thread count.
     ///
-    /// The caller must construct `other` with the same pruning mode; its
-    /// entries already passed the shared memory limit, so no limit is
-    /// re-checked here.
+    /// The caller must construct `other` with the same mode (see
+    /// [`Self::empty_like`]); its entries already passed the shared memory
+    /// limit, so no limit is re-checked here.
     pub fn absorb(&mut self, other: SolutionSet) {
         debug_assert_eq!(self.pruning_enabled, other.pruning_enabled);
+        debug_assert_eq!(self.legacy_frontier, other.legacy_frontier);
         self.candidates_seen += other.candidates_seen;
         self.pruned_inferior += other.pruned_inferior;
         self.pruned_memory += other.pruned_memory;
         self.redist_fallbacks += other.redist_fallbacks;
-        for sol in other.all {
-            self.insert_checked(sol);
+        self.bnb_skip += other.bnb_skip;
+        self.bnb_block += other.bnb_block;
+        let Arena { costs, mems, msgs, dists, fusions, choices } = other.arena;
+        let it = costs.into_iter().zip(mems).zip(msgs).zip(dists).zip(fusions).zip(choices);
+        for (((((cost, mem), msg), dist), fusion), choice) in it {
+            self.insert_checked(dist, &fusion, cost, mem, msg, move || choice);
         }
     }
 
-    /// Live solutions for a `(dist, fusion)` key.
+    /// Drop dead (evicted) entries from storage and renumber the survivors.
+    ///
+    /// Sound only once the node's enumeration is complete: evictions happen
+    /// exclusively while the node itself is being combined, and parents are
+    /// processed strictly later (postorder), so at that point **no
+    /// back-pointer anywhere references a dead entry** — parents bind only
+    /// indices that were live when they enumerated, and live entries are
+    /// never evicted after their node finished. Must not be called on
+    /// worker-local sets (absorb replays the full arena).
+    pub fn compact(&mut self) -> usize {
+        let dead = self.arena.len() - self.live_all.len();
+        if dead == 0 {
+            return 0;
+        }
+        let mut remap = vec![u32::MAX; self.arena.len()];
+        for (new, &old) in self.live_all.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        self.arena.compact_to(&self.live_all);
+        for kf in self.fronts.iter_mut() {
+            for i in kf.live.iter_mut() {
+                *i = remap[*i as usize];
+            }
+            for e in kf.stair.iter_mut() {
+                e.idx = remap[e.idx as usize];
+            }
+        }
+        self.live_all = (0..self.arena.len() as u32).collect();
+        dead
+    }
+
+    /// Live solutions for a `(dist, fusion)` key, in storage order.
     pub fn lookup(&self, dist: Distribution, fusion: &FusionPrefix) -> Vec<usize> {
-        self.by_key.get(&(dist, fusion.clone())).cloned().unwrap_or_default()
+        match self.keys.get(fusion).and_then(|m| m.get(&dist)) {
+            Some(&s) => self.fronts[s as usize].live.iter().map(|&i| i as usize).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Live solutions having the given fusion prefix (any distribution),
     /// in insertion order (sorted — hash-map iteration order must not leak
     /// into tie-breaking, or plans would differ between runs).
     pub fn with_fusion(&self, fusion: &FusionPrefix) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .by_key
-            .iter()
-            .filter(|((_, f), _)| f == fusion)
-            .flat_map(|(_, v)| v.iter().copied())
-            .collect();
+        let mut v: Vec<usize> = match self.keys.get(fusion) {
+            Some(m) => m
+                .values()
+                .flat_map(|&s| self.fronts[s as usize].live.iter().map(|&i| i as usize))
+                .collect(),
+            None => Vec::new(),
+        };
         v.sort_unstable();
         v
     }
 
     /// The distinct fusion prefixes present.
     pub fn fusions(&self) -> Vec<FusionPrefix> {
-        let mut v: Vec<FusionPrefix> = self.by_key.keys().map(|(_, f)| f.clone()).collect();
+        let mut v: Vec<FusionPrefix> = self.keys.keys().cloned().collect();
         v.sort();
-        v.dedup();
         v
     }
 
     /// Number of live (non-dominated) solutions.
     pub fn live_len(&self) -> usize {
-        self.by_key.values().map(|v| v.len()).sum()
+        self.live_all.len()
     }
 
-    /// Indices into [`Self::all`] of the live (non-dominated) solutions, in
-    /// insertion order. `all` itself also holds entries evicted by later
-    /// dominators — kept only so back-pointers stay valid — so any scan
-    /// choosing a winner must restrict itself to these indices.
-    pub fn live_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.by_key.values().flatten().copied().collect();
-        v.sort_unstable();
-        v
+    /// Storage indices of the live (non-dominated) solutions, ascending.
+    /// The arena also holds entries evicted by later dominators — kept only
+    /// so back-pointers stay valid until [`Self::compact`] — so any scan
+    /// choosing a winner must restrict itself to these indices. Backed by
+    /// an incrementally maintained list: no allocation, and eviction keeps
+    /// it current (see `live_index_list_tracks_eviction`).
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live_all.iter().map(|&i| i as usize)
+    }
+
+    /// Distinct `(dist, fusion)` keys with at least one live solution.
+    pub fn key_count(&self) -> usize {
+        self.fronts.iter().filter(|kf| !kf.live.is_empty()).count()
+    }
+
+    /// Largest per-key live frontier (staircase occupancy).
+    pub fn max_key_live(&self) -> usize {
+        self.fronts.iter().map(|kf| kf.live.len()).max().unwrap_or(0)
     }
 
     /// Whether dominance pruning is on (workers mirror this mode into their
@@ -269,14 +828,28 @@ impl SolutionSet {
     }
 
     /// Index of the cheapest live solution over every `(dist, fusion)` key
-    /// (ties broken toward lower memory), or `None` when the set is empty.
+    /// (ties broken toward lower memory, then lower storage index), or
+    /// `None` when the set is empty.
     pub fn best(&self) -> Option<usize> {
-        self.by_key.values().flatten().copied().min_by(|&a, &b| {
-            self.all[a]
-                .comm_cost
-                .total_cmp(&self.all[b].comm_cost)
-                .then(self.all[a].mem_words.cmp(&self.all[b].mem_words))
+        self.live_indices().min_by(|&a, &b| {
+            self.arena.costs[a]
+                .total_cmp(&self.arena.costs[b])
+                .then(self.arena.mems[a].cmp(&self.arena.mems[b]))
         })
+    }
+}
+
+/// `HashMap::entry` without cloning the key when it is already present.
+trait EntryRefOrClone<V> {
+    fn entry_ref_or_clone(&mut self, key: &FusionPrefix) -> &mut V;
+}
+
+impl<V: Default> EntryRefOrClone<V> for HashMap<FusionPrefix, V> {
+    fn entry_ref_or_clone(&mut self, key: &FusionPrefix) -> &mut V {
+        if !self.contains_key(key) {
+            self.insert(key.clone(), V::default());
+        }
+        self.get_mut(key).expect("just inserted")
     }
 }
 
@@ -303,6 +876,10 @@ mod tests {
         (Distribution::pair(a, b), Distribution::pair(b, a))
     }
 
+    fn live(set: &SolutionSet) -> Vec<usize> {
+        set.live_indices().collect()
+    }
+
     #[test]
     fn dominated_candidates_are_pruned() {
         let (d1, _) = dists();
@@ -323,7 +900,7 @@ mod tests {
         set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
         set.insert(sol(d1, 9.0, 90, 4), u128::MAX); // dominates the first
         assert_eq!(set.live_len(), 1);
-        assert_eq!(set.all.len(), 2, "dead storage survives for back-pointers");
+        assert_eq!(set.len(), 2, "dead storage survives for back-pointers");
         assert_eq!(set.best(), Some(1));
     }
 
@@ -346,6 +923,8 @@ mod tests {
         assert_eq!(set.live_len(), 2);
         assert_eq!(set.lookup(d1, &FusionPrefix::empty()).len(), 1);
         assert_eq!(set.fusions().len(), 1);
+        assert_eq!(set.key_count(), 2);
+        assert_eq!(set.max_key_live(), 1);
     }
 
     #[test]
@@ -370,13 +949,32 @@ mod tests {
         set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
         set.insert(sol(d2, 3.0, 10, 1), u128::MAX);
         set.insert(sol(d1, 9.0, 90, 4), u128::MAX); // evicts index 0
-        assert_eq!(set.all.len(), 3);
-        assert_eq!(set.live_indices(), vec![1, 2]);
+        assert_eq!(set.len(), 3);
+        assert_eq!(live(&set), vec![1, 2]);
+    }
+
+    /// The cached live-index list must track evictions immediately — the
+    /// regression this guards: a stale cache would let the root scan or a
+    /// frontier extraction resurrect a dominated solution.
+    #[test]
+    fn live_index_list_tracks_eviction() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
+        set.insert(sol(d2, 5.0, 50, 2), u128::MAX);
+        assert_eq!(live(&set), vec![0, 1]);
+        // Evicts #0; the list must reflect it on the very next call.
+        set.insert(sol(d1, 9.0, 90, 4), u128::MAX);
+        assert_eq!(live(&set), vec![1, 2]);
+        // A second eviction in another key keeps the list sorted.
+        set.insert(sol(d2, 4.0, 40, 1), u128::MAX);
+        assert_eq!(live(&set), vec![2, 3]);
+        assert_eq!(set.live_len(), 2);
     }
 
     /// Splitting one candidate stream across worker-local sets and
     /// absorbing them in order must reproduce the serial set exactly:
-    /// same `all` order, same live indices, same counters.
+    /// same storage order, same live indices, same counters.
     #[test]
     fn absorb_replays_the_serial_stream() {
         let (d1, d2) = dists();
@@ -400,23 +998,124 @@ mod tests {
         for split in 1..stream.len() {
             let mut merged = SolutionSet::new();
             for chunk in [&stream[..split], &stream[split..]] {
-                let mut local = SolutionSet::new();
+                let mut local = merged.empty_like();
                 for s in chunk {
                     local.insert(s.clone(), limit);
                 }
                 merged.absorb(local);
             }
-            assert_eq!(merged.all.len(), serial.all.len(), "split at {split}");
-            for (a, b) in merged.all.iter().zip(serial.all.iter()) {
-                assert_eq!(a.comm_cost.to_bits(), b.comm_cost.to_bits());
-                assert_eq!(a.mem_words, b.mem_words);
-                assert_eq!(a.max_msg_words, b.max_msg_words);
+            assert_eq!(merged.len(), serial.len(), "split at {split}");
+            for i in 0..merged.len() {
+                assert_eq!(merged.cost(i).to_bits(), serial.cost(i).to_bits());
+                assert_eq!(merged.mem(i), serial.mem(i));
+                assert_eq!(merged.msg(i), serial.msg(i));
             }
-            assert_eq!(merged.live_indices(), serial.live_indices(), "split at {split}");
+            assert_eq!(live(&merged), live(&serial), "split at {split}");
             assert_eq!(merged.candidates_seen, serial.candidates_seen);
             assert_eq!(merged.pruned_inferior, serial.pruned_inferior, "split at {split}");
             assert_eq!(merged.pruned_memory, serial.pruned_memory);
         }
+    }
+
+    /// The staircase must answer exactly what the legacy linear scan
+    /// answers, on a stream dense with cost ties and partial dominance.
+    #[test]
+    fn staircase_and_legacy_scan_agree() {
+        let (d1, d2) = dists();
+        let costs = [5.0, 3.0, 5.0, 4.0, 3.0, 6.0, 2.0, 5.0];
+        let mems = [50u128, 80, 50, 60, 70, 40, 90, 45];
+        let msgs = [5u128, 3, 4, 6, 3, 2, 7, 4];
+        let mut fast = SolutionSet::with_mode(true, false, true);
+        let mut slow = SolutionSet::with_mode(true, true, false);
+        for k in 0..costs.len() {
+            for j in 0..costs.len() {
+                let d = if (k + j) % 2 == 0 { d1 } else { d2 };
+                let s = sol(d, costs[k], mems[j], msgs[(k + j) % msgs.len()]);
+                assert_eq!(
+                    fast.insert(s.clone(), 200),
+                    slow.insert(s, 200),
+                    "candidate ({k},{j}) accept/reject diverged"
+                );
+            }
+        }
+        assert_eq!(live(&fast), live(&slow));
+        assert_eq!(fast.pruned_inferior, slow.pruned_inferior);
+        assert_eq!(fast.pruned_memory, slow.pruned_memory);
+        for i in 0..fast.len() {
+            assert_eq!(fast.cost(i).to_bits(), slow.cost(i).to_bits());
+            assert_eq!(fast.mem(i), slow.mem(i));
+            assert_eq!(fast.msg(i), slow.msg(i));
+        }
+    }
+
+    #[test]
+    fn corner_query_matches_exhaustive_predicate() {
+        let (d1, _) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 5.0, 50, 5), u128::MAX);
+        set.insert(sol(d1, 3.0, 80, 3), u128::MAX);
+        set.insert(sol(d1, 7.0, 40, 7), u128::MAX);
+        let f = FusionPrefix::empty();
+        // Dominated corner: (5,50,5) is <= (6,60,6).
+        assert!(set.dominates_corner(d1, &f, 6.0, 60, 6));
+        // Equal corner counts (insert would reject ties as dominated).
+        assert!(set.dominates_corner(d1, &f, 5.0, 50, 5));
+        // Nothing has cost <= 2.
+        assert!(!set.dominates_corner(d1, &f, 2.0, 1000, 1000));
+        // Cost ok but nothing with cost <= 4 has mem <= 60.
+        assert!(!set.dominates_corner(d1, &f, 4.0, 60, 100));
+        // Unknown key.
+        let (_, d2) = dists();
+        assert!(!set.dominates_corner(d2, &f, 100.0, 1000, 1000));
+    }
+
+    #[test]
+    fn corner_query_disabled_outside_staircase_mode() {
+        let (d1, _) = dists();
+        let f = FusionPrefix::empty();
+        for mut set in [SolutionSet::with_pruning(false), SolutionSet::with_mode(true, true, true)]
+        {
+            set.insert(sol(d1, 5.0, 50, 5), u128::MAX);
+            assert!(!set.bounds_active());
+            assert!(!set.dominates_corner(d1, &f, 100.0, 1000, 1000));
+        }
+    }
+
+    #[test]
+    fn account_skipped_classifies_like_insert() {
+        let mut set = SolutionSet::new();
+        set.account_skipped(true, 50, 100); // fits: dominated
+        set.account_skipped(false, 150, 100); // over: memory
+        assert_eq!(set.candidates_seen, 2);
+        assert_eq!(set.redist_fallbacks, 1);
+        assert_eq!(set.pruned_inferior, 1);
+        assert_eq!(set.pruned_memory, 1);
+        assert_eq!(set.bnb_skip, 2);
+    }
+
+    #[test]
+    fn compact_drops_dead_entries_and_renumbers() {
+        let (d1, d2) = dists();
+        let mut set = SolutionSet::new();
+        set.insert(sol(d1, 10.0, 100, 5), u128::MAX); // 0: evicted below
+        set.insert(sol(d2, 3.0, 10, 1), u128::MAX); // 1: survives
+        set.insert(sol(d1, 9.0, 90, 4), u128::MAX); // 2: evicts 0
+        set.insert(sol(d1, 8.0, 200, 4), u128::MAX); // 3: Pareto vs 2
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.compact(), 1);
+        assert_eq!(set.len(), 3);
+        assert_eq!(live(&set), vec![0, 1, 2]);
+        // Renumbered: old 1 -> 0, old 2 -> 1, old 3 -> 2.
+        assert_eq!(set.mem(0), 10);
+        assert_eq!(set.mem(1), 90);
+        assert_eq!(set.mem(2), 200);
+        assert_eq!(set.lookup(d2, &FusionPrefix::empty()), vec![0]);
+        assert_eq!(set.lookup(d1, &FusionPrefix::empty()), vec![1, 2]);
+        // Dominance state survives compaction: a candidate dominated by a
+        // survivor is still rejected, and the corner query still fires.
+        assert!(!set.insert(sol(d1, 9.5, 95, 5), u128::MAX));
+        assert!(set.dominates_corner(d1, &FusionPrefix::empty(), 9.0, 90, 4));
+        assert_eq!(set.compact(), 0, "second compaction is a no-op");
     }
 
     #[test]
@@ -427,7 +1126,7 @@ mod tests {
         local.insert(sol(d1, 10.0, 100, 5), u128::MAX);
         local.insert(sol(d1, 11.0, 120, 6), u128::MAX); // dominated but kept
         out.absorb(local);
-        assert_eq!(out.all.len(), 2);
+        assert_eq!(out.len(), 2);
         assert_eq!(out.live_len(), 2);
         assert_eq!(out.candidates_seen, 2);
         assert_eq!(out.pruned_inferior, 0);
@@ -440,6 +1139,6 @@ mod tests {
         set.insert(sol(d1, 10.0, 100, 5), u128::MAX);
         set.insert(sol(d2, 10.0, 50, 5), u128::MAX);
         let best = set.best().unwrap();
-        assert_eq!(set.all[best].mem_words, 50);
+        assert_eq!(set.mem(best), 50);
     }
 }

@@ -14,14 +14,21 @@ pub fn render_search_stats(opt: &Optimized) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10}",
-        "node", "candidates", "kept", "pruned-dom", "pruned-mem", "redist-fb"
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7}",
+        "node", "candidates", "kept", "pruned-dom", "pruned-mem", "redist-fb", "keys", "widest"
     );
     for s in &opt.stats {
         let _ = writeln!(
             out,
-            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10}",
-            s.name, s.candidates, s.live, s.pruned_inferior, s.pruned_memory, s.redist_fallbacks
+            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7}",
+            s.name,
+            s.candidates,
+            s.live,
+            s.pruned_inferior,
+            s.pruned_memory,
+            s.redist_fallbacks,
+            s.keys,
+            s.widest_front
         );
     }
     let c = &opt.counters;
@@ -39,6 +46,15 @@ pub fn render_search_stats(opt: &Optimized) -> String {
             out,
             "cost memo: {hits} hits, {misses} misses ({:.1}% hit rate)",
             100.0 * hits as f64 / (hits + misses) as f64,
+        );
+    }
+    let (skips, blocks) = (c.get(tce_obs::names::BNB_SKIP), c.get(tce_obs::names::BNB_BLOCK));
+    if skips > 0 {
+        let _ = writeln!(
+            out,
+            "bound skips: {skips} candidates in {blocks} blocks ({:.1}% of candidates, {:.1} per block)",
+            100.0 * skips as f64 / (candidates.max(1)) as f64,
+            skips as f64 / (blocks.max(1)) as f64,
         );
     }
     out
@@ -62,6 +78,17 @@ mod tests {
         assert!(text.contains("candidates"), "{text}");
         assert!(text.contains('C'), "{text}");
         assert!(text.contains("cost memo:"), "{text}");
+        assert!(text.contains("keys"), "{text}");
+        // The per-key occupancy columns agree with the set accessors.
+        for s in &opt.stats {
+            let set = opt.sets.values().find(|v| v.total_candidates() == s.candidates);
+            if let Some(set) = set {
+                assert!(s.keys <= s.live || s.live == 0);
+                assert!(s.widest_front <= s.live);
+                assert_eq!(s.keys, set.key_count());
+                assert_eq!(s.widest_front, set.max_key_live());
+            }
+        }
 
         // The totals line agrees with both the counters bag and the
         // per-set accessors.

@@ -1,0 +1,93 @@
+//! Admissible lower bounds for branch-and-bound candidate skipping.
+//!
+//! The optimizer's combine loops enumerate `(left-option, right-option)`
+//! products whose cost is a sum of non-negative child costs plus
+//! node-local rotation/redistribution terms. To skip a tail of that
+//! product soundly, it needs a *floor*: a value provably ≤ the true cost
+//! of every skipped candidate. Two ingredients live here:
+//!
+//! * [`suffix_floors`] — per-suffix minima over a child-option list in its
+//!   **original enumeration order** (the order must not be disturbed:
+//!   storage order is part of the optimizer's bit-identity contract), so
+//!   `floors[i]` bounds every option at index ≥ i;
+//! * [`certify`] — shrinks a bound computed with a *different association
+//!   order* than the candidate's actual cost expression by [`LB_MARGIN`],
+//!   absorbing floating-point re-association error. The combine loops sum
+//!   at most 7 non-negative f64 terms; re-association of an n-term
+//!   non-negative sum perturbs the result by < n·ε relative (ε = 2⁻⁵²
+//!   ≈ 2.2e-16), so a relative margin of 1e-12 (> 7·ε by a factor of
+//!   ~6e2) guarantees `certify(lb) ≤ cost` for every candidate the bound
+//!   covers. Skips are therefore conservative: a candidate is only
+//!   skipped when even its *certified under-estimate* is dominated.
+
+/// Relative slack applied to cross-association lower bounds; see the
+/// module docs for why `1e-12` safely covers ≤7-term f64 sums.
+pub const LB_MARGIN: f64 = 1e-12;
+
+/// Certify a lower bound computed with a different floating-point
+/// association order than the candidate costs it must under-estimate.
+///
+/// Costs are non-negative, so shrinking by a relative margin only ever
+/// loosens the bound (keeps it admissible).
+#[inline]
+pub fn certify(lb: f64) -> f64 {
+    lb * (1.0 - LB_MARGIN)
+}
+
+/// Per-suffix floors over `(cost, mem_words, max_msg_words)` triples in
+/// their original order: `floors[i] = (min cost, min mem, min msg)` over
+/// items `i..`. Returns one entry per item (empty input → empty vec).
+///
+/// Each component is floored independently, so the triple is a *corner*
+/// no real suffix item need attain — that is exactly what makes it a
+/// sound bound for dominance queries: if the corner is dominated, every
+/// real item in the suffix is too.
+pub fn suffix_floors(items: impl Iterator<Item = (f64, u128, u128)>) -> Vec<(f64, u128, u128)> {
+    let collected: Vec<(f64, u128, u128)> = items.collect();
+    let mut floors = vec![(0.0_f64, 0_u128, 0_u128); collected.len()];
+    let mut cost = f64::INFINITY;
+    let mut mem = u128::MAX;
+    let mut msg = u128::MAX;
+    for i in (0..collected.len()).rev() {
+        let (c, m, g) = collected[i];
+        cost = cost.min(c);
+        mem = mem.min(m);
+        msg = msg.min(g);
+        floors[i] = (cost, mem, msg);
+    }
+    floors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffix_floors_are_componentwise_minima() {
+        let items = [(5.0, 10, 3), (2.0, 20, 9), (4.0, 5, 1)];
+        let floors = suffix_floors(items.iter().copied());
+        assert_eq!(floors, vec![(2.0, 5, 1), (2.0, 5, 1), (4.0, 5, 1)]);
+        for (i, &(fc, fm, fg)) in floors.iter().enumerate() {
+            for &(c, m, g) in &items[i..] {
+                assert!(fc <= c && fm <= m && fg <= g);
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_floors_empty() {
+        assert!(suffix_floors(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn certify_under_estimates_reassociated_sums() {
+        // Worst-case style check: sum 7 terms in two association orders;
+        // the certified bound of either order is ≤ the other's exact sum.
+        let terms = [1.0e9, 3.7, 2.2e-8, 5.0e4, 9.99e12, 0.125, 6.6e3];
+        let fwd: f64 = terms.iter().sum();
+        let bwd: f64 = terms.iter().rev().sum();
+        assert!(certify(fwd) <= bwd);
+        assert!(certify(bwd) <= fwd);
+        assert!(certify(0.0) == 0.0);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod bound;
 pub mod compute;
 mod machine;
 mod memo;

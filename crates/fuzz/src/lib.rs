@@ -265,6 +265,89 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
             }
         }
 
+        // Oracle 6: the Pareto-staircase / branch-and-bound search against
+        // the legacy linear-scan dominance path. Same predicate, different
+        // data structure — plans, costs, per-node live frontiers, and every
+        // counter except the `dp.bnb_*` pair (the legacy path never skips)
+        // must be bit-identical.
+        {
+            let legacy =
+                optimize(tree, &cm, &OptimizerConfig { legacy_frontier: true, ..base_config(cfg) })
+                    .map_err(|e| fail("frontier", format!("p={procs}: {e:?}")))?;
+            stats.optimizations += 1;
+            if legacy.comm_cost.to_bits() != base.comm_cost.to_bits()
+                || legacy.mem_words != base.mem_words
+                || legacy.max_msg_words != base.max_msg_words
+                || legacy.best_index != base.best_index
+            {
+                return Err(fail(
+                    "frontier",
+                    format!(
+                        "p={procs}: legacy cost {} vs {}, mem {} vs {}, best {} vs {}",
+                        legacy.comm_cost,
+                        base.comm_cost,
+                        legacy.mem_words,
+                        base.mem_words,
+                        legacy.best_index,
+                        base.best_index
+                    ),
+                ));
+            }
+            if extract_plan(tree, &legacy).to_json() != base_json {
+                return Err(fail("frontier", format!("p={procs}: legacy plan differs")));
+            }
+            for (node, set) in &base.sets {
+                let lset = legacy
+                    .sets
+                    .get(node)
+                    .ok_or_else(|| fail("frontier", format!("p={procs}: node {node:?} missing")))?;
+                let a: Vec<usize> = set.live_indices().collect();
+                let b: Vec<usize> = lset.live_indices().collect();
+                if a != b || set.len() != lset.len() {
+                    return Err(fail(
+                        "frontier",
+                        format!(
+                            "p={procs} node {node:?}: live frontier differs ({} vs {} live, {} vs {} stored)",
+                            a.len(),
+                            b.len(),
+                            set.len(),
+                            lset.len()
+                        ),
+                    ));
+                }
+                for i in a {
+                    if set.cost(i).to_bits() != lset.cost(i).to_bits()
+                        || set.mem(i) != lset.mem(i)
+                        || set.msg(i) != lset.msg(i)
+                    {
+                        return Err(fail(
+                            "frontier",
+                            format!("p={procs} node {node:?} sol {i}: entries differ"),
+                        ));
+                    }
+                }
+            }
+            for (counter, v) in base.counters.iter() {
+                if counter == tce_obs::names::MEMO_HIT
+                    || counter == tce_obs::names::MEMO_MISS
+                    || counter == tce_obs::names::BNB_SKIP
+                    || counter == tce_obs::names::BNB_BLOCK
+                {
+                    continue; // interleaving-/mode-dependent by design
+                }
+                if v != legacy.counters.get(counter) {
+                    return Err(fail(
+                        "frontier",
+                        format!(
+                            "p={procs}: counter {counter} {} vs legacy {}",
+                            v,
+                            legacy.counters.get(counter)
+                        ),
+                    ));
+                }
+            }
+        }
+
         // Oracles 3–5 on the reference plan.
         validate_plan_deeply(
             tree,

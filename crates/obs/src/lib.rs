@@ -69,6 +69,19 @@ pub mod names {
     pub const MEMO_HIT: &str = "dp.memo_hit";
     /// Cost-kernel evaluations computed and stored in the memo table.
     pub const MEMO_MISS: &str = "dp.memo_miss";
+    /// Candidates skipped by an admissible lower-bound (branch-and-bound)
+    /// corner query instead of being individually costed.
+    ///
+    /// Like the memo counters, the bnb numbers depend on worker-thread
+    /// interleaving (each worker prunes against its own partial frontier,
+    /// so smaller chunks skip less), so they are excluded from
+    /// serial-vs-parallel equivalence checks. Every *pre-existing* `dp.*`
+    /// counter is unchanged by the skips: skipped candidates are still
+    /// classified and counted exactly as `insert` would have.
+    pub const BNB_SKIP: &str = "dp.bnb_skip";
+    /// Lower-bound corner queries that pruned a block (a row or tail of a
+    /// combine loop). `bnb_skip / bnb_block` is the mean block size.
+    pub const BNB_BLOCK: &str = "dp.bnb_block";
 }
 
 struct Global {

@@ -70,12 +70,21 @@ struct Args {
     replay: Option<String>,
     /// fuzz: directory for minimized reproducers (`none` disables).
     corpus: String,
+    /// bench: run only the CI smoke subset.
+    bench_smoke: bool,
+    /// bench: write the JSON report here (`-` = stdout only).
+    bench_out: String,
+    /// bench: compare against this committed report, exit 1 on regression.
+    bench_baseline: Option<String>,
+    /// bench: wall-clock repeats per cell (0 = default best-of).
+    bench_repeats: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tce <command> <file.tce> [options]
        tce fuzz [--seeds N] [--start S] [--replay file.tce] [--corpus DIR]
+       tce bench [--smoke] [--out FILE] [--baseline FILE] [--repeats N]
 
 commands:
   optimize   run the memory-constrained communication optimization and
@@ -92,6 +101,9 @@ commands:
   fuzz       differential fuzzing: random trees through optimizer,
              checker, simulator, and exhaustive search; failures are
              minimized and pinned as reproducers (no file argument)
+  bench      run the tracked search-benchmark grid (standard workloads,
+             enlarged space, --no-pruning, at 1/2/4 threads) from the repo
+             root and write a schema-stable BENCH_5.json (no file argument)
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -123,7 +135,15 @@ options:
   --replay file.tce      fuzz: run one workload (e.g. a pinned reproducer)
                          through the full differential loop
   --corpus DIR           fuzz: where minimized reproducers are pinned
-                         [golden/fuzz_corpus]; `none` disables"
+                         [golden/fuzz_corpus]; `none` disables
+  --smoke                bench: run only the CI smoke subset
+  --out FILE             bench: where to write the JSON report
+                         [BENCH_5.json]; `-` prints to stdout only
+  --baseline FILE        bench: compare wall-clock against this committed
+                         report; exit 1 if a guarded (enlarged-space)
+                         scenario regressed by more than 25%
+  --repeats N            bench: wall-clock repeats per cell, best-of
+                         [3, or 2 with --smoke]"
     );
     ExitCode::from(2)
 }
@@ -137,8 +157,13 @@ fn bad_value(flag: &str, value: &str) -> ExitCode {
 fn parse_args() -> Result<Args, ExitCode> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or_else(usage)?;
-    // `fuzz` generates its own workloads and takes no file positional.
-    let file = if command == "fuzz" { String::new() } else { argv.next().ok_or_else(usage)? };
+    // `fuzz` and `bench` generate/know their own workloads and take no
+    // file positional.
+    let file = if command == "fuzz" || command == "bench" {
+        String::new()
+    } else {
+        argv.next().ok_or_else(usage)?
+    };
     let mut args = Args {
         command,
         file,
@@ -162,6 +187,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         fuzz_start: 0,
         replay: None,
         corpus: "golden/fuzz_corpus".into(),
+        bench_smoke: false,
+        bench_out: "BENCH_5.json".into(),
+        bench_baseline: None,
+        bench_repeats: 0,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -206,6 +235,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--start" => args.fuzz_start = parsed!("--start"),
             "--replay" => args.replay = Some(value("--replay")?),
             "--corpus" => args.corpus = value("--corpus")?,
+            "--smoke" => args.bench_smoke = true,
+            "--out" => args.bench_out = value("--out")?,
+            "--baseline" => args.bench_baseline = Some(value("--baseline")?),
+            "--repeats" => args.bench_repeats = parsed!("--repeats"),
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -337,6 +370,7 @@ fn main() -> ExitCode {
         "frontier" => cmd_frontier(&args),
         "check" => cmd_check(&args),
         "fuzz" => cmd_fuzz(&args),
+        "bench" => cmd_bench(&args),
         _ => return usage(),
     };
     match result {
@@ -591,6 +625,38 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    if !std::path::Path::new("workloads").is_dir() {
+        return Err("bench resolves workloads/*.tce relative to the current \
+                    directory — run it from the repo root"
+            .into());
+    }
+    let opts = tensor_contraction_opt::bench::suite::SuiteOptions {
+        smoke: args.bench_smoke,
+        repeats: args.bench_repeats,
+    };
+    let report =
+        tensor_contraction_opt::bench::suite::run_suite(&opts, |line| eprintln!("  … {line}"))?;
+    let pretty = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if args.bench_out == "-" {
+        println!("{pretty}");
+    } else {
+        std::fs::write(&args.bench_out, pretty + "\n")
+            .map_err(|e| format!("writing {}: {e}", args.bench_out))?;
+        println!("wrote {}", args.bench_out);
+    }
+    if let Some(path) = &args.bench_baseline {
+        let base: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        )
+        .map_err(|e| format!("parsing {path}: {e}"))?;
+        let table =
+            tensor_contraction_opt::bench::suite::compare_to_baseline(&report, &base, 0.25)?;
+        print!("{table}");
+    }
+    Ok(())
+}
+
 fn cmd_frontier(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
@@ -661,6 +727,10 @@ mod tests {
             fuzz_start: 0,
             replay: None,
             corpus: "golden/fuzz_corpus".into(),
+            bench_smoke: false,
+            bench_out: "BENCH_5.json".into(),
+            bench_baseline: None,
+            bench_repeats: 0,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);

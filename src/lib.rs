@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the whole workspace.
+pub use tce_bench as bench;
 pub use tce_check as check;
 pub use tce_core as core;
 pub use tce_cost as cost;

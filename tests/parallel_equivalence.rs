@@ -59,6 +59,8 @@ fn assert_identical(name: &str, tree: &ExprTree, serial: &Optimized, parallel: &
     for (counter, v) in serial.counters.iter() {
         if counter == tensor_contraction_opt::obs::names::MEMO_HIT
             || counter == tensor_contraction_opt::obs::names::MEMO_MISS
+            || counter == tensor_contraction_opt::obs::names::BNB_SKIP
+            || counter == tensor_contraction_opt::obs::names::BNB_BLOCK
         {
             continue; // interleaving-dependent by design
         }
