@@ -161,6 +161,11 @@ pub struct NodeStats {
     /// Largest per-key live frontier (staircase occupancy). `live / keys`
     /// average and this maximum bound the per-candidate dominance work.
     pub widest_front: usize,
+    /// Run-wide solution-arena high-water (bytes) at the moment this node
+    /// finished: every already-compacted frontier plus this node's
+    /// pre-compaction working set. A deterministic function of arena
+    /// contents, so equivalence checks compare it like any other field.
+    pub arena_hw_bytes: u64,
 }
 
 /// The optimization outcome: the per-node solution sets plus the winning
@@ -183,6 +188,10 @@ pub struct Optimized {
     pub output_redist_cost: f64,
     /// Search statistics, postorder.
     pub stats: Vec<NodeStats>,
+    /// Solution-arena high-water over the whole run (bytes): the peak of
+    /// committed frontiers plus the enumerating node's pre-compaction
+    /// working set. Also exported as the `dp.arena_hw_bytes` gauge.
+    pub arena_hw_bytes: u64,
     /// Aggregate search counters for this run (see [`tce_obs::names`]);
     /// `stats` is the per-node breakdown of the same numbers.
     pub counters: tce_obs::Counters,
@@ -246,6 +255,49 @@ fn select_root_index(
     )
 }
 
+/// Emit one `node` record plus a (rate-limited) `heartbeat` to the
+/// installed progress stream. Runs on the coordinator thread only, after a
+/// node's frontier is sealed: pure output, so it cannot perturb the search.
+fn emit_progress(
+    node_name: &str,
+    counters: &tce_obs::Counters,
+    nodes_done: usize,
+    nodes_total: usize,
+    run_start: std::time::Instant,
+    arena_hw: u64,
+) {
+    use tce_obs::stream::{emit, ProgressRecord};
+    let candidates = counters.get(tce_obs::names::CANDIDATES);
+    let frontier = counters.get(tce_obs::names::FRONTIER);
+    let elapsed = run_start.elapsed().as_secs_f64();
+    let cps = if elapsed > 0.0 { candidates as f64 / elapsed } else { 0.0 };
+    let bnb_skip = counters.get(tce_obs::names::BNB_SKIP);
+    let bnb_rate = if candidates > 0 { bnb_skip as f64 / candidates as f64 } else { 0.0 };
+    let hits = counters.get(tce_obs::names::MEMO_HIT);
+    let misses = counters.get(tce_obs::names::MEMO_MISS);
+    let memo_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    emit(&ProgressRecord {
+        event: "node",
+        node: Some(node_name),
+        fields: &[("done", (nodes_done as u64).into()), ("total", (nodes_total as u64).into())],
+    });
+    emit(&ProgressRecord {
+        event: "heartbeat",
+        node: None,
+        fields: &[
+            ("done", (nodes_done as u64).into()),
+            ("total", (nodes_total as u64).into()),
+            ("candidates", candidates.into()),
+            ("candidates_per_sec", cps.into()),
+            ("frontier", frontier.into()),
+            ("bnb_skip_rate", bnb_rate.into()),
+            ("memo_hit_rate", memo_rate.into()),
+            ("arena_hw_bytes", arena_hw.into()),
+            ("t_ms", ((elapsed * 1e3) as u64).into()),
+        ],
+    });
+}
+
 /// Run the §3.3 dynamic programming.
 pub fn optimize(
     tree: &ExprTree,
@@ -269,6 +321,29 @@ pub fn optimize(
     let mut counters = tce_obs::Counters::new();
     let mut run_span = tce_obs::span("dp", "optimize");
     run_span.arg("threads", threads);
+
+    // Progress stream bookkeeping, all coordinator-side: emission happens
+    // only between nodes on this thread and nothing in the search reads
+    // the stream, so enabling it cannot perturb results (DESIGN.md §10).
+    let nodes_total = tree.postorder().iter().filter(|&&id| !tree.node(id).is_leaf()).count();
+    let run_start = std::time::Instant::now();
+    let mut nodes_done = 0usize;
+    if tce_obs::stream::enabled() {
+        tce_obs::stream::emit(&tce_obs::stream::ProgressRecord {
+            event: "start",
+            node: None,
+            fields: &[
+                ("nodes_total", (nodes_total as u64).into()),
+                ("threads", (threads as u64).into()),
+            ],
+        });
+    }
+    // Arena accounting: bytes already committed by compacted frontiers,
+    // and the run-wide high-water (committed + the enumerating node's
+    // pre-compaction working set). Both are deterministic functions of
+    // arena contents, hence thread-count-invariant.
+    let mut committed_bytes = 0u64;
+    let mut arena_hw = 0u64;
 
     for node in tree.postorder() {
         let n = tree.node(node);
@@ -359,6 +434,10 @@ pub fn optimize(
         // threads interleave, so equivalence checks must skip them.
         counters.set(tce_obs::names::MEMO_HIT, memo.hits());
         counters.set(tce_obs::names::MEMO_MISS, memo.misses());
+        // Arena high-water: this node's full (pre-compaction) arena on top
+        // of everything already committed.
+        arena_hw = arena_hw.max(committed_bytes + set.arena_bytes());
+        counters.set(tce_obs::names::ARENA_HW_BYTES, arena_hw);
         node_span.arg("candidates", set.candidates_seen);
         node_span.arg("pruned_inferior", set.pruned_inferior);
         node_span.arg("pruned_memory", set.pruned_memory);
@@ -369,6 +448,13 @@ pub fn optimize(
         // Sample the cumulative counters so the trace shows them growing
         // node by node.
         counters.sample_all();
+        if tce_obs::metrics::enabled() {
+            tce_obs::metrics::counter_add(tce_obs::names::CANDIDATES, set.candidates_seen);
+            tce_obs::metrics::counter_add(tce_obs::names::NODES, 1);
+            tce_obs::metrics::gauge_max(tce_obs::names::ARENA_HW_BYTES, arena_hw);
+            tce_obs::metrics::observe(tce_obs::names::NODE_CANDIDATES, set.candidates_seen);
+            tce_obs::metrics::observe(tce_obs::names::NODE_LIVE, set.total_live());
+        }
         stats.push(NodeStats {
             name: n.tensor.name.clone(),
             candidates: set.candidates_seen,
@@ -378,11 +464,17 @@ pub fn optimize(
             live: set.live_len(),
             keys: set.key_count(),
             widest_front: set.max_key_live(),
+            arena_hw_bytes: arena_hw,
         });
+        nodes_done += 1;
+        if tce_obs::stream::enabled() {
+            emit_progress(&n.tensor.name, &counters, nodes_done, nodes_total, run_start, arena_hw);
+        }
         // The node is finished: nothing can reference its dead (evicted)
         // entries anymore — parents bind only live indices and run strictly
         // later — so drop them and free their decision records.
         set.compact();
+        committed_bytes += set.arena_bytes();
         sets.insert(node, set);
     }
 
@@ -414,6 +506,19 @@ pub fn optimize(
     run_span.arg("candidates", counters.get(tce_obs::names::CANDIDATES));
     run_span.arg("comm_cost", best_cost + output_redist_cost);
     drop(run_span);
+    if tce_obs::stream::enabled() {
+        tce_obs::stream::emit(&tce_obs::stream::ProgressRecord {
+            event: "done",
+            node: None,
+            fields: &[
+                ("nodes_total", (nodes_total as u64).into()),
+                ("candidates", counters.get(tce_obs::names::CANDIDATES).into()),
+                ("comm_cost", (best_cost + output_redist_cost).into()),
+                ("arena_hw_bytes", arena_hw.into()),
+                ("t_ms", (run_start.elapsed().as_millis() as u64).into()),
+            ],
+        });
+    }
     let result = Optimized {
         comm_cost: best_cost + output_redist_cost,
         mem_words: root_set.mem(best_index),
@@ -421,6 +526,7 @@ pub fn optimize(
         best_index,
         output_redist_cost,
         stats,
+        arena_hw_bytes: arena_hw,
         counters,
         sets,
     };

@@ -38,6 +38,7 @@ mod explain;
 mod frontier;
 mod hook;
 mod plan;
+mod provenance;
 mod report;
 mod solution;
 mod stats;
@@ -51,6 +52,10 @@ pub use plan::{
     extract_plan, extract_plan_for, validate_plan, validate_plan_basic, ExecutionPlan, PlanOperand,
     PlanStep,
 };
+pub use provenance::{
+    build_provenance, render_provenance, report_json, KindProfile, NodeProvenance, Provenance,
+    RunnerUp, KIND_NAMES,
+};
 pub use report::{build_report, render_plan_dot, render_report, ArrayRow, Report};
-pub use solution::{ChildBinding, Choice, Solution, SolutionSet};
+pub use solution::{ChildBinding, Choice, KeySummary, Solution, SolutionSet};
 pub use stats::render_search_stats;

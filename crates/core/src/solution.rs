@@ -837,6 +837,58 @@ impl SolutionSet {
                 .then(self.arena.mems[a].cmp(&self.arena.mems[b]))
         })
     }
+
+    /// Estimated heap bytes held by this set's arena (live + dead entries):
+    /// the struct-of-arrays columns plus the boxed decision records and
+    /// their owned vectors. A deterministic function of arena *contents* —
+    /// identical at any thread count, since absorb replays worker arenas
+    /// into the same final storage — so it is safe to report in
+    /// equivalence-checked statistics.
+    pub fn arena_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let n = self.arena.len() as u64;
+        let per_entry = size_of::<f64>()
+            + 2 * size_of::<u128>()
+            + size_of::<Distribution>()
+            + size_of::<FusionPrefix>()
+            + size_of::<Option<Box<Choice>>>();
+        let mut bytes = n * per_entry as u64;
+        for choice in self.arena.choices.iter().flatten() {
+            bytes += size_of::<Choice>() as u64;
+            bytes += (choice.children.len() * size_of::<ChildBinding>()) as u64;
+        }
+        bytes
+    }
+
+    /// Per-key frontier occupancy: every `(dist, fusion)` key with at
+    /// least one live solution, sorted by `(fusion, dist)` so the listing
+    /// is deterministic (hash-map iteration order must not leak out).
+    pub fn key_summaries(&self) -> Vec<KeySummary> {
+        let mut out: Vec<KeySummary> = self
+            .keys
+            .iter()
+            .flat_map(|(fusion, dists)| {
+                dists.iter().filter_map(move |(&dist, &slot)| {
+                    let live = self.fronts[slot as usize].live.len();
+                    (live > 0).then(|| KeySummary { dist, fusion: fusion.clone(), live })
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.fusion.cmp(&b.fusion).then(a.dist.cmp(&b.dist)));
+        out
+    }
+}
+
+/// One `(dist, fusion)` key of a solution set with its live-frontier size
+/// (see [`SolutionSet::key_summaries`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeySummary {
+    /// The distribution component of the key.
+    pub dist: Distribution,
+    /// The fusion-prefix component of the key.
+    pub fusion: FusionPrefix,
+    /// Live (non-dominated) solutions under this key.
+    pub live: usize,
 }
 
 /// `HashMap::entry` without cloning the key when it is already present.

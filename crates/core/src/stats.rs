@@ -14,13 +14,21 @@ pub fn render_search_stats(opt: &Optimized) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7}",
-        "node", "candidates", "kept", "pruned-dom", "pruned-mem", "redist-fb", "keys", "widest"
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7} {:>10}",
+        "node",
+        "candidates",
+        "kept",
+        "pruned-dom",
+        "pruned-mem",
+        "redist-fb",
+        "keys",
+        "widest",
+        "mem hw"
     );
     for s in &opt.stats {
         let _ = writeln!(
             out,
-            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7}",
+            "{:<10} {:>12} {:>10} {:>12} {:>12} {:>10} {:>6} {:>7} {:>10}",
             s.name,
             s.candidates,
             s.live,
@@ -28,7 +36,8 @@ pub fn render_search_stats(opt: &Optimized) -> String {
             s.pruned_memory,
             s.redist_fallbacks,
             s.keys,
-            s.widest_front
+            s.widest_front,
+            s.arena_hw_bytes
         );
     }
     let c = &opt.counters;
@@ -79,6 +88,7 @@ mod tests {
         assert!(text.contains('C'), "{text}");
         assert!(text.contains("cost memo:"), "{text}");
         assert!(text.contains("keys"), "{text}");
+        assert!(text.contains("mem hw"), "{text}");
         // The per-key occupancy columns agree with the set accessors.
         for s in &opt.stats {
             let set = opt.sets.values().find(|v| v.total_candidates() == s.candidates);
@@ -89,6 +99,13 @@ mod tests {
                 assert_eq!(s.widest_front, set.max_key_live());
             }
         }
+        // The high-water column is monotone in postorder and the run-wide
+        // peak matches the final node's value.
+        for pair in opt.stats.windows(2) {
+            assert!(pair[1].arena_hw_bytes >= pair[0].arena_hw_bytes);
+        }
+        assert_eq!(opt.stats.last().unwrap().arena_hw_bytes, opt.arena_hw_bytes);
+        assert!(opt.arena_hw_bytes > 0);
 
         // The totals line agrees with both the counters bag and the
         // per-set accessors.

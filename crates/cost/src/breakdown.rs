@@ -1,0 +1,118 @@
+//! Per-communication-kind cost attribution.
+//!
+//! The 7-term kernels of §4 price whole logical moves — "rotate this
+//! operand through q grid positions", "redistribute that intermediate" —
+//! but the machine executes them as sequences of the simulator's five
+//! event kinds (Align, Shift, Home, Redistribute, Reduce). A
+//! [`CommBreakdown`] splits one kernel total across those kinds using the
+//! same uniform-round decomposition the simulator charges, so `tce
+//! explain`/`tce report` can attribute every predicted second to a kind
+//! and the per-kind columns sum *exactly* to the kernel totals (each
+//! split computes one part as a quotient and the rest by subtraction).
+
+/// A communication cost split by event kind, in model seconds. Fields
+/// mirror the simulator's `CommKind` order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommBreakdown {
+    /// Initial skew placing rotating operands (Cannon-style setup).
+    pub align: f64,
+    /// Steady-state nearest-neighbour rotation steps.
+    pub shift: f64,
+    /// Final step returning a rotating result to its home placement.
+    pub home: f64,
+    /// Layout changes between a produced and a required distribution.
+    pub redistribute: f64,
+    /// Combining partial results over a summed-away grid dimension.
+    pub reduce: f64,
+}
+
+impl CommBreakdown {
+    /// The sum over all kinds. Exact for breakdowns built by the
+    /// constructors below: each splits a total into `total/q` and
+    /// `total − total/q`.
+    pub fn total(&self) -> f64 {
+        self.align + self.shift + self.home + self.redistribute + self.reduce
+    }
+
+    /// Accumulate `other` into `self`, kind by kind.
+    pub fn add(&mut self, other: &CommBreakdown) {
+        self.align += other.align;
+        self.shift += other.shift;
+        self.home += other.home;
+        self.redistribute += other.redistribute;
+        self.reduce += other.reduce;
+    }
+
+    /// The cost of rotating an *input* operand through `rounds` lockstep
+    /// rounds: one Align to skew it into place, then `rounds − 1` Shifts.
+    /// Rounds are uniform, so Align gets `cost/rounds` and Shift the exact
+    /// remainder. With `rounds ≤ 1` there is nothing to shift — the whole
+    /// cost is the alignment.
+    pub fn rotating_input(cost: f64, rounds: u64) -> CommBreakdown {
+        if rounds <= 1 {
+            return CommBreakdown { align: cost, ..CommBreakdown::default() };
+        }
+        let align = cost / rounds as f64;
+        CommBreakdown { align, shift: cost - align, ..CommBreakdown::default() }
+    }
+
+    /// The cost of rotating the *result* through `rounds` rounds:
+    /// `rounds − 1` Shifts, then one Home step returning it to its final
+    /// placement (`cost/rounds`, remainder to Shift).
+    pub fn rotating_result(cost: f64, rounds: u64) -> CommBreakdown {
+        if rounds <= 1 {
+            return CommBreakdown { home: cost, ..CommBreakdown::default() };
+        }
+        let home = cost / rounds as f64;
+        CommBreakdown { home, shift: cost - home, ..CommBreakdown::default() }
+    }
+
+    /// A pure reduction cost (patternless distributed sum).
+    pub fn reduction(cost: f64) -> CommBreakdown {
+        CommBreakdown { reduce: cost, ..CommBreakdown::default() }
+    }
+
+    /// A pure redistribution cost.
+    pub fn redistribution(cost: f64) -> CommBreakdown {
+        CommBreakdown { redistribute: cost, ..CommBreakdown::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_sum_exactly_to_their_totals() {
+        for cost in [0.0, 1.0, 0.3, 1e9 + 0.7, 5.5e-7] {
+            for rounds in [1u64, 2, 3, 4, 7, 16] {
+                let a = CommBreakdown::rotating_input(cost, rounds);
+                assert_eq!(a.total(), cost, "input split {cost} @{rounds} rounds");
+                let b = CommBreakdown::rotating_result(cost, rounds);
+                assert_eq!(b.total(), cost, "result split {cost} @{rounds} rounds");
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_degenerates_to_align_or_home() {
+        let a = CommBreakdown::rotating_input(3.5, 1);
+        assert_eq!((a.align, a.shift), (3.5, 0.0));
+        let b = CommBreakdown::rotating_result(3.5, 1);
+        assert_eq!((b.home, b.shift), (3.5, 0.0));
+    }
+
+    #[test]
+    fn accumulation_is_per_kind() {
+        let mut acc = CommBreakdown::rotating_input(4.0, 4);
+        acc.add(&CommBreakdown::rotating_result(2.0, 2));
+        acc.add(&CommBreakdown::reduction(0.5));
+        acc.add(&CommBreakdown::redistribution(0.25));
+        assert_eq!(acc.align, 1.0);
+        assert_eq!(acc.shift, 3.0 + 1.0);
+        assert_eq!(acc.home, 1.0);
+        assert_eq!(acc.reduce, 0.5);
+        assert_eq!(acc.redistribute, 0.25);
+        assert_eq!(acc.total(), 4.0 + 2.0 + 0.5 + 0.25);
+    }
+}

@@ -22,6 +22,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bound;
+mod breakdown;
 pub mod compute;
 mod machine;
 mod memo;
@@ -31,6 +32,7 @@ pub mod redist;
 pub mod rotate;
 pub mod units;
 
+pub use breakdown::CommBreakdown;
 pub use machine::MachineModel;
 pub use memo::CostMemo;
 pub use model::CostModel;

@@ -328,11 +328,7 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
                 }
             }
             for (counter, v) in base.counters.iter() {
-                if counter == tce_obs::names::MEMO_HIT
-                    || counter == tce_obs::names::MEMO_MISS
-                    || counter == tce_obs::names::BNB_SKIP
-                    || counter == tce_obs::names::BNB_BLOCK
-                {
+                if tce_obs::NONDETERMINISTIC_COUNTERS.contains(&counter) {
                     continue; // interleaving-/mode-dependent by design
                 }
                 if v != legacy.counters.get(counter) {

@@ -3,9 +3,16 @@
 //! Produces the [Trace Event Format] ("JSON array format") understood by
 //! `chrome://tracing`, Perfetto's legacy importer, and `speedscope`:
 //! slices become `ph:"X"` complete events, counter samples become `ph:"C"`
-//! events, and each lane is registered as a named thread via `ph:"M"`
+//! events, the single process is registered via `ph:"M"` `process_name`
+//! metadata, and each lane is registered as a named thread via `ph:"M"`
 //! `thread_name` metadata so the viewer shows lane names instead of bare
 //! thread ids. JSON is written by hand — this crate carries no dependencies.
+//!
+//! [`TraceFlushGuard`] makes the writer robust to aborted runs: it carries
+//! the sink plus a destination path and writes on [`Drop`], so a panic
+//! unwinding past the guard still leaves a loadable trace of everything
+//! collected up to that point (truncated but valid — `to_json()` always
+//! renders a complete array).
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
@@ -21,12 +28,17 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
+use crate::jsonfmt::{json_number, json_string, sep};
 use crate::sink::{Sink, TraceEvent};
 
 /// The process id stamped on every event (the trace has one process).
 const PID: u32 = 1;
+
+/// The `process_name` shown by trace viewers for [`PID`].
+const PROCESS_NAME: &str = "tce";
 
 /// Collects events and renders them as Chrome trace JSON.
 #[derive(Default)]
@@ -60,7 +72,7 @@ impl ChromeTraceSink {
         Self::default()
     }
 
-    /// Number of events collected (excluding lane metadata).
+    /// Number of events collected (excluding process/lane metadata).
     pub fn len(&self) -> usize {
         self.state.lock().expect("chrome sink lock poisoned").events.len()
     }
@@ -75,7 +87,14 @@ impl ChromeTraceSink {
         let state = self.state.lock().expect("chrome sink lock poisoned");
         let mut out = String::from("[\n");
         let mut first = true;
-        // Thread-name metadata first so viewers label lanes immediately.
+        // Metadata first so viewers label the process and lanes immediately.
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(PROCESS_NAME)
+        );
         for lane in &state.lane_order {
             let tid = state.lanes[lane];
             sep(&mut out, &mut first);
@@ -138,43 +157,44 @@ impl Sink for ChromeTraceSink {
     }
 }
 
-fn sep(out: &mut String, first: &mut bool) {
-    if *first {
-        *first = false;
-    } else {
-        out.push_str(",\n");
-    }
+/// Writes a [`ChromeTraceSink`] to a file on drop, so the trace survives
+/// panics and early returns.
+///
+/// The happy path calls [`finish`](TraceFlushGuard::finish) to write once
+/// and surface any I/O error; if the guard instead drops during unwinding,
+/// it writes best-effort (errors swallowed — there is no one to report
+/// them to mid-panic) and the file holds a valid truncated trace.
+pub struct TraceFlushGuard {
+    sink: Arc<ChromeTraceSink>,
+    path: Option<PathBuf>,
 }
 
-/// A finite JSON number; trace timestamps are µs, rendered with enough
-/// precision to keep sub-microsecond ordering.
-fn json_number(x: f64) -> String {
-    if !x.is_finite() {
-        return "0".to_string();
+impl TraceFlushGuard {
+    /// Guard writing `sink` to `path` on drop or [`finish`](Self::finish).
+    pub fn new(sink: Arc<ChromeTraceSink>, path: impl Into<PathBuf>) -> Self {
+        Self { sink, path: Some(path.into()) }
     }
-    // `{:?}` prints the shortest representation that round-trips.
-    format!("{x:?}")
-}
 
-/// `s` as a JSON string literal (quoted, escaped).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    /// The guarded sink.
+    pub fn sink(&self) -> &Arc<ChromeTraceSink> {
+        &self.sink
+    }
+
+    /// Write the trace now and disarm the guard, reporting I/O errors.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        match self.path.take() {
+            Some(path) => self.sink.write_to(&path),
+            None => Ok(()),
         }
     }
-    out.push('"');
-    out
+}
+
+impl Drop for TraceFlushGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = self.sink.write_to(&path);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +213,8 @@ mod tests {
         });
         sink.event(TraceEvent::Counter { name: "dp.candidates".into(), ts_us: 12.5, value: 7 });
         let json = sink.to_json();
-        assert!(json.contains("\"ph\":\"M\""), "missing lane metadata: {json}");
+        assert!(json.contains("\"process_name\""), "missing process metadata: {json}");
+        assert!(json.contains("\"thread_name\""), "missing lane metadata: {json}");
         assert!(json.contains("\"ph\":\"X\""), "missing slice: {json}");
         assert!(json.contains("\"ph\":\"C\""), "missing counter: {json}");
         assert!(json.contains("\\\"T1\\\""), "name not escaped: {json}");
@@ -210,5 +231,42 @@ mod tests {
         assert_eq!(json_number(12.5), "12.5");
         assert_eq!(json_number(f64::NAN), "0");
         assert_eq!(json_number(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn flush_guard_writes_on_panic() {
+        let dir = std::env::temp_dir().join(format!("tce-obs-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("panic.trace.json");
+        let _ = std::fs::remove_file(&path);
+        let sink = Arc::new(ChromeTraceSink::new());
+        sink.event(TraceEvent::Counter { name: "c".into(), ts_us: 0.0, value: 1 });
+        let result = std::panic::catch_unwind({
+            let sink = sink.clone();
+            let path = path.clone();
+            move || {
+                let _guard = TraceFlushGuard::new(sink, path);
+                panic!("aborted run");
+            }
+        });
+        assert!(result.is_err());
+        let written = std::fs::read_to_string(&path).expect("guard wrote the trace");
+        assert!(written.trim_start().starts_with('['), "not a JSON array: {written}");
+        assert!(written.trim_end().ends_with(']'), "unterminated array: {written}");
+        assert!(written.contains("process_name"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_guard_finish_disarms_drop() {
+        let dir = std::env::temp_dir().join(format!("tce-obs-guard2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("finish.trace.json");
+        let sink = Arc::new(ChromeTraceSink::new());
+        let guard = TraceFlushGuard::new(sink, path.clone());
+        guard.finish().unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("process_name"));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,49 @@
+//! Hand-written JSON fragments shared by the exporters.
+//!
+//! This crate carries no dependencies, so the Chrome trace sink, the
+//! metrics exporters, and the progress stream all render JSON by hand;
+//! the escaping and number-formatting rules live here so the three stay
+//! byte-for-byte consistent.
+
+use std::fmt::Write as _;
+
+/// Emit a separator between array/object elements (nothing before the
+/// first element, `",\n"` after).
+pub(crate) fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// A finite JSON number; non-finite values degrade to `0` (trace
+/// timestamps and metric values are never meaningfully infinite).
+pub(crate) fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".to_string();
+    }
+    // `{:?}` prints the shortest representation that round-trips.
+    format!("{x:?}")
+}
+
+/// `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

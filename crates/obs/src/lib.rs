@@ -35,10 +35,13 @@
 mod atomic;
 mod chrome;
 mod counters;
+mod jsonfmt;
+pub mod metrics;
 mod sink;
+pub mod stream;
 
 pub use atomic::AtomicCounters;
-pub use chrome::ChromeTraceSink;
+pub use chrome::{ChromeTraceSink, TraceFlushGuard};
 pub use counters::Counters;
 pub use sink::{RecordingSink, Sink, TraceEvent};
 
@@ -82,7 +85,26 @@ pub mod names {
     /// Lower-bound corner queries that pruned a block (a row or tail of a
     /// combine loop). `bnb_skip / bnb_block` is the mean block size.
     pub const BNB_BLOCK: &str = "dp.bnb_block";
+    /// High-water mark of solution-arena bytes held live during the search
+    /// (committed frontiers plus the largest pre-compaction working set).
+    pub const ARENA_HW_BYTES: &str = "dp.arena_hw_bytes";
+    /// Histogram of candidates generated per node (metrics registry).
+    pub const NODE_CANDIDATES: &str = "dp.node_candidates";
+    /// Histogram of live frontier size per node (metrics registry).
+    pub const NODE_LIVE: &str = "dp.node_live";
 }
+
+/// The counters whose totals depend on worker-thread interleaving and are
+/// therefore excluded from serial-vs-parallel equivalence checks (the
+/// *values the search returns* never depend on them): the memo pair (two
+/// workers racing on one memo key both count a miss) and the
+/// branch-and-bound pair (each worker prunes against its own partial
+/// frontier, so smaller chunks skip less).
+///
+/// `tests/parallel_equivalence.rs` and the fuzz `threads` oracle both
+/// consume this list instead of hardcoding their own copies.
+pub const NONDETERMINISTIC_COUNTERS: [&str; 4] =
+    [names::MEMO_HIT, names::MEMO_MISS, names::BNB_SKIP, names::BNB_BLOCK];
 
 struct Global {
     enabled: AtomicBool,
@@ -228,7 +250,7 @@ mod tests {
 
     // The global sink is process-wide; run the install/uninstall tests under
     // one lock so parallel test threads don't race on it.
-    fn serial() -> std::sync::MutexGuard<'static, ()> {
+    pub(crate) fn serial() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap_or_else(|e| e.into_inner())
     }

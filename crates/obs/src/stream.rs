@@ -1,0 +1,241 @@
+//! Streaming progress: a JSONL event sink fed by the DP loop.
+//!
+//! Long searches (enlarged spaces, big grids) look hung from the outside;
+//! this module gives them a pulse. The optimizer's *coordinator* thread —
+//! never the workers — emits one JSON object per line to an installed
+//! [`ProgressSink`]: a `start` record, a `node` record as each tree node's
+//! frontier is sealed, rate-limited `heartbeat` records in between, and a
+//! final `done` record. Because emission happens only between nodes on the
+//! coordinator, and the sink is pure output (nothing in the search reads
+//! it), enabling progress cannot perturb the bit-identity contract at any
+//! `--threads` count (DESIGN.md §10 makes the full argument).
+//!
+//! Install with [`install`]; the CLI does this for `--progress[=every_ms]`.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::jsonfmt::{json_number, json_string};
+
+/// A field value in a progress record.
+#[derive(Clone, Copy, Debug)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field (rendered shortest-round-trip).
+    F64(f64),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+/// One progress record: an event kind plus named numeric fields, rendered
+/// as a single JSON object per line (JSONL).
+#[derive(Debug)]
+pub struct ProgressRecord<'a> {
+    /// Event kind: `"start"`, `"node"`, `"heartbeat"`, or `"done"`.
+    pub event: &'static str,
+    /// Optional node name (for `node` events).
+    pub node: Option<&'a str>,
+    /// Named numeric fields, emitted in the given order.
+    pub fields: &'a [(&'static str, FieldValue)],
+}
+
+impl ProgressRecord<'_> {
+    fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"event\":{}", json_string(self.event));
+        if let Some(node) = self.node {
+            let _ = write!(out, ",\"node\":{}", json_string(node));
+        }
+        for (name, value) in self.fields {
+            let _ = write!(out, ",{}:", json_string(name));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => out.push_str(&json_number(*v)),
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// A JSONL progress sink: thread-safe, rate-limited for heartbeats.
+///
+/// `node`/`start`/`done` events always flush through; `heartbeat` events
+/// are dropped unless at least `every_ms` milliseconds elapsed since the
+/// last one (so a tight DP loop cannot flood a terminal or a log file).
+pub struct ProgressSink {
+    out: Mutex<SinkState>,
+    every_ms: u64,
+}
+
+struct SinkState {
+    writer: Box<dyn Write + Send>,
+    last_heartbeat: Option<Instant>,
+}
+
+impl ProgressSink {
+    /// A sink writing JSONL records to `writer`, emitting heartbeats at
+    /// most every `every_ms` milliseconds (0 = every heartbeat).
+    pub fn new(writer: Box<dyn Write + Send>, every_ms: u64) -> Self {
+        Self { out: Mutex::new(SinkState { writer, last_heartbeat: None }), every_ms }
+    }
+
+    /// The heartbeat interval in milliseconds.
+    pub fn every_ms(&self) -> u64 {
+        self.every_ms
+    }
+
+    /// Emit one record. Heartbeats are rate-limited; all other events are
+    /// written unconditionally. Each record is flushed so a crashed run
+    /// still leaves complete lines behind.
+    pub fn emit(&self, record: &ProgressRecord<'_>) {
+        let mut state = match self.out.lock() {
+            Ok(s) => s,
+            Err(_) => return, // poisoned: a prior panic mid-write; drop the record
+        };
+        if record.event == "heartbeat" {
+            let now = Instant::now();
+            if let Some(last) = state.last_heartbeat {
+                if now.duration_since(last).as_millis() < u128::from(self.every_ms) {
+                    return;
+                }
+            }
+            state.last_heartbeat = Some(now);
+        }
+        let line = record.render();
+        let _ = state.writer.write_all(line.as_bytes());
+        let _ = state.writer.flush();
+    }
+}
+
+struct GlobalProgress {
+    enabled: AtomicBool,
+    sink: Mutex<Option<Arc<ProgressSink>>>,
+}
+
+fn global_progress() -> &'static GlobalProgress {
+    static GLOBAL: OnceLock<GlobalProgress> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| GlobalProgress { enabled: AtomicBool::new(false), sink: Mutex::new(None) })
+}
+
+/// Install `sink` as the process-wide progress stream.
+pub fn install(sink: Arc<ProgressSink>) {
+    let global = global_progress();
+    *global.sink.lock().expect("progress sink lock") = Some(sink);
+    global.enabled.store(true, Ordering::Release);
+}
+
+/// Remove the installed progress sink, returning it (for final flushes).
+pub fn uninstall() -> Option<Arc<ProgressSink>> {
+    let global = global_progress();
+    global.enabled.store(false, Ordering::Release);
+    global.sink.lock().expect("progress sink lock").take()
+}
+
+/// Whether a progress sink is installed — one relaxed atomic load, cheap
+/// enough to guard every probe in the DP loop.
+#[inline]
+pub fn enabled() -> bool {
+    global_progress().enabled.load(Ordering::Relaxed)
+}
+
+/// Emit `record` to the installed sink, if any.
+pub fn emit(record: &ProgressRecord<'_>) {
+    if !enabled() {
+        return;
+    }
+    let sink = global_progress().sink.lock().expect("progress sink lock").clone();
+    if let Some(sink) = sink {
+        sink.emit(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Write that appends into a shared buffer.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn records_render_as_one_json_object_per_line() {
+        let buf = Shared::default();
+        let sink = ProgressSink::new(Box::new(buf.clone()), 0);
+        sink.emit(&ProgressRecord {
+            event: "start",
+            node: None,
+            fields: &[("nodes_total", 7u64.into()), ("threads", 4u64.into())],
+        });
+        sink.emit(&ProgressRecord {
+            event: "node",
+            node: Some("t_1"),
+            fields: &[("live", 12u64.into()), ("candidates_per_sec", 1.5f64.into())],
+        });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"event\":\"start\",\"nodes_total\":7,\"threads\":4}\n\
+             {\"event\":\"node\",\"node\":\"t_1\",\"live\":12,\"candidates_per_sec\":1.5}\n"
+        );
+    }
+
+    #[test]
+    fn heartbeats_are_rate_limited_but_nodes_are_not() {
+        let buf = Shared::default();
+        // An hour-long interval: only the first heartbeat gets through.
+        let sink = ProgressSink::new(Box::new(buf.clone()), 3_600_000);
+        for _ in 0..5 {
+            sink.emit(&ProgressRecord { event: "heartbeat", node: None, fields: &[] });
+            sink.emit(&ProgressRecord { event: "node", node: Some("n"), fields: &[] });
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let heartbeats = text.lines().filter(|l| l.contains("heartbeat")).count();
+        let nodes = text.lines().filter(|l| l.contains("\"node\"")).count();
+        assert_eq!(heartbeats, 1, "rate limiter should drop repeat heartbeats");
+        assert_eq!(nodes, 5, "node events must never be dropped");
+    }
+
+    #[test]
+    fn install_uninstall_round_trip() {
+        // Serialize against other global-stream tests via the obs-wide lock.
+        let _guard = crate::tests::serial();
+        let buf = Shared::default();
+        install(Arc::new(ProgressSink::new(Box::new(buf.clone()), 0)));
+        assert!(enabled());
+        emit(&ProgressRecord { event: "done", node: None, fields: &[] });
+        let sink = uninstall().expect("sink was installed");
+        assert!(!enabled());
+        assert_eq!(sink.every_ms(), 0);
+        emit(&ProgressRecord { event: "done", node: None, fields: &[] });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1, "emit after uninstall must be a no-op");
+    }
+}

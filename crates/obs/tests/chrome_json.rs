@@ -32,12 +32,12 @@ fn trace_round_trips_through_a_json_parser() {
         .unwrap_or_else(|e| panic!("trace is not valid JSON: {e}\n{json}"));
 
     let events = value.as_array().expect("trace must be a JSON array");
-    // 2 lane-metadata events + 3 payload events.
-    assert_eq!(events.len(), 5, "unexpected event count in {json}");
+    // 1 process-metadata + 2 lane-metadata events + 3 payload events.
+    assert_eq!(events.len(), 6, "unexpected event count in {json}");
 
     let phases: Vec<&str> =
         events.iter().map(|e| e.get("ph").and_then(|p| p.as_str()).expect("ph field")).collect();
-    assert_eq!(phases, vec!["M", "M", "X", "X", "C"]);
+    assert_eq!(phases, vec!["M", "M", "M", "X", "X", "C"]);
 
     // Every event carries pid; slices carry ts+dur+tid; counters a value.
     for ev in events {
@@ -53,24 +53,31 @@ fn trace_round_trips_through_a_json_parser() {
                 assert_eq!(args.get("value").and_then(|v| v.as_u64()), Some(7));
             }
             "M" => {
-                assert_eq!(ev.get("name").and_then(|v| v.as_str()), Some("thread_name"));
+                let name = ev.get("name").and_then(|v| v.as_str()).expect("metadata name");
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata event {name:?}"
+                );
             }
             other => panic!("unexpected phase {other}"),
         }
     }
 
     // The embedded quotes/newline in the slice name survived the round trip.
-    let name = events[2].get("name").and_then(|v| v.as_str()).unwrap();
+    let name = events[3].get("name").and_then(|v| v.as_str()).unwrap();
     assert!(name.contains("\"quoted\"") && name.contains('\n'), "escaping lost: {name:?}");
 
     // Virtual timestamps preserved exactly.
-    assert_eq!(events[3].get("ts").and_then(|v| v.as_f64()), Some(1.5e6));
-    assert_eq!(events[3].get("dur").and_then(|v| v.as_f64()), Some(0.5e6));
+    assert_eq!(events[4].get("ts").and_then(|v| v.as_f64()), Some(1.5e6));
+    assert_eq!(events[4].get("dur").and_then(|v| v.as_f64()), Some(0.5e6));
 }
 
 #[test]
-fn empty_trace_is_an_empty_json_array() {
+fn empty_trace_is_a_metadata_only_json_array() {
     let sink = ChromeTraceSink::new();
     let value: serde_json::Value = serde_json::from_str(&sink.to_json()).expect("valid JSON");
-    assert_eq!(value.as_array().map(Vec::len), Some(0));
+    // Only the process_name metadata event — no payload.
+    let events = value.as_array().expect("array");
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].get("name").and_then(|v| v.as_str()), Some("process_name"));
 }

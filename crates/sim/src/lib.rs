@@ -21,4 +21,4 @@ mod metrics;
 pub mod tensor;
 
 pub use exec::{simulate, simulate_traced, SimError, SimReport};
-pub use metrics::{CommEvent, CommKind, Metrics};
+pub use metrics::{per_kind_totals, CommEvent, CommKind, KindTotals, Metrics};

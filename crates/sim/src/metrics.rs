@@ -62,6 +62,36 @@ impl std::fmt::Display for CommKind {
     }
 }
 
+/// Per-kind aggregation of a communication trace (one slot per entry of
+/// [`CommKind::ALL`], same order).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KindTotals {
+    /// Communication rounds (events) of this kind.
+    pub rounds: u64,
+    /// Messages carried by those rounds.
+    pub messages: u64,
+    /// Bytes moved per processor.
+    pub bytes: u128,
+    /// Simulated seconds charged.
+    pub seconds: f64,
+}
+
+/// Roll a traced event stream up by kind. The result is indexed parallel
+/// to [`CommKind::ALL`]; pair them with `CommKind::ALL.iter().zip(...)`.
+pub fn per_kind_totals(events: &[CommEvent]) -> [KindTotals; 5] {
+    let mut totals = [KindTotals::default(); 5];
+    for e in events {
+        let slot =
+            CommKind::ALL.iter().position(|&k| k == e.kind).expect("CommKind::ALL is exhaustive");
+        let t = &mut totals[slot];
+        t.rounds += 1;
+        t.messages += e.messages;
+        t.bytes += e.bytes;
+        t.seconds += e.seconds;
+    }
+    totals
+}
+
 /// Running counters of a simulation.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -119,5 +149,34 @@ mod tests {
         m.observe_words(10);
         m.observe_words(5);
         assert_eq!(m.peak_words, 10);
+    }
+
+    #[test]
+    fn per_kind_totals_partition_the_trace() {
+        let ev = |kind, bytes: u128, messages, seconds| CommEvent {
+            step: "T".into(),
+            kind,
+            bytes,
+            messages,
+            seconds,
+            t_start: 0.0,
+        };
+        let events = vec![
+            ev(CommKind::Align, 10, 1, 0.1),
+            ev(CommKind::Shift, 10, 1, 0.2),
+            ev(CommKind::Shift, 10, 1, 0.2),
+            ev(CommKind::Reduce, 40, 4, 0.5),
+        ];
+        let totals = per_kind_totals(&events);
+        let shift = totals[CommKind::ALL.iter().position(|&k| k == CommKind::Shift).unwrap()];
+        assert_eq!((shift.rounds, shift.messages, shift.bytes), (2, 2, 20));
+        assert!((shift.seconds - 0.4).abs() < 1e-12);
+        assert_eq!(totals.iter().map(|t| t.rounds).sum::<u64>(), events.len() as u64);
+        assert_eq!(
+            totals.iter().map(|t| t.messages).sum::<u64>(),
+            events.iter().map(|e| e.messages).sum::<u64>()
+        );
+        let home = totals[CommKind::ALL.iter().position(|&k| k == CommKind::Home).unwrap()];
+        assert_eq!(home, KindTotals::default());
     }
 }

@@ -6,6 +6,8 @@
 //! tce simulate <file.tce> --procs 4      # execute & verify (small extents)
 //! tce frontier <file.tce> --procs 16     # memory/comm Pareto frontier
 //! tce check    <file.tce> --plan p.json  # statically verify a saved plan
+//! tce explain  <file.tce> --procs 16     # per-node decision record
+//! tce report   <file.tce> --procs 16     # machine-readable JSON roll-up
 //! ```
 //!
 //! The input format is the `tce-expr` text notation (see README):
@@ -16,7 +18,9 @@
 //! Observability: `--trace out.json` writes a Chrome trace-event file
 //! (open in `chrome://tracing` or Perfetto) of the DP search (optimize) or
 //! the simulated communication timeline (simulate); `--stats` prints the
-//! search/communication summary tables.
+//! search/communication summary tables; `--progress[=MS]` streams JSONL
+//! progress records while the search runs; `--metrics-out FILE` writes a
+//! metrics-registry snapshot (Prometheus text or JSON) after the run.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,8 +30,8 @@ use tensor_contraction_opt::obs::ChromeTraceSink;
 
 use tensor_contraction_opt::check::check_plan;
 use tensor_contraction_opt::core::{
-    build_report, extract_plan, optimize, render_plan_dot, render_report, root_frontier,
-    validate_plan, OptimizerConfig,
+    build_provenance, build_report, extract_plan, optimize, render_plan_dot, render_provenance,
+    render_report, report_json, root_frontier, validate_plan, OptimizerConfig,
 };
 use tensor_contraction_opt::cost::units::{fmt_paper_bytes, words_to_bytes};
 use tensor_contraction_opt::cost::{CostModel, MachineModel};
@@ -58,6 +62,16 @@ struct Args {
     trace: Option<String>,
     /// Print the search/communication statistics tables.
     stats: bool,
+    /// Stream JSONL progress (heartbeat interval in ms) while optimizing.
+    progress: Option<u64>,
+    /// Where the progress stream goes (default: stderr).
+    progress_out: Option<String>,
+    /// Write a metrics snapshot here after the run (`.prom` suffix =
+    /// Prometheus text format, anything else = JSON).
+    metrics_out: Option<String>,
+    /// report: also execute the plan on the virtual cluster and include
+    /// the measured per-kind roll-up.
+    report_simulate: bool,
     /// Worker threads for the search (0 = all cores).
     threads: usize,
     /// Statically verify the optimizer's plan even in release builds.
@@ -98,6 +112,13 @@ commands:
              freshly optimized one) against the workload: structure,
              shapes, distributions, Cannon patterns, fusion, memory,
              and costs, with stable TCE0xx diagnostics
+  explain    per-node decision record of the winning plan: the winning
+             (distribution, fusion) pair, top runner-ups with cost deltas,
+             frontier shape, and the per-kind communication breakdown
+  report     machine-readable JSON roll-up of the whole run (schema
+             tce-report/v1): headline costs, per-kind attribution, search
+             counters, and per-node provenance; with --simulate, also the
+             measured per-kind totals from the virtual cluster
   fuzz       differential fuzzing: random trees through optimizer,
              checker, simulator, and exhaustive search; failures are
              minimized and pinned as reproducers (no file argument)
@@ -130,6 +151,16 @@ options:
                          (simulate)
   --stats                print search statistics (optimize) and per-kind
                          communication totals (simulate)
+  --progress[=MS]        optimize/explain/report: stream JSONL progress
+                         records (start/node/heartbeat/done) while the
+                         search runs; heartbeats at most every MS ms [500]
+  --progress-out FILE    where the progress stream is written [stderr]
+  --metrics-out FILE     write a metrics-registry snapshot after the run;
+                         a `.prom` suffix selects Prometheus text format,
+                         anything else the tce-metrics/v1 JSON schema
+  --simulate             report: execute the plan on the virtual cluster
+                         and include the measured per-kind roll-up (needs
+                         simulatable extents, e.g. ccsd_tiny)
   --seeds N              fuzz: generator seeds to run [50]
   --start S              fuzz: first generator seed [0]
   --replay file.tce      fuzz: run one workload (e.g. a pinned reproducer)
@@ -181,6 +212,10 @@ fn parse_args() -> Result<Args, ExitCode> {
         seed: 42,
         trace: None,
         stats: false,
+        progress: None,
+        progress_out: None,
+        metrics_out: None,
+        report_simulate: false,
         threads: 0,
         verify: false,
         fuzz_seeds: 50,
@@ -215,6 +250,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--seed" => args.seed = parsed!("--seed"),
             "--trace" => args.trace = Some(value("--trace")?),
             "--stats" => args.stats = true,
+            "--progress" => args.progress = Some(500),
+            "--progress-out" => args.progress_out = Some(value("--progress-out")?),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--simulate" => args.report_simulate = true,
             "--verify" => args.verify = true,
             "--replication" => args.allow_replication = true,
             "--unrelated-rotation" => args.allow_unrelated_rotation = true,
@@ -239,6 +278,10 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--out" => args.bench_out = value("--out")?,
             "--baseline" => args.bench_baseline = Some(value("--baseline")?),
             "--repeats" => args.bench_repeats = parsed!("--repeats"),
+            other if other.starts_with("--progress=") => {
+                let raw = &other["--progress=".len()..];
+                args.progress = Some(raw.parse().map_err(|_| bad_value("--progress", raw))?);
+            }
             other => {
                 eprintln!("unknown flag `{other}`");
                 return Err(usage());
@@ -317,16 +360,55 @@ fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
 }
 
 /// Run `f` with a Chrome trace sink installed when `--trace` was given,
-/// writing the trace file afterwards (even when `f` fails partway — a
-/// partial timeline is exactly what debugging a failure needs).
+/// writing the trace file afterwards. A [`obs::TraceFlushGuard`] holds the
+/// output path, so the file is written even when `f` fails partway or
+/// panics — a partial timeline is exactly what debugging a failure needs.
 fn with_trace<T>(path: Option<&str>, f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
     let Some(path) = path else { return f() };
     let sink = Arc::new(ChromeTraceSink::new());
     obs::install(sink.clone());
+    let guard = obs::TraceFlushGuard::new(sink.clone(), path);
     let result = f();
     obs::uninstall();
-    sink.write_to(std::path::Path::new(path)).map_err(|e| format!("writing trace {path}: {e}"))?;
+    guard.finish().map_err(|e| format!("writing trace {path}: {e}"))?;
     eprintln!("wrote Chrome trace to {path} ({} events)", sink.len());
+    result
+}
+
+/// Run `f` with the streaming-progress sink and metrics registry switched
+/// on per `--progress` / `--metrics-out`, tearing both down afterwards and
+/// writing the metrics snapshot. With neither flag set this is a plain
+/// call — the observability hot path stays a single relaxed atomic load.
+fn with_progress_and_metrics<T>(
+    args: &Args,
+    f: impl FnOnce() -> Result<T, String>,
+) -> Result<T, String> {
+    use tensor_contraction_opt::obs::{metrics, stream};
+    if let Some(every_ms) = args.progress {
+        let writer: Box<dyn std::io::Write + Send> = match &args.progress_out {
+            Some(path) => Box::new(
+                std::fs::File::create(path)
+                    .map_err(|e| format!("creating progress stream {path}: {e}"))?,
+            ),
+            None => Box::new(std::io::stderr()),
+        };
+        stream::install(Arc::new(stream::ProgressSink::new(writer, every_ms)));
+    }
+    if args.metrics_out.is_some() {
+        metrics::global().reset();
+        metrics::enable();
+    }
+    let result = f();
+    if args.progress.is_some() {
+        let _ = stream::uninstall();
+    }
+    if let Some(path) = &args.metrics_out {
+        metrics::disable();
+        let snap = metrics::global().snapshot();
+        let text = if path.ends_with(".prom") { snap.to_prometheus() } else { snap.to_json() };
+        std::fs::write(path, text).map_err(|e| format!("writing metrics {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     result
 }
 
@@ -369,6 +451,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "frontier" => cmd_frontier(&args),
         "check" => cmd_check(&args),
+        "explain" => cmd_explain(&args),
+        "report" => cmd_report(&args),
         "fuzz" => cmd_fuzz(&args),
         "bench" => cmd_bench(&args),
         _ => return usage(),
@@ -386,8 +470,8 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
     let cfg = opt_config(args, &tree)?;
-    let opt = with_trace(args.trace.as_deref(), || {
-        optimize(&tree, &cm, &cfg).map_err(|e| e.to_string())
+    let opt = with_progress_and_metrics(args, || {
+        with_trace(args.trace.as_deref(), || optimize(&tree, &cm, &cfg).map_err(|e| e.to_string()))
     })?;
     let plan = extract_plan(&tree, &opt);
     validate_plan(&tree, &plan)?;
@@ -518,23 +602,102 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         println!("  {step}: {secs:.4} s");
     }
     if args.stats {
-        use tensor_contraction_opt::sim::CommKind;
+        use tensor_contraction_opt::sim::{per_kind_totals, CommKind};
         println!("communication by kind:");
-        println!("  {:<12} {:>8} {:>16} {:>12}", "kind", "rounds", "bytes/proc", "seconds");
-        for kind in CommKind::ALL {
-            let rounds = events.iter().filter(|e| e.kind == kind).count();
-            let bytes: u128 = events.iter().filter(|e| e.kind == kind).map(|e| e.bytes).sum();
-            let secs = events
-                .iter()
-                .filter(|e| e.kind == kind)
-                .map(|e| e.seconds)
-                .fold(0.0_f64, |a, b| a + b);
-            println!("  {:<12} {:>8} {:>16} {:>12.4}", kind.name(), rounds, bytes, secs);
+        println!(
+            "  {:<12} {:>8} {:>10} {:>16} {:>12}",
+            "kind", "rounds", "messages", "bytes/proc", "seconds"
+        );
+        for (kind, t) in CommKind::ALL.iter().zip(per_kind_totals(&events).iter()) {
+            println!(
+                "  {:<12} {:>8} {:>10} {:>16} {:>12.4}",
+                kind.name(),
+                t.rounds,
+                t.messages,
+                t.bytes,
+                t.seconds
+            );
         }
     }
     if report.max_abs_err > 1e-9 {
         return Err("verification failed".into());
     }
+    Ok(())
+}
+
+/// Shared front half of `explain` and `report`: load, optimize (with the
+/// full observability surface available), and hand back tree + model + run.
+fn optimize_for_provenance(
+    args: &Args,
+) -> Result<(ExprTree, CostModel, tensor_contraction_opt::core::Optimized), String> {
+    let tree = load_tree(&args.file)?;
+    let cm = cost_model(args)?;
+    let cfg = opt_config(args, &tree)?;
+    let opt = with_progress_and_metrics(args, || {
+        with_trace(args.trace.as_deref(), || optimize(&tree, &cm, &cfg).map_err(|e| e.to_string()))
+    })?;
+    Ok((tree, cm, opt))
+}
+
+/// How many runner-up candidates `explain`/`report` record per node.
+const PROVENANCE_TOP_K: usize = 3;
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let (tree, cm, opt) = optimize_for_provenance(args)?;
+    let prov = build_provenance(&tree, &opt, &cm, PROVENANCE_TOP_K);
+    print!("{}", render_provenance(&tree, &prov));
+    Ok(())
+}
+
+/// The `simulator` section of `tce report --simulate`: measured end-to-end
+/// metrics plus the traced per-kind roll-up.
+fn simulator_json(
+    report: &tensor_contraction_opt::sim::SimReport,
+    events: &[tensor_contraction_opt::sim::CommEvent],
+) -> serde_json::Value {
+    use serde_json::{Number, Value};
+    use tensor_contraction_opt::sim::{per_kind_totals, CommKind};
+    let fnum = |v: f64| Value::Number(Number::Float(v));
+    let unum = |v: u128| Value::Number(Number::UInt(v));
+    let by_kind = Value::Object(
+        CommKind::ALL
+            .iter()
+            .zip(per_kind_totals(events).iter())
+            .map(|(kind, t)| {
+                (
+                    kind.name().to_string(),
+                    Value::Object(vec![
+                        ("rounds".to_string(), unum(u128::from(t.rounds))),
+                        ("messages".to_string(), unum(u128::from(t.messages))),
+                        ("bytes_per_proc".to_string(), unum(t.bytes)),
+                        ("seconds".to_string(), fnum(t.seconds)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Value::Object(vec![
+        ("comm_seconds".to_string(), fnum(report.metrics.comm_seconds)),
+        ("compute_seconds".to_string(), fnum(report.metrics.compute_seconds)),
+        ("messages_per_proc".to_string(), unum(u128::from(report.metrics.messages))),
+        ("volume_bytes_per_proc".to_string(), unum(report.metrics.volume_bytes)),
+        ("peak_words_per_proc".to_string(), unum(report.metrics.peak_words)),
+        ("total_flops".to_string(), unum(report.metrics.total_flops)),
+        ("max_abs_err".to_string(), fnum(report.max_abs_err)),
+        ("by_kind".to_string(), by_kind),
+    ])
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let (tree, cm, opt) = optimize_for_provenance(args)?;
+    let mut v = report_json(&tree, &opt, &cm, PROVENANCE_TOP_K);
+    if args.report_simulate {
+        let plan = extract_plan(&tree, &opt);
+        let (report, events) =
+            simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(render_sim_error)?;
+        v.insert("simulator", simulator_json(&report, &events));
+    }
+    println!("{}", serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?);
     Ok(())
 }
 
@@ -721,6 +884,10 @@ mod tests {
             seed: 1,
             trace: None,
             stats: false,
+            progress: None,
+            progress_out: None,
+            metrics_out: None,
+            report_simulate: false,
             threads: 3,
             verify: false,
             fuzz_seeds: 50,

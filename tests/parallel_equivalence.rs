@@ -57,11 +57,7 @@ fn assert_identical(name: &str, tree: &ExprTree, serial: &Optimized, parallel: &
     );
     assert_eq!(serial.stats, parallel.stats, "{name}: per-node statistics");
     for (counter, v) in serial.counters.iter() {
-        if counter == tensor_contraction_opt::obs::names::MEMO_HIT
-            || counter == tensor_contraction_opt::obs::names::MEMO_MISS
-            || counter == tensor_contraction_opt::obs::names::BNB_SKIP
-            || counter == tensor_contraction_opt::obs::names::BNB_BLOCK
-        {
+        if tensor_contraction_opt::obs::NONDETERMINISTIC_COUNTERS.contains(&counter) {
             continue; // interleaving-dependent by design
         }
         assert_eq!(v, parallel.counters.get(counter), "{name}: counter {counter}");
@@ -117,6 +113,44 @@ fn enlarged_space_identical_across_thread_counts() {
         let parallel = run(threads);
         assert_identical(&format!("{name} enlarged @{threads}"), &tree, &serial, &parallel);
     }
+}
+
+/// The bit-identity contract must survive the observability surface being
+/// switched on: a progress stream installed (heartbeats at every node) and
+/// the metrics registry recording. Both are pure outputs of the
+/// coordinator thread — nothing in the search reads them — so results at
+/// 1/2/4 threads must stay byte-for-byte what they are with sinks off.
+#[test]
+fn observability_enabled_runs_stay_identical() {
+    use tensor_contraction_opt::obs::{metrics, stream};
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    let (name, tree) = workload_trees()
+        .into_iter()
+        .find(|(n, _)| n == "ccsd_tiny.tce")
+        .expect("ccsd_tiny.tce shipped");
+    let run = |threads: usize| {
+        let cfg = OptimizerConfig { threads, ..Default::default() };
+        optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
+    };
+    // Baseline with every sink off.
+    let baseline = run(1);
+    // Same searches with progress streaming and metrics recording on.
+    stream::install(std::sync::Arc::new(stream::ProgressSink::new(Box::new(std::io::sink()), 0)));
+    metrics::enable();
+    let serial = run(1);
+    let parallels: Vec<_> = [2, 4].into_iter().map(run).collect();
+    metrics::disable();
+    stream::uninstall().expect("progress sink was installed");
+    assert_identical(&format!("{name} obs-on serial"), &tree, &baseline, &serial);
+    for (threads, parallel) in [2usize, 4].into_iter().zip(&parallels) {
+        assert_identical(&format!("{name} obs-on @{threads}"), &tree, &baseline, parallel);
+    }
+    // The registry actually recorded while enabled.
+    let snap = metrics::global().snapshot();
+    assert!(
+        snap.counters.iter().any(|&(n, v)| n == "dp.candidates" && v > 0),
+        "metrics registry saw no candidates: {snap:?}"
+    );
 }
 
 /// Pruning disabled (the §3.3 ablation) must also be thread-invariant:
