@@ -27,6 +27,8 @@ use tce_expr::ExprTree;
 pub mod randtree;
 pub mod suite;
 
+pub use randtree::skewed_tree;
+
 /// The paper's cluster model with `procs` processors (square grid).
 pub fn paper_cost_model(procs: u32) -> CostModel {
     CostModel::for_square(MachineModel::itanium_cluster(), procs)

@@ -388,6 +388,76 @@ pub fn random_tree(seed: u64, p: &TreeParams) -> ExprTree {
     tree
 }
 
+/// Build an adversarially *skewed* tree for scheduler stress: one heavy
+/// contraction whose combine stream dwarfs every other node, surrounded by
+/// trivial reduce / element-wise nodes that each produce only a handful of
+/// combine blocks. A contiguous equal-count partition of such a tree's
+/// per-node streams leaves most workers idle while one drags; work
+/// stealing must rebalance it — and still merge bit-identically. All
+/// extents are even (multiples of 2), so 2×2 grids divide them.
+/// Deterministic in `seed`.
+pub fn skewed_tree(seed: u64) -> ExprTree {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7));
+    let even = |rng: &mut StdRng, lo: u64, hi: u64| 2 * rng.gen_range(lo..=hi);
+    let mut sp = IndexSpace::new();
+    // Heavy core: T1(a,d,e) = Σ_{b,c} A(a,b,c) · B(b,c,d,e). Two summed
+    // dimensions and a 4-D right operand blow up the per-node option
+    // count, concentrating the combine stream in this single node.
+    let a_ix = sp.declare("a", even(&mut rng, 2, 6));
+    let b_ix = sp.declare("b", even(&mut rng, 2, 6));
+    let c_ix = sp.declare("c", even(&mut rng, 2, 6));
+    let d_ix = sp.declare("d", even(&mut rng, 2, 6));
+    let e_ix = sp.declare("e", even(&mut rng, 2, 6));
+    let mut tree = ExprTree::new(sp);
+    let a = tree.add_leaf(Tensor::new("A", vec![a_ix, b_ix, c_ix]));
+    let b = tree.add_leaf(Tensor::new("B", vec![b_ix, c_ix, d_ix, e_ix]));
+    let t1 = tree
+        .add_contract(
+            Tensor::new("T1", vec![a_ix, d_ix, e_ix]),
+            IndexSet::from_iter([b_ix, c_ix]),
+            a,
+            b,
+        )
+        .expect("heavy contraction is well-formed");
+    // Trivial tail: a chain of single-index reductions (tiny block counts)
+    // ending in a near-free element-wise multiply against a small leaf.
+    let t2 = tree.add_reduce(Tensor::new("T2", vec![a_ix, d_ix]), e_ix, t1).expect("reduce e");
+    let t3 = tree.add_reduce(Tensor::new("T3", vec![a_ix]), d_ix, t2).expect("reduce d");
+    let c_leaf = tree.add_leaf(Tensor::new("C", vec![a_ix]));
+    let root = if rng.gen_bool(0.5) {
+        // Element-wise multiply sharing the surviving dim.
+        tree.add_contract(Tensor::new("S", vec![a_ix]), IndexSet::new(), t3, c_leaf)
+            .expect("element-wise root")
+    } else {
+        // Full inner product down to a scalar.
+        tree.add_contract(Tensor::new("S", vec![]), IndexSet::from_iter([a_ix]), t3, c_leaf)
+            .expect("scalar root")
+    };
+    tree.set_root(root);
+    tree
+}
+
+#[cfg(test)]
+mod skewed_tests {
+    use super::*;
+
+    #[test]
+    fn skewed_trees_are_deterministic_and_even() {
+        for seed in 0..20 {
+            let x = skewed_tree(seed);
+            let y = skewed_tree(seed);
+            assert_eq!(x.len(), y.len(), "seed {seed}");
+            for id in x.ids() {
+                assert_eq!(x.node(id).tensor, y.node(id).tensor, "seed {seed}");
+                for &d in &x.node(id).tensor.dims {
+                    assert_eq!(x.space.extent(d) % 2, 0, "seed {seed}: odd extent");
+                }
+            }
+            assert!(!x.node(x.root()).is_leaf(), "seed {seed}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod general_tests {
     use super::*;

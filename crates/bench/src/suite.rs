@@ -6,12 +6,19 @@
 //! counter set as a schema-stable JSON document (`BENCH_<N>.json`, see the
 //! README for the schema). CI runs the `--smoke` subset and fails the
 //! build when the enlarged-space search regresses more than 25% against
-//! the committed baseline.
+//! the committed baseline, or when any multi-thread guarded cell falls
+//! more than 10% behind the same run's serial cell
+//! ([`check_thread_scaling`] — the regression `BENCH_5.json` recorded,
+//! where every multi-thread cell was slower than serial).
 //!
-//! Wall-clock is best-of-`repeats` (noise only ever slows a run down, so
-//! the minimum is the most stable estimator); every other field is
-//! deterministic — counters are bit-identical across runs and, except for
-//! `dp.memo_*`/`dp.bnb_*`, across thread counts too.
+//! Wall-clock is reported two ways: best-of-`repeats` (noise only ever
+//! slows a run down, so the minimum is the most stable estimator and is
+//! what the regression gates compare) and the median (robust to one lucky
+//! run, so trend plots over the `BENCH_<N>.json` series don't chase
+//! outliers). `candidates_per_sec` is derived from each. Every other
+//! field is deterministic — counters are bit-identical across runs and,
+//! except for `dp.memo_*`/`dp.bnb_*`/`dp.steal`, across thread counts
+//! too.
 
 use std::time::Instant;
 
@@ -121,7 +128,9 @@ fn scenarios() -> Vec<Scenario> {
 #[derive(Default)]
 pub struct SuiteOptions {
     /// Run only the smoke subset (CI): `ccsd_tiny` serial plus the
-    /// enlarged-space scenario at the top of the thread grid.
+    /// guarded enlarged-space scenario at *every* thread count (the full
+    /// grid there is what lets [`check_thread_scaling`] compare each
+    /// multi-thread cell against the same commit's serial cell).
     pub smoke: bool,
     /// Wall-clock repeats per cell (best-of); `0` means the default
     /// (3 full, 2 smoke — best-of-2 keeps the CI regression gate from
@@ -147,8 +156,10 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
         let tree = workload_tree(sc.workload)?;
         let cm = paper_cost_model(sc.procs);
         for &threads in &THREAD_GRID {
-            // Smoke keeps one serial cell and one parallel guarded cell.
-            if opts.smoke && threads != if sc.guarded { *THREAD_GRID.last().unwrap() } else { 1 } {
+            // Smoke keeps guarded scenarios at the full thread grid (so
+            // the thread-scaling gate has a same-run serial reference)
+            // and everything else serial-only.
+            if opts.smoke && !sc.guarded && threads != 1 {
                 continue;
             }
             progress(&format!("{} @ {} thread(s)", sc.name, threads));
@@ -169,6 +180,7 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
             }
             let opt = last.expect("repeats >= 1");
             let best = wall_ms.iter().copied().fold(f64::INFINITY, f64::min);
+            let median = median_ms(&wall_ms);
             let c = &opt.counters;
             use tce_obs::names as k;
             let counters = obj(vec![
@@ -191,10 +203,15 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
                 ("guarded", Value::Bool(sc.guarded)),
                 ("repeats", num_u(repeats as u64)),
                 ("wall_ms_best", num_f(round3(best))),
+                ("wall_ms_median", num_f(round3(median))),
                 ("wall_ms_all", Value::Array(wall_ms.iter().map(|&m| num_f(round3(m))).collect())),
                 ("comm_cost", num_f(opt.comm_cost)),
                 ("candidates", num_u(c.get(k::CANDIDATES))),
                 ("candidates_per_sec", num_f(round3(c.get(k::CANDIDATES) as f64 / (best / 1e3)))),
+                (
+                    "candidates_per_sec_median",
+                    num_f(round3(c.get(k::CANDIDATES) as f64 / (median / 1e3))),
+                ),
                 ("live", num_u(c.get(k::FRONTIER))),
                 ("counters", counters),
             ]));
@@ -202,7 +219,7 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
     }
     Ok(obj(vec![
         ("schema", text(SCHEMA)),
-        ("bench_id", num_u(5)),
+        ("bench_id", num_u(7)),
         ("smoke", Value::Bool(opts.smoke)),
         ("scenarios", Value::Array(rows)),
     ]))
@@ -214,44 +231,83 @@ fn round3(x: f64) -> f64 {
     (x * 1e3).round() / 1e3
 }
 
+/// Median wall time: middle element, or the mean of the two middles for
+/// even-length runs. `repeats >= 1` always holds.
+fn median_ms(wall_ms: &[f64]) -> f64 {
+    let mut sorted = wall_ms.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn report_cells(v: &Value) -> Vec<(String, u64, bool, f64)> {
+    v.get("scenarios")
+        .and_then(Value::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("scenario")?.as_str()?.to_string(),
+                        r.get("threads")?.as_u64()?,
+                        r.get("guarded").and_then(get_bool).unwrap_or(false),
+                        r.get("wall_ms_best")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
 /// Compare a fresh report against a committed baseline: every *guarded*
-/// scenario cell present in both (matched on `scenario` + `threads`) must
-/// not have slowed down by more than `tolerance` (0.25 = 25%).
+/// scenario cell (matched on `scenario` + `threads`) must not have slowed
+/// down by more than `tolerance` (0.25 = 25%).
 ///
-/// Returns the human-readable comparison table, or an error listing the
-/// regressed cells. Cells missing from either side are reported but never
-/// fail the check, so the grid can evolve without lockstep baseline edits.
+/// The cell sets must also line up: a current cell with no baseline
+/// counterpart, or a baseline cell the current run never produced, is a
+/// hard error naming the missing cells — a silently skipped cell is a
+/// gate that silently stopped gating (the exception: a `--smoke` current
+/// run is a declared subset, so baseline cells it intentionally omits are
+/// fine, but every cell it *does* produce must still exist in the
+/// baseline). Returns the human-readable comparison table on success.
 pub fn compare_to_baseline(
     current: &Value,
     baseline: &Value,
     tolerance: f64,
 ) -> Result<String, String> {
-    let cells = |v: &Value| -> Vec<(String, u64, bool, f64)> {
-        v.get("scenarios")
-            .and_then(Value::as_array)
-            .map(|rows| {
-                rows.iter()
-                    .filter_map(|r| {
-                        Some((
-                            r.get("scenario")?.as_str()?.to_string(),
-                            r.get("threads")?.as_u64()?,
-                            r.get("guarded").and_then(get_bool).unwrap_or(false),
-                            r.get("wall_ms_best")?.as_f64()?,
-                        ))
-                    })
-                    .collect()
-            })
-            .unwrap_or_default()
-    };
-    let base = cells(baseline);
+    let base = report_cells(baseline);
+    let cur = report_cells(current);
+    let current_is_smoke = current.get("smoke").and_then(get_bool).unwrap_or(false);
+    let mut missing = Vec::new();
+    for (name, threads, _, _) in &cur {
+        if !base.iter().any(|(n, t, _, _)| n == name && t == threads) {
+            missing.push(format!("{name} @ {threads}t (in current, not in baseline)"));
+        }
+    }
+    if !current_is_smoke {
+        for (name, threads, _, _) in &base {
+            if !cur.iter().any(|(n, t, _, _)| n == name && t == threads) {
+                missing.push(format!("{name} @ {threads}t (in baseline, not in current)"));
+            }
+        }
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "benchmark cell sets do not match — regenerate the baseline \
+             (`tce bench --out <BENCH_N.json>`) or fix the grid:\n  {}",
+            missing.join("\n  ")
+        ));
+    }
     let mut out = String::new();
     let mut regressions = Vec::new();
-    for (name, threads, guarded, cur_ms) in cells(current) {
-        let Some((_, _, _, base_ms)) = base.iter().find(|(n, t, _, _)| *n == name && *t == threads)
-        else {
-            out.push_str(&format!("{name} @ {threads}t: no baseline cell (skipped)\n"));
-            continue;
-        };
+    for (name, threads, guarded, cur_ms) in cur {
+        let (_, _, _, base_ms) = base
+            .iter()
+            .find(|(n, t, _, _)| *n == name && *t == threads)
+            .expect("cell-set mismatch is rejected above");
         let ratio = cur_ms / base_ms.max(1e-9);
         let verdict = if !guarded {
             "unguarded"
@@ -278,23 +334,80 @@ pub fn compare_to_baseline(
     }
 }
 
+/// The thread-scaling gate: within one report, every *guarded* scenario's
+/// multi-thread cell must not exceed the same scenario's serial
+/// (`threads == 1`) wall time by more than `tolerance` (0.10 = 10%), plus
+/// a 20 ms absolute slack so sub-100ms cells can't flake on scheduler
+/// noise. This is the gate for the `BENCH_5.json` regression class, where
+/// every multi-thread cell was *slower* than serial: adding threads must
+/// never cost wall time, whatever the machine — on single-core runners
+/// the scheduler degrades to the serial path, so the cells tie.
+///
+/// Returns the human-readable table, or an error listing the cells where
+/// threads made the search slower.
+pub fn check_thread_scaling(report: &Value, tolerance: f64) -> Result<String, String> {
+    const ABS_SLACK_MS: f64 = 20.0;
+    let cells = report_cells(report);
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for (name, threads, guarded, cur_ms) in &cells {
+        if !guarded || *threads == 1 {
+            continue;
+        }
+        let Some((_, _, _, serial_ms)) =
+            cells.iter().find(|(n, t, g, _)| n == name && *t == 1 && *g)
+        else {
+            return Err(format!(
+                "thread-scaling gate: guarded scenario {name} has no serial cell in this report"
+            ));
+        };
+        let ratio = cur_ms / serial_ms.max(1e-9);
+        let verdict = if *cur_ms > serial_ms * (1.0 + tolerance) + ABS_SLACK_MS {
+            regressions.push(format!(
+                "{name} @ {threads}t: {cur_ms:.1}ms vs serial {serial_ms:.1}ms ({ratio:.2}x)"
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{name} @ {threads}t: {cur_ms:.1}ms vs serial {serial_ms:.1}ms ({ratio:.2}x) {verdict}\n"
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}multi-thread search slower than serial by more than {:.0}%:\n  {}",
+            tolerance * 100.0,
+            regressions.join("\n  ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn report(ms: f64, guarded: bool) -> Value {
+    fn cell(name: &str, threads: u64, ms: f64, guarded: bool) -> Value {
+        obj(vec![
+            ("scenario", text(name)),
+            ("threads", num_u(threads)),
+            ("guarded", Value::Bool(guarded)),
+            ("wall_ms_best", num_f(ms)),
+        ])
+    }
+
+    fn report_of(smoke: bool, cells: Vec<Value>) -> Value {
         obj(vec![
             ("schema", text(SCHEMA)),
-            (
-                "scenarios",
-                Value::Array(vec![obj(vec![
-                    ("scenario", text("s")),
-                    ("threads", num_u(1)),
-                    ("guarded", Value::Bool(guarded)),
-                    ("wall_ms_best", num_f(ms)),
-                ])]),
-            ),
+            ("smoke", Value::Bool(smoke)),
+            ("scenarios", Value::Array(cells)),
         ])
+    }
+
+    fn report(ms: f64, guarded: bool) -> Value {
+        report_of(false, vec![cell("s", 1, ms, guarded)])
     }
 
     #[test]
@@ -307,10 +420,45 @@ mod tests {
         assert!(err.unwrap_err().contains("REGRESSED"));
         // Beyond tolerance but unguarded: noise-prone cells never fail CI.
         assert!(compare_to_baseline(&report(200.0, false), &report(100.0, false), 0.25).is_ok());
-        // Missing baseline cell: reported, not fatal.
-        let empty = obj(vec![("schema", text(SCHEMA)), ("scenarios", Value::Array(vec![]))]);
-        let out = compare_to_baseline(&report(200.0, true), &empty, 0.25).unwrap();
-        assert!(out.contains("no baseline cell"));
+    }
+
+    #[test]
+    fn baseline_cell_set_mismatch_is_a_hard_error_naming_the_cells() {
+        // Current cell absent from the baseline: hard error, named.
+        let empty = report_of(false, vec![]);
+        let err = compare_to_baseline(&report(200.0, true), &empty, 0.25).unwrap_err();
+        assert!(err.contains("s @ 1t (in current, not in baseline)"), "{err}");
+        // Baseline cell absent from a full current run: hard error, named.
+        let err = compare_to_baseline(&empty, &report(100.0, true), 0.25).unwrap_err();
+        assert!(err.contains("s @ 1t (in baseline, not in current)"), "{err}");
+        // A smoke current run is a declared subset: baseline cells it
+        // omits are fine, and present cells still gate.
+        let smoke = report_of(true, vec![cell("s", 1, 110.0, true)]);
+        let full = report_of(false, vec![cell("s", 1, 100.0, true), cell("other", 4, 50.0, false)]);
+        assert!(compare_to_baseline(&smoke, &full, 0.25).is_ok());
+        // …but a smoke cell missing from the baseline still errors.
+        let err = compare_to_baseline(&smoke, &empty, 0.25).unwrap_err();
+        assert!(err.contains("in current, not in baseline"), "{err}");
+    }
+
+    #[test]
+    fn thread_scaling_gate_compares_against_same_report_serial() {
+        // Parallel at parity (and even 10% over, inside tolerance): ok.
+        let ok = report_of(false, vec![cell("e", 1, 1000.0, true), cell("e", 2, 1050.0, true)]);
+        assert!(check_thread_scaling(&ok, 0.10).is_ok());
+        // Parallel slower than serial beyond tolerance + slack: error.
+        let bad = report_of(false, vec![cell("e", 1, 1000.0, true), cell("e", 2, 1400.0, true)]);
+        let err = check_thread_scaling(&bad, 0.10).unwrap_err();
+        assert!(err.contains("e @ 2t") && err.contains("REGRESSED"), "{err}");
+        // Unguarded cells never gate.
+        let noisy = report_of(false, vec![cell("u", 1, 100.0, false), cell("u", 4, 900.0, false)]);
+        assert!(check_thread_scaling(&noisy, 0.10).is_ok());
+        // A guarded scenario with no serial reference is itself an error.
+        let orphan = report_of(false, vec![cell("e", 4, 100.0, true)]);
+        assert!(check_thread_scaling(&orphan, 0.10).is_err());
+        // Tiny cells sit inside the absolute slack.
+        let tiny = report_of(false, vec![cell("t", 1, 5.0, true), cell("t", 2, 20.0, true)]);
+        assert!(check_thread_scaling(&tiny, 0.10).is_ok());
     }
 
     #[test]
@@ -322,21 +470,38 @@ mod tests {
         let v = run_suite(&SuiteOptions { smoke: true, repeats: 1 }, |_| {}).unwrap();
         assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
         let rows = v.get("scenarios").unwrap().as_array().unwrap();
-        // Smoke = ccsd_tiny serial + enlarged at the top of the thread grid.
-        assert_eq!(rows.len(), 2, "{rows:?}");
+        // Smoke = ccsd_tiny serial + the guarded enlarged scenario at the
+        // full thread grid.
+        assert_eq!(rows.len(), 1 + THREAD_GRID.len(), "{rows:?}");
         for r in rows {
             assert!(r.get("wall_ms_best").unwrap().as_f64().unwrap() > 0.0);
+            assert!(r.get("wall_ms_median").unwrap().as_f64().unwrap() > 0.0);
+            assert!(r.get("candidates_per_sec_median").unwrap().as_f64().unwrap() > 0.0);
             assert!(r.get("candidates").unwrap().as_u64().unwrap() > 0);
             let counters = r.get("counters").unwrap();
             assert!(counters.get("dp.memo_miss").unwrap().as_u64().is_some());
         }
+        let enlarged_threads: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.get("scenario").unwrap().as_str() == Some("ccsd_tiny/enlarged"))
+            .map(|r| r.get("threads").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(enlarged_threads, vec![1, 2, 4], "{rows:?}");
         let enlarged = rows
             .iter()
             .find(|r| r.get("scenario").unwrap().as_str() == Some("ccsd_tiny/enlarged"))
             .unwrap();
         assert_eq!(get_bool(enlarged.get("guarded").unwrap()), Some(true));
-        assert_eq!(enlarged.get("threads").unwrap().as_u64().unwrap() as usize, THREAD_GRID[2]);
         let bnb = enlarged.get("counters").unwrap().get("dp.bnb_skip").unwrap();
         assert!(bnb.as_u64().unwrap() > 0);
+        // The thread-scaling gate runs clean on a real smoke report.
+        check_thread_scaling(&v, 0.10).unwrap();
+    }
+
+    #[test]
+    fn median_of_odd_and_even_runs() {
+        assert_eq!(median_ms(&[3.0]), 3.0);
+        assert_eq!(median_ms(&[4.0, 1.0, 9.0]), 4.0);
+        assert_eq!(median_ms(&[4.0, 1.0, 9.0, 6.0]), 5.0);
     }
 }

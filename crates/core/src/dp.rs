@@ -14,7 +14,6 @@
 //! cannot be extended into a better complete solution).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use tce_cost::{CostMemo, CostModel};
 use tce_dist::{dist_size, enumerate_patterns, CannonPattern, Distribution, GridDim, Operand};
@@ -73,10 +72,24 @@ pub struct OptimizerConfig {
     pub output_dist: Option<Distribution>,
     /// Worker threads for the per-node candidate enumeration (`0` = use
     /// [`std::thread::available_parallelism`]). Any thread count produces
-    /// bit-identical plans, costs, and search counters: workers take
-    /// contiguous chunks of the serial candidate stream and their frontiers
-    /// are merged back in chunk order (see [`SolutionSet::absorb`]).
+    /// bit-identical plans, costs, and search counters: workers claim
+    /// contiguous runs of the serial combine-block stream through the
+    /// work-stealing scheduler and their frontiers are merged back in
+    /// serial-stream order (see [`crate::sched`] and
+    /// [`SolutionSet::absorb`]).
     pub threads: usize,
+    /// Use the legacy contiguous equal-count partitioner instead of the
+    /// work-stealing block scheduler. Kept for one release as a
+    /// differential-fuzzing oracle: both schedulers must produce
+    /// bit-identical frontiers, plans, and (deterministic) counters.
+    pub contiguous_partition: bool,
+    /// Adaptive spawn threshold override: nanoseconds of predicted serial
+    /// enumeration per extra worker. `None` = default (10 ms — nodes
+    /// predicted cheaper than the floor run inline so spawn + merge can
+    /// never lose to serial); `Some(0)` forces maximal spawning, which the
+    /// equivalence tests and fuzz oracles use to exercise the parallel
+    /// merge even on nodes the model would keep serial.
+    pub spawn_amort_ns: Option<u64>,
     /// Statically verify the winning plan before returning it (the CLI's
     /// `--verify`). Under `cfg(debug_assertions)` the self-check always
     /// runs; this flag extends it to release builds. Failures surface as
@@ -99,6 +112,8 @@ impl Default for OptimizerConfig {
             input_dists: HashMap::new(),
             output_dist: None,
             threads: 0,
+            contiguous_partition: false,
+            spawn_amort_ns: None,
             verify: false,
         }
     }
@@ -316,6 +331,7 @@ pub fn optimize(
         n => n,
     };
     let memo = CostMemo::with_shards((threads * 4).max(16));
+    let mut sched = crate::sched::Scheduler::new(threads, cfg);
     let mut sets: HashMap<NodeId, SolutionSet> = HashMap::new();
     let mut stats = Vec::new();
     let mut counters = tce_obs::Counters::new();
@@ -372,7 +388,7 @@ pub fn optimize(
                         cm,
                         cfg,
                         &memo,
-                        threads,
+                        &mut sched,
                         node,
                         *left,
                         *right,
@@ -391,7 +407,7 @@ pub fn optimize(
                         cm,
                         cfg,
                         &memo,
-                        threads,
+                        &mut sched,
                         node,
                         *left,
                         *right,
@@ -407,7 +423,7 @@ pub fn optimize(
                 cm,
                 cfg,
                 &memo,
-                threads,
+                &mut sched,
                 node,
                 *child,
                 *sum,
@@ -429,6 +445,12 @@ pub fn optimize(
         // checks skip them; every other counter is interleaving-invariant.
         counters.add(tce_obs::names::BNB_SKIP, set.bnb_skip);
         counters.add(tce_obs::names::BNB_BLOCK, set.bnb_block);
+        // Scheduler counters: block count is the serial item count (a pure
+        // function of the search space, identical at every thread count);
+        // the steal total is a race outcome and joins the memo/bnb families
+        // in `NONDETERMINISTIC_COUNTERS`.
+        counters.add(tce_obs::names::BLOCKS, enum_stats.blocks);
+        counters.add(tce_obs::names::STEAL, enum_stats.steals);
         // Memo totals are cumulative over the run; `set` overwrites the
         // previous node's sample. Hit/miss counts depend on how worker
         // threads interleave, so equivalence checks must skip them.
@@ -444,6 +466,8 @@ pub fn optimize(
         node_span.arg("live", set.live_len());
         node_span.arg("workers", enum_stats.workers);
         node_span.arg("merge_us", enum_stats.merge_us);
+        node_span.arg("blocks", enum_stats.blocks);
+        node_span.arg("steals", enum_stats.steals);
         drop(node_span);
         // Sample the cumulative counters so the trace shows them growing
         // node by node.
@@ -454,6 +478,11 @@ pub fn optimize(
             tce_obs::metrics::gauge_max(tce_obs::names::ARENA_HW_BYTES, arena_hw);
             tce_obs::metrics::observe(tce_obs::names::NODE_CANDIDATES, set.candidates_seen);
             tce_obs::metrics::observe(tce_obs::names::NODE_LIVE, set.total_live());
+            // Per-worker busy histogram, observed coordinator-side after
+            // the join (pure output — nothing in the search reads it).
+            for &busy in &enum_stats.busy_us {
+                tce_obs::metrics::observe(tce_obs::names::WORKER_BUSY_US, busy);
+            }
         }
         stats.push(NodeStats {
             name: n.tensor.name.clone(),
@@ -543,55 +572,6 @@ pub fn optimize(
     Ok(result)
 }
 
-/// How a node's candidate enumeration ran (surfaced as span args).
-struct EnumStats {
-    /// Worker threads actually used (1 = ran inline).
-    workers: usize,
-    /// Time spent merging worker-local frontiers, microseconds.
-    merge_us: u128,
-}
-
-/// Split `items` — each item standing for one contiguous run of the node's
-/// serial candidate stream — across scoped worker threads. Every worker
-/// filters its chunk into a thread-local [`SolutionSet`]; the locals are
-/// then merged into `out` in chunk order. Dominance is transitive, so this
-/// reproduces the serial frontier, storage order, and counters exactly
-/// (see [`SolutionSet::absorb`]).
-fn run_partitioned<T: Sync>(
-    items: &[T],
-    threads: usize,
-    out: &mut SolutionSet,
-    chunk_fn: impl Fn(&[T], &mut SolutionSet) + Sync,
-) -> EnumStats {
-    /// Below this chunk size, spawn/merge overhead beats the parallelism.
-    const MIN_ITEMS_PER_WORKER: usize = 32;
-    let workers = threads.min(items.len().div_ceil(MIN_ITEMS_PER_WORKER)).max(1);
-    if workers == 1 {
-        chunk_fn(items, out);
-        return EnumStats { workers: 1, merge_us: 0 };
-    }
-    let mut locals = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let chunk = &items[w * items.len() / workers..(w + 1) * items.len() / workers];
-                let chunk_fn = &chunk_fn;
-                let mut local = out.empty_like();
-                s.spawn(move || {
-                    chunk_fn(chunk, &mut local);
-                    local
-                })
-            })
-            .collect();
-        locals.extend(handles.into_iter().map(|h| h.join().expect("search worker panicked")));
-    });
-    let merge_start = Instant::now();
-    for local in locals {
-        out.absorb(local);
-    }
-    EnumStats { workers, merge_us: merge_start.elapsed().as_micros() }
-}
-
 /// A way to obtain one child array in a required layout.
 struct ChildOpt {
     sol_index: usize,
@@ -612,13 +592,21 @@ struct ChildOpt {
 /// * `sfx_max_mem[i]` / `sfx_max_msg[i]` — per-axis maxima over `opts[i..]`
 ///   (an upper bound proving a whole skipped block fits the memory limit);
 /// * `sfx_noredist[i]` — options in `opts[i..]` with zero redistribution
-///   cost (for O(1) `redist_fallbacks` accounting of skipped blocks).
+///   cost (for O(1) `redist_fallbacks` accounting of skipped blocks);
+/// * `comm`/`redist`/`mem`/`msg` — structure-of-arrays columns of `opts`,
+///   the inputs of the batched [`tce_cost::kernel`] combine kernels (one
+///   contiguous lane stream per row of the combine loop, in place of a
+///   pointer-chasing scalar chain per candidate).
 struct OptSlate {
     opts: Vec<ChildOpt>,
     floors: Vec<(f64, u128, u128)>,
     sfx_max_mem: Vec<u128>,
     sfx_max_msg: Vec<u128>,
     sfx_noredist: Vec<u64>,
+    comm: Vec<f64>,
+    redist: Vec<f64>,
+    mem: Vec<u128>,
+    msg: Vec<u128>,
 }
 
 impl OptSlate {
@@ -639,8 +627,29 @@ impl OptSlate {
             sfx_max_msg[i] = msg;
             sfx_noredist[i] = nored;
         }
-        Self { opts, floors, sfx_max_mem, sfx_max_msg, sfx_noredist }
+        Self {
+            floors,
+            sfx_max_mem,
+            sfx_max_msg,
+            sfx_noredist,
+            comm: opts.iter().map(|o| o.comm_cost).collect(),
+            redist: opts.iter().map(|o| o.redist_cost).collect(),
+            mem: opts.iter().map(|o| o.mem_words).collect(),
+            msg: opts.iter().map(|o| o.max_msg_words).collect(),
+            opts,
+        }
     }
+}
+
+/// Per-worker scratch for the batched combine kernels: one reusable column
+/// per candidate attribute, refilled row by row. Lives in the scheduler's
+/// per-worker state so allocations amortize across every run the worker
+/// claims.
+#[derive(Default)]
+struct KernelScratch {
+    cost: Vec<f64>,
+    mem: Vec<u128>,
+    msg: Vec<u128>,
 }
 
 /// Account a skipped block `lslate.opts[row..] × rslate.opts` (every pair
@@ -836,7 +845,7 @@ fn combine_contraction(
     cm: &CostModel,
     cfg: &OptimizerConfig,
     memo: &CostMemo,
-    threads: usize,
+    sched: &mut crate::sched::Scheduler,
     node: NodeId,
     left: NodeId,
     right: NodeId,
@@ -845,7 +854,7 @@ fn combine_contraction(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) -> EnumStats {
+) -> crate::sched::EnumStats {
     let space = &tree.space;
     let lf_all = child_fusions(tree, cfg, left, sets);
     let rf_all = child_fusions(tree, cfg, right, sets);
@@ -870,16 +879,23 @@ fn combine_contraction(
     let right_tensor = &tree.node(right).tensor;
 
     // One item per (pattern, triple), pattern-major — the serial nesting
-    // order, so worker chunks are contiguous runs of the serial candidate
-    // stream (the precondition of [`SolutionSet::absorb`]).
+    // order, so every claimed run is a contiguous slice of the serial
+    // candidate stream (the precondition of [`SolutionSet::absorb`]).
     let items: Vec<(usize, usize)> =
         (0..patterns.len()).flat_map(|p| (0..triples.len()).map(move |t| (p, t))).collect();
 
-    run_partitioned(&items, threads, out, |chunk, local| {
-        // Child options depend only on (edge fusion, required layout), not
-        // on which pattern/triple asked — cache them per worker.
-        let mut lcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
-        let mut rcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
+    type Caches = (
+        HashMap<(usize, Distribution), OptSlate>,
+        HashMap<(usize, Distribution), OptSlate>,
+        KernelScratch,
+    );
+    // Child options depend only on (edge fusion, required layout), not on
+    // which pattern/triple asked — cached in the per-worker state, which
+    // persists across every run the worker claims (pure memoization, so
+    // cache hits cannot perturb results).
+    let mk_state = || -> Caches { (HashMap::new(), HashMap::new(), KernelScratch::default()) };
+    sched.run(&items, out, mk_state, |chunk, local, state| {
+        let (lcache, rcache, scratch) = state;
         for &(p, t) in chunk {
             let pat = &patterns[p];
             let ldist = pat.operand_dist(Operand::Left);
@@ -1007,29 +1023,33 @@ fn combine_contraction(
                         continue 'rows;
                     }
                 }
-                for ropt in rslate.opts.iter() {
-                    let comm_cost = lopt.comm_cost
-                        + ropt.comm_cost
-                        + lopt.redist_cost
-                        + ropt.redist_cost
-                        + rotate[0]
-                        + rotate[1]
-                        + rotate[2];
-                    let mem_words = lopt.mem_words + ropt.mem_words + my_mem;
-                    let max_msg_words = lopt
-                        .max_msg_words
-                        .max(ropt.max_msg_words)
-                        .max(msg[0])
-                        .max(msg[1])
-                        .max(msg[2]);
+                // Batched row kernels (bit-exact per-element op order; the
+                // `u128` adds and message maxima are exactly associative,
+                // so the loop-invariant terms fold into the bases).
+                tce_cost::kernel::combine7(
+                    lopt.comm_cost,
+                    lopt.redist_cost,
+                    &rslate.comm,
+                    &rslate.redist,
+                    &rotate,
+                    &mut scratch.cost,
+                );
+                tce_cost::kernel::add_u128(lopt.mem_words + my_mem, &rslate.mem, &mut scratch.mem);
+                tce_cost::kernel::max_u128(
+                    block_msg.max(lopt.max_msg_words),
+                    &rslate.msg,
+                    &mut scratch.msg,
+                );
+                let l_fallback = lopt.redist_cost > 0.0;
+                for (i, ropt) in rslate.opts.iter().enumerate() {
                     local.try_insert_keyed(
                         &mut kh,
                         odist,
                         fu,
-                        comm_cost,
-                        mem_words,
-                        max_msg_words,
-                        lopt.redist_cost > 0.0 || ropt.redist_cost > 0.0,
+                        scratch.cost[i],
+                        scratch.mem[i],
+                        scratch.msg[i],
+                        l_fallback || rslate.redist[i] > 0.0,
                         limit,
                         || {
                             Some(Box::new(Choice {
@@ -1071,7 +1091,7 @@ fn combine_elementwise(
     cm: &CostModel,
     cfg: &OptimizerConfig,
     memo: &CostMemo,
-    threads: usize,
+    sched: &mut crate::sched::Scheduler,
     node: NodeId,
     left: NodeId,
     right: NodeId,
@@ -1079,7 +1099,7 @@ fn combine_elementwise(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) -> EnumStats {
+) -> crate::sched::EnumStats {
     let space = &tree.space;
     let result_tensor = &tree.node(node).tensor;
     let dims = result_tensor.dim_set();
@@ -1113,9 +1133,14 @@ fn combine_elementwise(
     let items: Vec<(usize, usize)> =
         (0..dists.len()).flat_map(|d| (0..triples.len()).map(move |t| (d, t))).collect();
 
-    run_partitioned(&items, threads, out, |chunk, local| {
-        let mut lcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
-        let mut rcache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
+    type Caches = (
+        HashMap<(usize, Distribution), OptSlate>,
+        HashMap<(usize, Distribution), OptSlate>,
+        KernelScratch,
+    );
+    let mk_state = || -> Caches { (HashMap::new(), HashMap::new(), KernelScratch::default()) };
+    sched.run(&items, out, mk_state, |chunk, local, state| {
+        let (lcache, rcache, scratch) = state;
         for &(d, t) in chunk {
             let odist = dists[d];
             let ldist = restrict(odist, &tree.node(left).tensor);
@@ -1159,17 +1184,26 @@ fn combine_elementwise(
                         continue 'rows;
                     }
                 }
-                for ropt in rslate.opts.iter() {
-                    let comm_cost =
-                        lopt.comm_cost + ropt.comm_cost + lopt.redist_cost + ropt.redist_cost;
+                // Batched row kernels (bit-exact per-element op order).
+                tce_cost::kernel::combine4(
+                    lopt.comm_cost,
+                    lopt.redist_cost,
+                    &rslate.comm,
+                    &rslate.redist,
+                    &mut scratch.cost,
+                );
+                tce_cost::kernel::add_u128(lopt.mem_words + my_mem, &rslate.mem, &mut scratch.mem);
+                tce_cost::kernel::max_u128(lopt.max_msg_words, &rslate.msg, &mut scratch.msg);
+                let l_fallback = lopt.redist_cost > 0.0;
+                for (i, ropt) in rslate.opts.iter().enumerate() {
                     local.try_insert_keyed(
                         &mut kh,
                         odist,
                         fu,
-                        comm_cost,
-                        lopt.mem_words + ropt.mem_words + my_mem,
-                        lopt.max_msg_words.max(ropt.max_msg_words),
-                        lopt.redist_cost > 0.0 || ropt.redist_cost > 0.0,
+                        scratch.cost[i],
+                        scratch.mem[i],
+                        scratch.msg[i],
+                        l_fallback || rslate.redist[i] > 0.0,
                         limit,
                         || {
                             Some(Box::new(Choice {
@@ -1211,7 +1245,7 @@ fn combine_reduce(
     cm: &CostModel,
     cfg: &OptimizerConfig,
     memo: &CostMemo,
-    threads: usize,
+    sched: &mut crate::sched::Scheduler,
     node: NodeId,
     child: NodeId,
     sum: IndexId,
@@ -1219,7 +1253,7 @@ fn combine_reduce(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     out: &mut SolutionSet,
-) -> EnumStats {
+) -> crate::sched::EnumStats {
     let space = &tree.space;
     let result_tensor = &tree.node(node).tensor;
     let child_tensor = &tree.node(child).tensor;
@@ -1248,8 +1282,10 @@ fn combine_reduce(
     let items: Vec<(usize, usize)> =
         (0..cdists.len()).flat_map(|d| (0..pairs.len()).map(move |p| (d, p))).collect();
 
-    run_partitioned(&items, threads, out, |chunk, local| {
-        let mut ccache: HashMap<(usize, Distribution), OptSlate> = HashMap::new();
+    type Caches = (HashMap<(usize, Distribution), OptSlate>, KernelScratch);
+    let mk_state = || -> Caches { (HashMap::new(), KernelScratch::default()) };
+    sched.run(&items, out, mk_state, |chunk, local, state| {
+        let (ccache, scratch) = state;
         for &(d, p) in chunk {
             let cdist = cdists[d];
             // The summed dimension disappears; if it was distributed along
@@ -1318,15 +1354,24 @@ fn combine_reduce(
                     continue;
                 }
             }
-            for copt in cslate.opts.iter() {
+            // Batched kernels over the whole child slate (bit-exact
+            // per-element op order).
+            tce_cost::kernel::combine3(
+                &cslate.comm,
+                &cslate.redist,
+                reduce_cost,
+                &mut scratch.cost,
+            );
+            tce_cost::kernel::add_u128(my_mem, &cslate.mem, &mut scratch.mem);
+            for (i, copt) in cslate.opts.iter().enumerate() {
                 local.try_insert_keyed(
                     &mut kh,
                     odist,
                     fu,
-                    copt.comm_cost + copt.redist_cost + reduce_cost,
-                    copt.mem_words + my_mem,
-                    copt.max_msg_words,
-                    copt.redist_cost > 0.0,
+                    scratch.cost[i],
+                    scratch.mem[i],
+                    cslate.msg[i],
+                    cslate.redist[i] > 0.0,
                     limit,
                     || {
                         Some(Box::new(Choice {

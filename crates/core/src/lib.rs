@@ -40,6 +40,7 @@ mod hook;
 mod plan;
 mod provenance;
 mod report;
+mod sched;
 mod solution;
 mod stats;
 

@@ -24,6 +24,7 @@
 pub mod bound;
 mod breakdown;
 pub mod compute;
+pub mod kernel;
 mod machine;
 mod memo;
 mod model;

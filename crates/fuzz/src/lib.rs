@@ -22,6 +22,12 @@
 //! 6. **Exhaustive cross-check** — on small proper contraction trees, the
 //!    DP optimum must equal `exhaustive_min`, and both must agree on
 //!    feasibility under tight limits.
+//! 7. **Scheduler equivalence** — the work-stealing enumeration (spawning
+//!    forced via `spawn_amort_ns: Some(0)` so every node actually splits)
+//!    against the legacy contiguous equal-count partitioner
+//!    (`contiguous_partition: true`) at the highest configured thread
+//!    count: costs to the bit, plans, and every deterministic counter
+//!    must agree.
 //!
 //! On failure, [`shrink::shrink_tree`] minimizes the tree (drop subtrees,
 //! re-root, shrink extents) while the failure reproduces, and the
@@ -88,8 +94,9 @@ impl Default for FuzzConfig {
 /// One oracle violation.
 #[derive(Clone, Debug)]
 pub struct Failure {
-    /// Which oracle tripped (`threads`, `pruning`, `check`, `numeric`,
-    /// `ledger`, `exhaustive`, `optimize`, `simulate`).
+    /// Which oracle tripped (`threads`, `pruning`, `frontier`,
+    /// `scheduler`, `check`, `numeric`, `ledger`, `exhaustive`,
+    /// `optimize`, `simulate`).
     pub oracle: &'static str,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -338,6 +345,76 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
                             "p={procs}: counter {counter} {} vs legacy {}",
                             v,
                             legacy.counters.get(counter)
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Oracle 7: work-stealing vs the legacy contiguous equal-count
+        // partitioner. Both forced to actually spawn (`spawn_amort_ns:
+        // Some(0)` defeats the adaptive threshold, which would otherwise
+        // keep these small nodes inline) at the highest configured thread
+        // count, where claim interleaving and steal traffic are maximal.
+        {
+            let t = cfg.threads.iter().copied().max().unwrap_or(1).max(2);
+            let steal = optimize(
+                tree,
+                &cm,
+                &OptimizerConfig { threads: t, spawn_amort_ns: Some(0), ..base_config(cfg) },
+            )
+            .map_err(|e| fail("scheduler", format!("p={procs} t={t} stealing: {e:?}")))?;
+            let contig = optimize(
+                tree,
+                &cm,
+                &OptimizerConfig {
+                    threads: t,
+                    contiguous_partition: true,
+                    spawn_amort_ns: Some(0),
+                    ..base_config(cfg)
+                },
+            )
+            .map_err(|e| fail("scheduler", format!("p={procs} t={t} contiguous: {e:?}")))?;
+            stats.optimizations += 2;
+            if steal.comm_cost.to_bits() != contig.comm_cost.to_bits()
+                || steal.mem_words != contig.mem_words
+                || steal.max_msg_words != contig.max_msg_words
+                || steal.best_index != contig.best_index
+            {
+                return Err(fail(
+                    "scheduler",
+                    format!(
+                        "p={procs} t={t}: stealing cost {} vs contiguous {}, mem {} vs {}, best {} vs {}",
+                        steal.comm_cost,
+                        contig.comm_cost,
+                        steal.mem_words,
+                        contig.mem_words,
+                        steal.best_index,
+                        contig.best_index
+                    ),
+                ));
+            }
+            let steal_json = extract_plan(tree, &steal).to_json();
+            if steal_json != extract_plan(tree, &contig).to_json() {
+                return Err(fail("scheduler", format!("p={procs} t={t}: plans differ")));
+            }
+            if steal_json != base_json {
+                return Err(fail(
+                    "scheduler",
+                    format!("p={procs} t={t}: stealing plan differs from serial"),
+                ));
+            }
+            for (counter, v) in steal.counters.iter() {
+                if tce_obs::NONDETERMINISTIC_COUNTERS.contains(&counter) {
+                    continue; // interleaving-dependent by design
+                }
+                if v != contig.counters.get(counter) {
+                    return Err(fail(
+                        "scheduler",
+                        format!(
+                            "p={procs} t={t}: counter {counter} {} vs contiguous {}",
+                            v,
+                            contig.counters.get(counter)
                         ),
                     ));
                 }

@@ -85,6 +85,22 @@ pub mod names {
     /// Lower-bound corner queries that pruned a block (a row or tail of a
     /// combine loop). `bnb_skip / bnb_block` is the mean block size.
     pub const BNB_BLOCK: &str = "dp.bnb_block";
+    /// Combine blocks scheduled across all nodes — the unit of work the
+    /// work-stealing enumeration hands to workers (one block per
+    /// `(pattern, fusion-triple)` / `(distribution, pair)` item of the
+    /// serial candidate stream). A pure function of the search space, so
+    /// identical at every thread count including serial runs.
+    pub const BLOCKS: &str = "dp.blocks";
+    /// Combine-block runs a worker claimed from another worker's region of
+    /// the serial stream. Zero in serial runs; in parallel runs the total
+    /// depends on thread interleaving (who finishes first steals), so it is
+    /// excluded from serial-vs-parallel equivalence checks.
+    pub const STEAL: &str = "dp.steal";
+    /// Histogram of per-worker busy time per node, microseconds (metrics
+    /// registry only — wall-clock, never part of the deterministic counter
+    /// bag). The spread between workers is the load-imbalance the stealing
+    /// scheduler is there to close.
+    pub const WORKER_BUSY_US: &str = "dp.worker_busy_us";
     /// High-water mark of solution-arena bytes held live during the search
     /// (committed frontiers plus the largest pre-compaction working set).
     pub const ARENA_HW_BYTES: &str = "dp.arena_hw_bytes";
@@ -97,14 +113,15 @@ pub mod names {
 /// The counters whose totals depend on worker-thread interleaving and are
 /// therefore excluded from serial-vs-parallel equivalence checks (the
 /// *values the search returns* never depend on them): the memo pair (two
-/// workers racing on one memo key both count a miss) and the
-/// branch-and-bound pair (each worker prunes against its own partial
-/// frontier, so smaller chunks skip less).
+/// workers racing on one memo key both count a miss), the branch-and-bound
+/// pair (each worker prunes against its own partial frontier, so smaller
+/// chunks skip less), and the steal count (which worker drains a region
+/// first is a race).
 ///
 /// `tests/parallel_equivalence.rs` and the fuzz `threads` oracle both
 /// consume this list instead of hardcoding their own copies.
-pub const NONDETERMINISTIC_COUNTERS: [&str; 4] =
-    [names::MEMO_HIT, names::MEMO_MISS, names::BNB_SKIP, names::BNB_BLOCK];
+pub const NONDETERMINISTIC_COUNTERS: [&str; 5] =
+    [names::MEMO_HIT, names::MEMO_MISS, names::BNB_SKIP, names::BNB_BLOCK, names::STEAL];
 
 struct Global {
     enabled: AtomicBool,

@@ -124,7 +124,7 @@ commands:
              minimized and pinned as reproducers (no file argument)
   bench      run the tracked search-benchmark grid (standard workloads,
              enlarged space, --no-pruning, at 1/2/4 threads) from the repo
-             root and write a schema-stable BENCH_5.json (no file argument)
+             root and write a schema-stable BENCH_7.json (no file argument)
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -169,7 +169,7 @@ options:
                          [golden/fuzz_corpus]; `none` disables
   --smoke                bench: run only the CI smoke subset
   --out FILE             bench: where to write the JSON report
-                         [BENCH_5.json]; `-` prints to stdout only
+                         [BENCH_7.json]; `-` prints to stdout only
   --baseline FILE        bench: compare wall-clock against this committed
                          report; exit 1 if a guarded (enlarged-space)
                          scenario regressed by more than 25%
@@ -223,7 +223,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         replay: None,
         corpus: "golden/fuzz_corpus".into(),
         bench_smoke: false,
-        bench_out: "BENCH_5.json".into(),
+        bench_out: "BENCH_7.json".into(),
         bench_baseline: None,
         bench_repeats: 0,
     };
@@ -808,6 +808,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("writing {}: {e}", args.bench_out))?;
         println!("wrote {}", args.bench_out);
     }
+    // Thread-scaling gate: within this run, guarded multi-thread cells
+    // must not fall behind their own serial cell (hard error).
+    let scaling = tensor_contraction_opt::bench::suite::check_thread_scaling(&report, 0.10)?;
+    print!("{scaling}");
     if let Some(path) = &args.bench_baseline {
         let base: serde_json::Value = serde_json::from_str(
             &std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
@@ -895,7 +899,7 @@ mod tests {
             replay: None,
             corpus: "golden/fuzz_corpus".into(),
             bench_smoke: false,
-            bench_out: "BENCH_5.json".into(),
+            bench_out: "BENCH_7.json".into(),
             bench_baseline: None,
             bench_repeats: 0,
         };

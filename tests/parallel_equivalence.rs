@@ -1,16 +1,27 @@
 //! Serial vs. parallel search equivalence.
 //!
-//! The parallel candidate enumeration promises *bit-identical* results at
-//! any thread count: workers take contiguous chunks of the serial candidate
-//! stream and their local frontiers are merged back in chunk order, which
-//! (dominance being transitive) replays the serial search exactly. This
-//! suite holds the optimizer to that promise over every shipped workload:
-//! same costs (to the bit), same memory numbers, same winning index, same
-//! extracted plan, same per-node statistics, and same search counters.
+//! The work-stealing candidate enumeration promises *bit-identical*
+//! results at any thread count: every claimed run is a contiguous span of
+//! the serial block stream, worker-local frontiers are tagged with their
+//! span's start position, and the merge absorbs them in ascending start
+//! order — which (dominance being transitive, see DESIGN.md §11) replays
+//! the serial search exactly, no matter how the runs were interleaved or
+//! stolen at runtime. This suite holds the optimizer to that promise over
+//! every shipped workload: same costs (to the bit), same memory numbers,
+//! same winning index, same extracted plan, same per-node statistics, and
+//! same search counters.
 //!
-//! The only permitted divergence is the `dp.memo_hit` / `dp.memo_miss`
-//! pair: two workers racing on one memo key both count a miss, so those
-//! totals depend on thread interleaving (the *values* returned never do).
+//! Every config here pins `spawn_amort_ns: Some(0)`, which forces the
+//! adaptive spawn model to use every available worker on every node — the
+//! small nodes these fast workloads produce would otherwise be run inline
+//! and the tests would never exercise the parallel merge at all.
+//!
+//! The only permitted divergences are interleaving-dependent counters
+//! (`NONDETERMINISTIC_COUNTERS`): the `dp.memo_hit` / `dp.memo_miss` pair
+//! (two workers racing on one memo key both count a miss), the
+//! branch-and-bound skip/block totals, and `dp.steal` (how many runs were
+//! claimed outside a worker's home region). The *values* computed never
+//! depend on any of them.
 
 use tensor_contraction_opt::core::{extract_plan, optimize, Optimized, OptimizerConfig};
 use tensor_contraction_opt::cost::{CostModel, MachineModel};
@@ -75,7 +86,7 @@ fn all_workloads_identical_across_thread_counts() {
     let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
     for (name, tree) in workload_trees() {
         let run = |threads: usize| {
-            let cfg = OptimizerConfig { threads, ..Default::default() };
+            let cfg = OptimizerConfig { threads, spawn_amort_ns: Some(0), ..Default::default() };
             optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
         };
         let serial = run(1);
@@ -104,6 +115,7 @@ fn enlarged_space_identical_across_thread_counts() {
             allow_replication: true,
             allow_unrelated_rotation: true,
             max_prefix_len: 2,
+            spawn_amort_ns: Some(0),
             ..Default::default()
         };
         optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
@@ -129,7 +141,7 @@ fn observability_enabled_runs_stay_identical() {
         .find(|(n, _)| n == "ccsd_tiny.tce")
         .expect("ccsd_tiny.tce shipped");
     let run = |threads: usize| {
-        let cfg = OptimizerConfig { threads, ..Default::default() };
+        let cfg = OptimizerConfig { threads, spawn_amort_ns: Some(0), ..Default::default() };
         optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
     };
     // Baseline with every sink off.
@@ -161,12 +173,48 @@ fn pruning_ablation_identical_across_thread_counts() {
     let (name, tree) =
         workload_trees().into_iter().find(|(n, _)| n == "fig1.tce").expect("fig1.tce shipped");
     let run = |threads: usize| {
-        let cfg = OptimizerConfig { threads, disable_pruning: true, ..Default::default() };
+        let cfg = OptimizerConfig {
+            threads,
+            disable_pruning: true,
+            spawn_amort_ns: Some(0),
+            ..Default::default()
+        };
         optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("{name} @{threads}: {e}"))
     };
     let serial = run(1);
     for threads in [2, 4] {
         let parallel = run(threads);
         assert_identical(&format!("{name} no-pruning @{threads}"), &tree, &serial, &parallel);
+    }
+}
+
+/// Adversarially *skewed* trees — one heavy contraction whose combine
+/// stream dwarfs every other node, surrounded by near-free reduce /
+/// element-wise nodes (`tce_bench::skewed_tree`). Under the old contiguous
+/// equal-count partition these trees concentrated all the work in one
+/// worker's chunk; under work stealing the idle workers raid that chunk,
+/// maximizing cross-region claims — exactly the interleavings where a
+/// merge-order bug would surface. Enlarged space, 1/2/4/8 threads.
+#[test]
+fn skewed_trees_identical_across_thread_counts() {
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    for seed in 0..6u64 {
+        let tree = tensor_contraction_opt::bench::skewed_tree(seed);
+        let run = |threads: usize| {
+            let cfg = OptimizerConfig {
+                threads,
+                allow_replication: true,
+                allow_unrelated_rotation: true,
+                max_prefix_len: 2,
+                spawn_amort_ns: Some(0),
+                ..Default::default()
+            };
+            optimize(&tree, &cm, &cfg).unwrap_or_else(|e| panic!("skewed {seed} @{threads}: {e}"))
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            let parallel = run(threads);
+            assert_identical(&format!("skewed {seed} @{threads}"), &tree, &serial, &parallel);
+        }
     }
 }

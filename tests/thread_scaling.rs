@@ -1,0 +1,57 @@
+//! Multi-thread search must not regress below serial.
+//!
+//! The bug this guards against: the old contiguous equal-count partition
+//! spawned workers unconditionally once a node's stream crossed a static
+//! item threshold, so on small workloads (and small machines) every
+//! multi-thread run paid thread spawn + merge overhead for no win —
+//! `tce bench` showed threads=2 *slower* than serial on every scenario.
+//! The adaptive spawn model now sizes the worker count from the measured
+//! per-block cost, keeping cheap nodes inline, so threads=2 on the default
+//! ccsd_tiny space must track the serial wall time.
+//!
+//! Budget: best-of-3 wall at threads=2 must be within 1.10× the serial
+//! best-of-3, plus a 10 ms absolute slack so sub-millisecond jitter on
+//! fast machines (or a noisy CI neighbour) can't flake the suite.
+
+use std::time::{Duration, Instant};
+
+use tensor_contraction_opt::core::{optimize, OptimizerConfig};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::opmin::lower_program;
+
+fn ccsd_tiny() -> ExprTree {
+    let src = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/ccsd_tiny.tce");
+    let src = std::fs::read_to_string(src).expect("ccsd_tiny.tce shipped");
+    lower_program(&parse(&src).expect("parses")).expect("lowers").to_tree().expect("tree")
+}
+
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .expect("n >= 1")
+}
+
+#[test]
+fn two_threads_do_not_regress_serial_wall_time() {
+    let tree = ccsd_tiny();
+    let cm = CostModel::for_square(MachineModel::itanium_cluster(), 16).unwrap();
+    let run = |threads: usize| {
+        let cfg = OptimizerConfig { threads, ..Default::default() };
+        optimize(&tree, &cm, &cfg).expect("ccsd_tiny optimizes");
+    };
+    // Warm up allocator + cost memo code paths before timing anything.
+    run(1);
+    let serial = best_of(3, || run(1));
+    let dual = best_of(3, || run(2));
+    let budget = serial.mul_f64(1.10) + Duration::from_millis(10);
+    assert!(
+        dual <= budget,
+        "threads=2 regressed: {dual:?} vs serial {serial:?} (budget {budget:?})"
+    );
+}
