@@ -18,6 +18,7 @@
 //! | X8 | tracked search-benchmark grid | `tce bench` (the [`suite`] module) |
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
 use tce_core::{build_report, extract_plan, optimize, OptimizerConfig};
 use tce_cost::{CostModel, MachineModel};

@@ -210,6 +210,13 @@ pub struct Optimized {
     /// Aggregate search counters for this run (see [`tce_obs::names`]);
     /// `stats` is the per-node breakdown of the same numbers.
     pub counters: tce_obs::Counters,
+    /// Certified communication lower bound for this expression under this
+    /// cost model (`tce_cost::lower_bound`, DESIGN.md §12): every plan any
+    /// configuration of this search can emit costs at least this many
+    /// model seconds. Zero (trivially admissible) when lower bounds are
+    /// disabled. `comm_cost − comm_lower_bound` is the certified
+    /// optimality gap reported by `tce explain` / `tce report`.
+    pub comm_lower_bound: f64,
 }
 
 /// Reject `input_dists` entries that could never take effect: a name that
@@ -326,6 +333,45 @@ pub fn optimize(
     }
     validate_input_dists(tree, cfg)?;
     let limit = cfg.mem_limit_words.unwrap_or_else(|| cm.mem_limit_words());
+    // Memory-feasibility prover (DESIGN.md §12): every plan must store, at
+    // every node, at least the smallest block any layout/fusion allows; if
+    // those per-node floors already exceed the limit, the exponential
+    // search can only end in `NoFeasibleSolution` — fail now instead.
+    if !cfg.disable_lower_bounds
+        && tce_cost::lower_bound::prove_memory_infeasible(tree, cm, limit, cfg.max_prefix_len)
+            .is_some()
+    {
+        return Err(OptimizeError::NoFeasibleSolution { limit_words: limit });
+    }
+    // Per-node subtree communication floors (DESIGN.md §12), certified
+    // once here, used two ways: the root floor becomes the plan's
+    // optimality certificate (`Optimized::comm_lower_bound`), and the
+    // per-node floors strengthen the branch-and-bound corner queries.
+    // Each node's floor minimizes the exact rotation kernel over every
+    // pattern/surrounding the DP may enumerate and floors every other
+    // cost term at its true minimum of zero. Pinned patterns may predate
+    // the current `allow_replication` setting, so the certificate widens
+    // its pattern universe to the replication superset then; the corner
+    // floors simply stay off under pins (they only ever widen skips,
+    // never change which plan wins).
+    let lb_replication = cfg.allow_replication || cfg.fixed_patterns.is_some();
+    let (corner_floors, comm_lower_bound): (HashMap<NodeId, f64>, f64) = if cfg.disable_lower_bounds
+    {
+        (HashMap::new(), 0.0)
+    } else {
+        let raw = tce_cost::lower_bound::subtree_comm_floors(tree, cm, lb_replication);
+        let root_floor = tce_cost::bound::certify(raw[&tree.root()]);
+        let corners = if !cfg.disable_pruning
+            && !cfg.legacy_frontier
+            && cfg.fixed_patterns.is_none()
+            && cfg.fixed_fusion.is_none()
+        {
+            raw.into_iter().map(|(k, v)| (k, tce_cost::bound::certify(v))).collect()
+        } else {
+            HashMap::new()
+        };
+        (corners, root_floor)
+    };
     let threads = match cfg.threads {
         0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         n => n,
@@ -376,6 +422,7 @@ pub fn optimize(
             cfg.legacy_frontier,
             !cfg.disable_lower_bounds,
         );
+        let node_floor = corner_floors.get(&node).copied().unwrap_or(0.0);
         let enum_stats = match &n.kind {
             NodeKind::Contract { left, right, .. } => {
                 if let Ok(groups) = tree.contraction_groups(node) {
@@ -396,6 +443,7 @@ pub fn optimize(
                         &my_prefixes,
                         &sets,
                         limit,
+                        node_floor,
                         &mut set,
                     )
                 } else {
@@ -414,6 +462,7 @@ pub fn optimize(
                         &my_prefixes,
                         &sets,
                         limit,
+                        node_floor,
                         &mut set,
                     )
                 }
@@ -430,6 +479,7 @@ pub fn optimize(
                 &my_prefixes,
                 &sets,
                 limit,
+                node_floor,
                 &mut set,
             ),
             NodeKind::Leaf => unreachable!(),
@@ -445,6 +495,7 @@ pub fn optimize(
         // checks skip them; every other counter is interleaving-invariant.
         counters.add(tce_obs::names::BNB_SKIP, set.bnb_skip);
         counters.add(tce_obs::names::BNB_BLOCK, set.bnb_block);
+        counters.add(tce_obs::names::BNB_FLOOR, set.bnb_floor);
         // Scheduler counters: block count is the serial item count (a pure
         // function of the search space, identical at every thread count);
         // the steal total is a race outcome and joins the memo/bnb families
@@ -558,6 +609,7 @@ pub fn optimize(
         arena_hw_bytes: arena_hw,
         counters,
         sets,
+        comm_lower_bound,
     };
     // Self-check: statically verify the winning plan before handing it
     // out. Always on in debug builds; `cfg.verify` extends it to release.
@@ -853,6 +905,7 @@ fn combine_contraction(
     my_prefixes: &[FusionPrefix],
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
+    node_floor: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -997,13 +1050,24 @@ fn combine_contraction(
                     // live entry dominates it, every remaining candidate of
                     // the block is dominated — account them and move on.
                     let (lc, lm, lg) = lslate.floors[row];
-                    let tail = tce_cost::bound::certify(lc + rc0 + rot_total);
-                    if local.dominates_corner_keyed(
-                        &kh,
-                        tail,
-                        lm + rm0 + my_mem,
-                        block_msg.max(lg).max(rg0),
-                    ) {
+                    // The static subtree floor is an independent admissible
+                    // lower bound on every candidate here; the max of two
+                    // admissible floors is admissible and can only widen
+                    // the skip.
+                    let tail = tce_cost::bound::certify(lc + rc0 + rot_total).max(node_floor);
+                    let tail_mem = lm + rm0 + my_mem;
+                    let tail_msg = block_msg.max(lg).max(rg0);
+                    if local.dominates_corner_keyed(&kh, tail, tail_mem, tail_msg) {
+                        if tail == node_floor
+                            && !local.dominates_corner_keyed(
+                                &kh,
+                                tce_cost::bound::certify(lc + rc0 + rot_total),
+                                tail_mem,
+                                tail_msg,
+                            )
+                        {
+                            local.bnb_floor += 1;
+                        }
                         account_block(local, lslate, row, rslate, my_mem, block_msg, limit);
                         local.bnb_block += 1;
                         break 'rows;
@@ -1011,13 +1075,20 @@ fn combine_contraction(
                     // Row corner (this left option against the best of all
                     // right options) — tighter, skips just this row.
                     let lt = lopt.comm_cost + lopt.redist_cost;
-                    let rowb = tce_cost::bound::certify(lt + rc0 + rot_total);
-                    if local.dominates_corner_keyed(
-                        &kh,
-                        rowb,
-                        lopt.mem_words + rm0 + my_mem,
-                        block_msg.max(lopt.max_msg_words).max(rg0),
-                    ) {
+                    let rowb = tce_cost::bound::certify(lt + rc0 + rot_total).max(node_floor);
+                    let row_mem = lopt.mem_words + rm0 + my_mem;
+                    let row_msg = block_msg.max(lopt.max_msg_words).max(rg0);
+                    if local.dominates_corner_keyed(&kh, rowb, row_mem, row_msg) {
+                        if rowb == node_floor
+                            && !local.dominates_corner_keyed(
+                                &kh,
+                                tce_cost::bound::certify(lt + rc0 + rot_total),
+                                row_mem,
+                                row_msg,
+                            )
+                        {
+                            local.bnb_floor += 1;
+                        }
                         account_row(local, lopt, rslate, my_mem, block_msg, limit);
                         local.bnb_block += 1;
                         continue 'rows;
@@ -1098,6 +1169,7 @@ fn combine_elementwise(
     my_prefixes: &[FusionPrefix],
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
+    node_floor: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -1165,20 +1237,39 @@ fn combine_elementwise(
             'rows: for (row, lopt) in lslate.opts.iter().enumerate() {
                 if bnb {
                     let (lc, lm, lg) = lslate.floors[row];
-                    let tail = tce_cost::bound::certify(lc + rc0);
-                    if local.dominates_corner_keyed(&kh, tail, lm + rm0 + my_mem, lg.max(rg0)) {
+                    let tail = tce_cost::bound::certify(lc + rc0).max(node_floor);
+                    let tail_mem = lm + rm0 + my_mem;
+                    let tail_msg = lg.max(rg0);
+                    if local.dominates_corner_keyed(&kh, tail, tail_mem, tail_msg) {
+                        if tail == node_floor
+                            && !local.dominates_corner_keyed(
+                                &kh,
+                                tce_cost::bound::certify(lc + rc0),
+                                tail_mem,
+                                tail_msg,
+                            )
+                        {
+                            local.bnb_floor += 1;
+                        }
                         account_block(local, lslate, row, rslate, my_mem, 0, limit);
                         local.bnb_block += 1;
                         break 'rows;
                     }
                     let lt = lopt.comm_cost + lopt.redist_cost;
-                    let rowb = tce_cost::bound::certify(lt + rc0);
-                    if local.dominates_corner_keyed(
-                        &kh,
-                        rowb,
-                        lopt.mem_words + rm0 + my_mem,
-                        lopt.max_msg_words.max(rg0),
-                    ) {
+                    let rowb = tce_cost::bound::certify(lt + rc0).max(node_floor);
+                    let row_mem = lopt.mem_words + rm0 + my_mem;
+                    let row_msg = lopt.max_msg_words.max(rg0);
+                    if local.dominates_corner_keyed(&kh, rowb, row_mem, row_msg) {
+                        if rowb == node_floor
+                            && !local.dominates_corner_keyed(
+                                &kh,
+                                tce_cost::bound::certify(lt + rc0),
+                                row_mem,
+                                row_msg,
+                            )
+                        {
+                            local.bnb_floor += 1;
+                        }
                         account_row(local, lopt, rslate, my_mem, 0, limit);
                         local.bnb_block += 1;
                         continue 'rows;
@@ -1252,6 +1343,7 @@ fn combine_reduce(
     my_prefixes: &[FusionPrefix],
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
+    node_floor: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -1335,8 +1427,18 @@ fn combine_reduce(
             let mut kh = local.key_handle(odist, fu);
             if local.bounds_active() {
                 let (cc0, cm0, cg0) = cslate.floors[0];
-                let lb = tce_cost::bound::certify(cc0 + reduce_cost);
+                let lb = tce_cost::bound::certify(cc0 + reduce_cost).max(node_floor);
                 if local.dominates_corner_keyed(&kh, lb, cm0 + my_mem, cg0) {
+                    if lb == node_floor
+                        && !local.dominates_corner_keyed(
+                            &kh,
+                            tce_cost::bound::certify(cc0 + reduce_cost),
+                            cm0 + my_mem,
+                            cg0,
+                        )
+                    {
+                        local.bnb_floor += 1;
+                    }
                     let n = cslate.opts.len() as u64;
                     let max_fp = cslate.sfx_max_mem[0] + my_mem + cslate.sfx_max_msg[0];
                     if max_fp <= limit {

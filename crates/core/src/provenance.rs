@@ -14,7 +14,8 @@
 //!
 //! `tce explain` renders [`Provenance`] as a per-node table;
 //! `tce report` serializes it (plus simulator roll-ups) as the
-//! `tce-report/v1` JSON schema.
+//! `tce-report/v2` JSON schema (v2 added the certified `lower_bound` /
+//! `gap` pair).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -105,6 +106,13 @@ pub struct Provenance {
     pub total: CommBreakdown,
     /// The headline cost being attributed ([`Optimized::comm_cost`]).
     pub comm_cost: f64,
+    /// Certified communication lower bound
+    /// ([`Optimized::comm_lower_bound`]): no plan under this cost model
+    /// can beat it, so `gap` bounds how far the emitted plan can possibly
+    /// be from any (even hypothetical) improvement.
+    pub lower_bound: f64,
+    /// `comm_cost − lower_bound`, the certified optimality gap.
+    pub gap: f64,
 }
 
 /// Number of kernel invocations of `step`: the product of the per-
@@ -284,6 +292,8 @@ pub fn build_provenance(
         output_redist_cost: opt.output_redist_cost,
         total,
         comm_cost: opt.comm_cost,
+        lower_bound: opt.comm_lower_bound,
+        gap: opt.comm_cost - opt.comm_lower_bound,
     }
 }
 
@@ -356,10 +366,12 @@ pub fn render_provenance(tree: &ExprTree, prov: &Provenance) -> String {
         t.align, t.shift, t.home, t.redistribute, t.reduce
     );
     let _ = writeln!(out, "total comm cost: {:.6} s (plan: {:.6} s)", t.total(), prov.comm_cost);
+    let _ =
+        writeln!(out, "certified lower bound: {:.6} s (gap {:.6} s)", prov.lower_bound, prov.gap);
     out
 }
 
-/// The `tce-report/v1` machine-readable roll-up of the optimizer side.
+/// The `tce-report/v2` machine-readable roll-up of the optimizer side.
 /// Every field is a deterministic function of the search result: wall
 /// clock and the interleaving-dependent counters
 /// ([`tce_obs::NONDETERMINISTIC_COUNTERS`]) are excluded, so the JSON is
@@ -467,8 +479,10 @@ pub fn report_json(
         .collect();
 
     Value::Object(vec![
-        ("schema".to_string(), Value::String("tce-report/v1".to_string())),
+        ("schema".to_string(), Value::String("tce-report/v2".to_string())),
         ("comm_cost".to_string(), float(opt.comm_cost)),
+        ("lower_bound".to_string(), float(prov.lower_bound)),
+        ("gap".to_string(), float(prov.gap)),
         ("output_redist_cost".to_string(), float(opt.output_redist_cost)),
         ("mem_words".to_string(), big(opt.mem_words)),
         ("max_msg_words".to_string(), big(opt.max_msg_words)),
@@ -573,8 +587,14 @@ mod tests {
         let b = serde_json::to_string_pretty(&report_json(&tree, &opt2, &cm, 3)).unwrap();
         assert_eq!(a, b, "same search, same report bytes");
         let v: serde_json::Value = serde_json::from_str(&a).unwrap();
-        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("tce-report/v1"));
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("tce-report/v2"));
         assert!(v.get("comm_by_kind").is_some());
+        // The certificate is admissible and carried into the report.
+        let lb = v.get("lower_bound").and_then(|x| x.as_f64()).expect("lower_bound");
+        let cost = v.get("comm_cost").and_then(|x| x.as_f64()).expect("comm_cost");
+        let gap = v.get("gap").and_then(|x| x.as_f64()).expect("gap");
+        assert!(lb > 0.0 && lb <= cost, "lb {lb} vs cost {cost}");
+        assert!((gap - (cost - lb)).abs() <= 1e-12 * cost.abs().max(1.0));
         assert!(v.get("nodes").and_then(|n| n.as_array()).map(|n| !n.is_empty()).unwrap_or(false));
         // The nondeterministic counters never leak into the report.
         let counters = v.get("counters").expect("counters section");

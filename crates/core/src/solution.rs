@@ -294,6 +294,10 @@ pub struct SolutionSet {
     /// Corner-skip events (each covering one or more candidates). Also
     /// interleaving-dependent.
     pub bnb_block: u64,
+    /// Corner-skip events that only succeeded because the caller supplied a
+    /// static subtree communication floor (`tce_cost::lower_bound`) tighter
+    /// than the slate's own tail floor. Interleaving-dependent.
+    pub bnb_floor: u64,
     /// When `false`, dominated candidates are kept (the §3.3 pruning
     /// ablation); memory-limit pruning stays active.
     pruning_enabled: bool,
@@ -339,6 +343,7 @@ impl SolutionSet {
             redist_fallbacks: 0,
             bnb_skip: 0,
             bnb_block: 0,
+            bnb_floor: 0,
             pruning_enabled: pruning,
             legacy_frontier,
             bounds_enabled: bounds && pruning && !legacy_frontier,
@@ -707,6 +712,7 @@ impl SolutionSet {
         self.redist_fallbacks += other.redist_fallbacks;
         self.bnb_skip += other.bnb_skip;
         self.bnb_block += other.bnb_block;
+        self.bnb_floor += other.bnb_floor;
         let Arena { costs, mems, msgs, dists, fusions, choices } = other.arena;
         let it = costs.into_iter().zip(mems).zip(msgs).zip(dists).zip(fusions).zip(choices);
         for (((((cost, mem), msg), dist), fusion), choice) in it {

@@ -20,11 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
 pub mod bound;
 mod breakdown;
 pub mod compute;
 pub mod kernel;
+pub mod lower_bound;
 mod machine;
 mod memo;
 mod model;

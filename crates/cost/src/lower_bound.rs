@@ -1,0 +1,467 @@
+//! Communication and memory lower bounds for whole expression trees.
+//!
+//! Per-node floors in the spirit of the communication lower-bound
+//! literature (Solomonik–Demmel–Hoefler, arXiv 1707.04618; Al Daas et
+//! al., arXiv 2207.10437), specialized to the §3.2 Cannon/redistribution
+//! cost model this repository prices plans with. Rather than a generic
+//! `Ω(flops/√M)` volume bound — which the paper's empirical `RCost`
+//! tables cannot be compared against — each floor is the *exact minimum
+//! of the same kernel the optimizer charges*, taken over a **superset**
+//! of the configurations the search can reach:
+//!
+//! * **Per-node communication floor** ([`node_comm_floor`]): for a proper
+//!   contraction, the minimum over every Cannon pattern the optimizer
+//!   may enumerate under the given `allow_replication` setting and every
+//!   fused-surrounding subset of the node's loop indices of the summed
+//!   rotation cost, computed by the very [`crate::rotate`] kernel the DP
+//!   prices candidates with (identical `f64` for the realized
+//!   combination). Redistribution, element-wise, and reduction costs are
+//!   floored at their true minimum of zero, which keeps the bound
+//!   admissible under every optimizer configuration.
+//! * **Subtree floors** ([`subtree_comm_floors`]): postorder sums of the
+//!   per-node floors — a lower bound on the communication cost of *any*
+//!   solution the DP can store at that node, used as branch-and-bound
+//!   corner floors and as the whole-tree certificate
+//!   ([`comm_lower_bound`]).
+//! * **Memory floor** ([`mem_floor_words`]): every plan stores, at every
+//!   node, at least the smallest distributed block any layout/fusion
+//!   combination allows (leaves and the root cannot be fused away); the
+//!   per-node minima sum to a footprint every feasible plan must pay.
+//!   [`prove_memory_infeasible`] turns this into a pre-search rejection
+//!   of impossible `(expression, memory limit)` pairs.
+//! * **Memory-dependent bound** ([`comm_lower_bound_with_limit`]):
+//!   restricts each node's pattern/surrounding enumeration to
+//!   combinations whose own storage, on top of every *other* node's
+//!   memory floor, still fits the limit — never below the
+//!   memory-independent bound, and `None` when some node has no feasible
+//!   combination at all (a stronger infeasibility proof).
+//!
+//! Admissibility argument: minimizing the exact kernel over a superset of
+//! reachable configurations can only under-estimate; floating-point
+//! re-association across subtree sums is absorbed by
+//! [`crate::bound::certify`]'s relative margin (callers certify before
+//! comparing against search results). See DESIGN.md §12.
+
+use std::collections::HashMap;
+
+use tce_dist::{dist_size, enumerate_patterns, Distribution, Operand};
+use tce_expr::{ExprTree, IndexId, IndexSet, NodeId, NodeKind, Tensor};
+
+use crate::model::CostModel;
+use crate::units::WORD_BYTES;
+
+/// Budget on `patterns × surrounding-subsets` enumerated per node. Nodes
+/// whose combination space exceeds it fall back to the (always
+/// admissible) floor of zero instead of stalling the pre-pass; realistic
+/// contraction nodes are orders of magnitude below this.
+const MAX_COMBOS_PER_NODE: usize = 1 << 20;
+
+/// The communication floor of one node: zero except for proper
+/// contractions, where it is the minimum summed rotation cost over every
+/// Cannon pattern (under the given `allow_replication`) and every fused
+/// surrounding
+/// `S ⊆ loop_indices` not containing the pattern's rotation index —
+/// priced by the same [`crate::rotate::rotate_cost_surrounded`] kernel
+/// (and trip-count rule) the DP charges, so the floor never exceeds any
+/// candidate's rotation total at this node.
+pub fn node_comm_floor(
+    tree: &ExprTree,
+    cm: &CostModel,
+    node: NodeId,
+    allow_replication: bool,
+) -> f64 {
+    let n = tree.node(node);
+    let NodeKind::Contract { left, right, .. } = n.kind else {
+        return 0.0;
+    };
+    let Ok(groups) = tree.contraction_groups(node) else {
+        return 0.0; // element-wise multiply: aligned, no rotation
+    };
+    let patterns = enumerate_patterns(&groups, allow_replication);
+    let loops: Vec<IndexId> = n.loop_indices().iter().collect();
+    if patterns.is_empty()
+        || loops.len() >= usize::BITS as usize
+        || patterns.len().saturating_mul(1usize << loops.len()) > MAX_COMBOS_PER_NODE
+    {
+        return 0.0;
+    }
+    let space = &tree.space;
+    let operands: [(&Tensor, Operand); 3] = [
+        (&tree.node(left).tensor, Operand::Left),
+        (&tree.node(right).tensor, Operand::Right),
+        (&n.tensor, Operand::Result),
+    ];
+
+    let mut best = f64::INFINITY;
+    for pat in &patterns {
+        let ldist = pat.operand_dist(Operand::Left);
+        let rdist = pat.operand_dist(Operand::Right);
+        let odist = pat.operand_dist(Operand::Result);
+        let rot_index = pat.rotation_index();
+        // Per-processor trip count of a surrounding loop — the DP's rule,
+        // verbatim, so per-combination values match it bit for bit.
+        let trip = |j: IndexId| -> u64 {
+            let dim = odist
+                .position_of(j)
+                .or_else(|| ldist.position_of(j))
+                .or_else(|| rdist.position_of(j));
+            match dim {
+                Some(d) => tce_dist::block_len(space.extent(j), cm.grid.extent(d)),
+                None => space.extent(j),
+            }
+        };
+        // The rotation kernel factors as (Π_{j∈S} trip(j)) × RCost(sliced
+        // block): cache the RCost base per (operand, S ∩ dims) so the 2^|S|
+        // sweep multiplies cached bases instead of re-interpolating.
+        let mut bases: [HashMap<IndexSet, f64>; 3] = Default::default();
+        for mask in 0u64..(1u64 << loops.len()) {
+            let surround: IndexSet = loops
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| mask >> b & 1 == 1)
+                .map(|(_, &j)| j)
+                .collect();
+            if let Some(k) = rot_index {
+                if surround.contains(k) {
+                    continue; // the step loop cannot be fused around it
+                }
+            }
+            let factor: u128 = surround.iter().map(|j| trip(j) as u128).product();
+            // Left, right, result — the DP's summation order.
+            let mut total = 0.0f64;
+            for (slot, &(tensor, op)) in operands.iter().enumerate() {
+                let Some(travel) = pat.travel_dim(op) else { continue };
+                let dist = match op {
+                    Operand::Left => ldist,
+                    Operand::Right => rdist,
+                    Operand::Result => odist,
+                };
+                let sliced: IndexSet = surround.intersection(&tensor.dim_set());
+                let base = *bases[slot].entry(sliced.clone()).or_insert_with(|| {
+                    let words = dist_size(tensor, space, cm.grid, dist, &sliced);
+                    cm.chr.rcost(cm.grid.extent(travel), travel, (words * WORD_BYTES) as f64)
+                });
+                total += factor as f64 * base;
+            }
+            if total < best {
+                best = total;
+            }
+        }
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// Postorder communication floors: `floor[v] = node_comm_floor(v) +
+/// Σ floor[children]` — a lower bound (in exact arithmetic; certify
+/// before comparing) on the subtree communication cost of every solution
+/// the DP can store at `v`.
+pub fn subtree_comm_floors(
+    tree: &ExprTree,
+    cm: &CostModel,
+    allow_replication: bool,
+) -> HashMap<NodeId, f64> {
+    let mut out: HashMap<NodeId, f64> = HashMap::new();
+    for node in tree.postorder() {
+        let children: f64 = tree.children(node).iter().map(|c| out[c]).sum();
+        let floor = node_comm_floor(tree, cm, node, allow_replication) + children;
+        out.insert(node, floor);
+    }
+    out
+}
+
+/// The memory-independent communication lower bound of the whole tree:
+/// the root's subtree floor. Every plan the optimizer can emit (any
+/// thread count, any pruning mode, any memory limit) costs at least this
+/// many model seconds of communication, up to float re-association
+/// (certify with [`crate::bound::certify`] before comparing).
+pub fn comm_lower_bound(tree: &ExprTree, cm: &CostModel, allow_replication: bool) -> f64 {
+    subtree_comm_floors(tree, cm, allow_replication)[&tree.root()]
+}
+
+/// The smallest per-processor storage (words) any reachable
+/// layout/fusion combination leaves at `node`: minimized over every
+/// distribution (replication included — a superset of both settings) and
+/// every fused subset of the array's dimensions up to `prefix_cap`.
+/// Leaves and the root cannot be fused away (leaves are stored in full
+/// blocks; the root winner must carry an empty fusion), so their minimum
+/// is over distributions alone.
+pub fn node_mem_floor(tree: &ExprTree, cm: &CostModel, node: NodeId, prefix_cap: usize) -> u128 {
+    let n = tree.node(node);
+    let tensor = &n.tensor;
+    let dims = tensor.dim_set();
+    let dim_list: Vec<IndexId> = dims.iter().collect();
+    let cap = if n.is_leaf() || node == tree.root() { 0 } else { prefix_cap.min(dim_list.len()) };
+    let dists = Distribution::enumerate(&dims, true);
+    let mut best = u128::MAX;
+    for mask in 0u32..(1u32 << dim_list.len()) {
+        if (mask.count_ones() as usize) > cap {
+            continue;
+        }
+        let fused: IndexSet = dim_list
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| mask >> b & 1 == 1)
+            .map(|(_, &j)| j)
+            .collect();
+        for &d in &dists {
+            best = best.min(dist_size(tensor, &tree.space, cm.grid, d, &fused));
+        }
+    }
+    best
+}
+
+/// The footprint floor of the whole tree: the sum over every node of its
+/// minimal per-processor storage. The DP's memory accounting telescopes a
+/// candidate's `mem_words` into exactly this per-node sum (each node
+/// contributes one `dist_size` term), so every emitted plan satisfies
+/// `plan.mem_words ≥ mem_floor_words`.
+pub fn mem_floor_words(tree: &ExprTree, cm: &CostModel, prefix_cap: usize) -> u128 {
+    tree.postorder().into_iter().map(|node| node_mem_floor(tree, cm, node, prefix_cap)).sum()
+}
+
+/// Why a `(tree, limit)` pair is provably infeasible before any search.
+#[derive(Clone, Debug)]
+pub struct MemInfeasible {
+    /// The proven footprint floor (words per processor).
+    pub floor_words: u128,
+    /// The limit it exceeds (words per processor).
+    pub limit_words: u128,
+    /// Name of the largest single contributor (for the diagnostic).
+    pub largest_node: String,
+    /// That node's own floor contribution (words).
+    pub largest_words: u128,
+}
+
+/// The memory-feasibility prover: `Some(proof)` when **no** plan can fit
+/// `limit_words` (the per-node storage floors already exceed it), `None`
+/// when the floor is inconclusive. A `Some` here means the exponential
+/// search is pointless — `optimize()` would end in
+/// `NoFeasibleSolution` after enumerating everything.
+pub fn prove_memory_infeasible(
+    tree: &ExprTree,
+    cm: &CostModel,
+    limit_words: u128,
+    prefix_cap: usize,
+) -> Option<MemInfeasible> {
+    let mut floor = 0u128;
+    let mut largest: (u128, String) = (0, String::new());
+    for node in tree.postorder() {
+        let words = node_mem_floor(tree, cm, node, prefix_cap);
+        floor += words;
+        if words > largest.0 {
+            largest = (words, tree.node(node).tensor.name.clone());
+        }
+    }
+    (floor > limit_words).then_some(MemInfeasible {
+        floor_words: floor,
+        limit_words,
+        largest_node: largest.1,
+        largest_words: largest.0,
+    })
+}
+
+/// The memory-dependent communication lower bound: like
+/// [`comm_lower_bound`], but each contraction node's pattern/surrounding
+/// minimum is restricted to combinations whose own result storage — on
+/// top of every other node's memory floor — still fits `limit_words`
+/// (every surviving candidate's footprint dominates that sum, so the
+/// restriction is admissible). Returns `None` when some node has no
+/// feasible combination at all or the footprint floor alone exceeds the
+/// limit: a proof that no plan fits. Always ≥ the memory-independent
+/// bound when `Some`.
+pub fn comm_lower_bound_with_limit(
+    tree: &ExprTree,
+    cm: &CostModel,
+    limit_words: u128,
+    prefix_cap: usize,
+    allow_replication: bool,
+) -> Option<f64> {
+    let mem_floors: HashMap<NodeId, u128> = tree
+        .postorder()
+        .into_iter()
+        .map(|node| (node, node_mem_floor(tree, cm, node, prefix_cap)))
+        .collect();
+    let total_mem_floor: u128 = mem_floors.values().sum();
+    if total_mem_floor > limit_words {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for node in tree.postorder() {
+        let others = total_mem_floor - mem_floors[&node];
+        let budget = limit_words - others; // ≥ mem_floors[&node] ≥ 0
+        match node_comm_floor_under(tree, cm, node, budget, allow_replication) {
+            Some(floor) => total += floor,
+            None => return None,
+        }
+    }
+    Some(total)
+}
+
+/// [`node_comm_floor`] restricted to combinations whose minimal result
+/// storage fits `budget_words`; `None` when a proper contraction has no
+/// feasible combination (the infeasibility case — non-contraction nodes
+/// always return `Some(0.0)`).
+fn node_comm_floor_under(
+    tree: &ExprTree,
+    cm: &CostModel,
+    node: NodeId,
+    budget_words: u128,
+    allow_replication: bool,
+) -> Option<f64> {
+    let n = tree.node(node);
+    let NodeKind::Contract { left, right, .. } = n.kind else {
+        return Some(0.0);
+    };
+    let Ok(groups) = tree.contraction_groups(node) else {
+        return Some(0.0);
+    };
+    let patterns = enumerate_patterns(&groups, allow_replication);
+    let loops: Vec<IndexId> = n.loop_indices().iter().collect();
+    if patterns.is_empty()
+        || loops.len() >= usize::BITS as usize
+        || patterns.len().saturating_mul(1usize << loops.len()) > MAX_COMBOS_PER_NODE
+    {
+        return Some(0.0); // floor falls back to zero, never to infeasible
+    }
+    let space = &tree.space;
+    let operands: [(&Tensor, Operand); 3] = [
+        (&tree.node(left).tensor, Operand::Left),
+        (&tree.node(right).tensor, Operand::Right),
+        (&n.tensor, Operand::Result),
+    ];
+    let mut best: Option<f64> = None;
+    for pat in &patterns {
+        let ldist = pat.operand_dist(Operand::Left);
+        let rdist = pat.operand_dist(Operand::Right);
+        let odist = pat.operand_dist(Operand::Result);
+        let rot_index = pat.rotation_index();
+        let trip = |j: IndexId| -> u64 {
+            let dim = odist
+                .position_of(j)
+                .or_else(|| ldist.position_of(j))
+                .or_else(|| rdist.position_of(j));
+            match dim {
+                Some(d) => tce_dist::block_len(space.extent(j), cm.grid.extent(d)),
+                None => space.extent(j),
+            }
+        };
+        let mut bases: [HashMap<IndexSet, f64>; 3] = Default::default();
+        for mask in 0u64..(1u64 << loops.len()) {
+            let surround: IndexSet = loops
+                .iter()
+                .enumerate()
+                .filter(|&(b, _)| mask >> b & 1 == 1)
+                .map(|(_, &j)| j)
+                .collect();
+            if let Some(k) = rot_index {
+                if surround.contains(k) {
+                    continue;
+                }
+            }
+            // A candidate built from (pat, S) fuses fu ⊆ S at this node, so
+            // its storage is at least dist_size with the whole of S fused.
+            if dist_size(&n.tensor, space, cm.grid, odist, &surround) > budget_words {
+                continue;
+            }
+            let factor: u128 = surround.iter().map(|j| trip(j) as u128).product();
+            let mut total = 0.0f64;
+            for (slot, &(tensor, op)) in operands.iter().enumerate() {
+                let Some(travel) = pat.travel_dim(op) else { continue };
+                let dist = match op {
+                    Operand::Left => ldist,
+                    Operand::Right => rdist,
+                    Operand::Result => odist,
+                };
+                let sliced: IndexSet = surround.intersection(&tensor.dim_set());
+                let base = *bases[slot].entry(sliced.clone()).or_insert_with(|| {
+                    let words = dist_size(tensor, space, cm.grid, dist, &sliced);
+                    cm.chr.rcost(cm.grid.extent(travel), travel, (words * WORD_BYTES) as f64)
+                });
+                total += factor as f64 * base;
+            }
+            best = Some(match best {
+                Some(b) if b <= total => b,
+                _ => total,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+    use tce_expr::parse;
+
+    fn matmul(extent: u64) -> ExprTree {
+        let src = format!(
+            "range i = {extent}; range j = {extent}; range k = {extent};\n\
+             input A[i,k]; input B[k,j];\nC[i,j] = sum[k] A[i,k]*B[k,j];\n"
+        );
+        parse(&src).unwrap().to_sequence().unwrap().to_tree().unwrap()
+    }
+
+    fn cm4() -> CostModel {
+        CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap()
+    }
+
+    #[test]
+    fn matmul_comm_floor_is_positive_and_finite() {
+        let tree = matmul(64);
+        let cm = cm4();
+        let lb = comm_lower_bound(&tree, &cm, false);
+        assert!(lb.is_finite());
+        assert!(lb > 0.0, "a contraction must move data: {lb}");
+    }
+
+    #[test]
+    fn floors_are_monotone_in_the_memory_limit() {
+        let tree = matmul(64);
+        let cm = cm4();
+        let free = comm_lower_bound(&tree, &cm, false);
+        let loose = comm_lower_bound_with_limit(&tree, &cm, u128::MAX, 2, false).unwrap();
+        assert!((loose - free).abs() <= 1e-12 * free.abs().max(1.0));
+        // Tightening the limit can only raise (or keep) the bound.
+        let floor = mem_floor_words(&tree, &cm, 2);
+        let tight = comm_lower_bound_with_limit(&tree, &cm, floor, 2, false);
+        if let Some(t) = tight {
+            assert!(t >= loose - 1e-12 * loose.abs().max(1.0), "{t} < {loose}");
+        }
+    }
+
+    #[test]
+    fn mem_floor_never_exceeds_a_real_plan_footprint() {
+        // Leaves stored in full minimal blocks + root: for 64×64 arrays on
+        // a 2×2 grid the floor is 3 · 64·64/4 = 3072 words.
+        let tree = matmul(64);
+        let cm = cm4();
+        assert_eq!(mem_floor_words(&tree, &cm, 2), 3 * (64 * 64 / 4));
+    }
+
+    #[test]
+    fn prover_rejects_impossible_limits_and_accepts_loose_ones() {
+        let tree = matmul(64);
+        let cm = cm4();
+        let floor = mem_floor_words(&tree, &cm, 2);
+        assert!(prove_memory_infeasible(&tree, &cm, floor, 2).is_none());
+        let proof = prove_memory_infeasible(&tree, &cm, floor - 1, 2).expect("must reject");
+        assert_eq!(proof.floor_words, floor);
+        assert_eq!(proof.limit_words, floor - 1);
+        assert!(!proof.largest_node.is_empty());
+        assert!(proof.largest_words > 0);
+        assert!(comm_lower_bound_with_limit(&tree, &cm, floor - 1, 2, false).is_none());
+    }
+
+    #[test]
+    fn reductions_and_elementwise_floors_are_zero() {
+        let src = "range i = 8; range j = 8;\ninput A[i,j];\nS[j] = sum[i] A[i,j];\n";
+        let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let cm = cm4();
+        assert_eq!(comm_lower_bound(&tree, &cm, false), 0.0);
+    }
+}

@@ -104,7 +104,7 @@ pub fn fig1_sum_of_products(ni: u64, nj: u64, nk: u64, nt: u64) -> (IndexSpace, 
 
 /// Look up the four paper index groups by name in a CCSD-example space.
 pub fn ccsd_index(space: &IndexSpace, name: &str) -> IndexId {
-    space.lookup(name).unwrap_or_else(|| panic!("index `{name}` in CCSD space"))
+    space.lookup(name).expect("a paper index name (a/b/c/d, e/f, i/j/k/l) in a CCSD space")
 }
 
 #[cfg(test)]

@@ -76,7 +76,14 @@ pub struct Program {
     /// Source position (1-based line, column) where each array name was
     /// declared: `input` declarations and statement results. Lets tools
     /// report diagnostics as `file:line:col` anchored at the declaration.
+    /// Records the *first* declaration of each name; every declaration
+    /// event (including re-declarations) is in [`Self::decl_sites`].
     pub spans: std::collections::HashMap<String, (usize, usize)>,
+    /// Every array declaration event in source order — `input`
+    /// declarations and statement results, one entry per occurrence, so
+    /// duplicate declarations (last-one-wins at lowering time) remain
+    /// visible to static analysis with both spans.
+    pub decl_sites: Vec<(String, (usize, usize))>,
 }
 
 impl Program {
@@ -308,6 +315,7 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
                 let t = tensor_ref(&mut lx, &prog.space)?;
                 lx.expect_sym(';')?;
                 prog.spans.entry(t.name.clone()).or_insert(at);
+                prog.decl_sites.push((t.name.clone(), at));
                 prog.inputs.push(t);
             }
             _ => {
@@ -315,6 +323,7 @@ pub fn parse(src: &str) -> Result<Program, ExprError> {
                 let at = lx.span();
                 let result = tensor_ref(&mut lx, &prog.space)?;
                 prog.spans.entry(result.name.clone()).or_insert(at);
+                prog.decl_sites.push((result.name.clone(), at));
                 lx.expect_sym('=')?;
                 let mut sum = IndexSet::new();
                 if let Some(Tok::Ident(kw)) = lx.peek() {

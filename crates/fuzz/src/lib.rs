@@ -28,6 +28,10 @@
 //!    (`contiguous_partition: true`) at the highest configured thread
 //!    count: costs to the bit, plans, and every deterministic counter
 //!    must agree.
+//! 8. **Lower-bound admissibility** — the certified communication floor
+//!    (`tce_cost::lower_bound`, DESIGN.md §12) never exceeds the DP
+//!    optimum, and the memory-footprint floor never exceeds the winning
+//!    plan's actual per-processor footprint.
 //!
 //! On failure, [`shrink::shrink_tree`] minimizes the tree (drop subtrees,
 //! re-root, shrink extents) while the failure reproduces, and the
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
 pub mod ledger;
 pub mod shrink;
@@ -95,8 +100,8 @@ impl Default for FuzzConfig {
 #[derive(Clone, Debug)]
 pub struct Failure {
     /// Which oracle tripped (`threads`, `pruning`, `frontier`,
-    /// `scheduler`, `check`, `numeric`, `ledger`, `exhaustive`,
-    /// `optimize`, `simulate`).
+    /// `scheduler`, `lower_bound`, `check`, `numeric`, `ledger`,
+    /// `exhaustive`, `optimize`, `simulate`).
     pub oracle: &'static str,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -223,6 +228,31 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
         stats.optimizations += 1;
         let base_plan = extract_plan(tree, &base);
         let base_json = base_plan.to_json();
+
+        // Oracle 8: the static lower bounds are admissible. The certified
+        // communication floor never exceeds the DP optimum (it lower-bounds
+        // every plan the search can emit), and the memory-footprint floor
+        // never exceeds the winner's actual footprint.
+        {
+            let lb = base.comm_lower_bound;
+            if lb > base.comm_cost && !approx_eq(lb, base.comm_cost, 1e-9) {
+                return Err(fail(
+                    "lower_bound",
+                    format!("p={procs}: certified floor {lb} > DP optimum {}", base.comm_cost),
+                ));
+            }
+            let mem_floor =
+                tce_cost::lower_bound::mem_floor_words(tree, &cm, base_cfg.max_prefix_len);
+            if mem_floor > base.mem_words {
+                return Err(fail(
+                    "lower_bound",
+                    format!(
+                        "p={procs}: memory floor {mem_floor} > winner footprint {}",
+                        base.mem_words
+                    ),
+                ));
+            }
+        }
 
         // Oracle 1: bit-identical results at every thread count.
         for &t in cfg.threads.iter().filter(|&&t| t != 1) {

@@ -32,7 +32,7 @@ impl AtomicCounters {
         let i = self
             .entries
             .binary_search_by_key(&name, |&(n, _)| n)
-            .unwrap_or_else(|_| panic!("counter `{name}` was not registered at construction"));
+            .expect("counter name registered at construction (the fixed layout cannot grow)");
         &self.entries[i].1
     }
 

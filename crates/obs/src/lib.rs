@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::panic))]
 
 mod atomic;
 mod chrome;
@@ -85,6 +86,12 @@ pub mod names {
     /// Lower-bound corner queries that pruned a block (a row or tail of a
     /// combine loop). `bnb_skip / bnb_block` is the mean block size.
     pub const BNB_BLOCK: &str = "dp.bnb_block";
+    /// Corner prunes that only succeeded because the per-node subtree
+    /// communication floor (`tce_cost::lower_bound`) was tighter than the
+    /// frontier's own slate floor — the measurable contribution of the
+    /// static lower bounds to branch-and-bound. Thread-interleaving
+    /// dependent for the same reason as `bnb_skip`.
+    pub const BNB_FLOOR: &str = "dp.bnb_floor";
     /// Combine blocks scheduled across all nodes — the unit of work the
     /// work-stealing enumeration hands to workers (one block per
     /// `(pattern, fusion-triple)` / `(distribution, pair)` item of the
@@ -120,8 +127,14 @@ pub mod names {
 ///
 /// `tests/parallel_equivalence.rs` and the fuzz `threads` oracle both
 /// consume this list instead of hardcoding their own copies.
-pub const NONDETERMINISTIC_COUNTERS: [&str; 5] =
-    [names::MEMO_HIT, names::MEMO_MISS, names::BNB_SKIP, names::BNB_BLOCK, names::STEAL];
+pub const NONDETERMINISTIC_COUNTERS: [&str; 6] = [
+    names::MEMO_HIT,
+    names::MEMO_MISS,
+    names::BNB_SKIP,
+    names::BNB_BLOCK,
+    names::BNB_FLOOR,
+    names::STEAL,
+];
 
 struct Global {
     enabled: AtomicBool,

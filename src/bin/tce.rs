@@ -6,6 +6,7 @@
 //! tce simulate <file.tce> --procs 4      # execute & verify (small extents)
 //! tce frontier <file.tce> --procs 16     # memory/comm Pareto frontier
 //! tce check    <file.tce> --plan p.json  # statically verify a saved plan
+//! tce lint     <file.tce> [--json]       # whole-program source lints (TCE1xx)
 //! tce explain  <file.tce> --procs 16     # per-node decision record
 //! tce report   <file.tce> --procs 16     # machine-readable JSON roll-up
 //! ```
@@ -92,6 +93,8 @@ struct Args {
     bench_baseline: Option<String>,
     /// bench: wall-clock repeats per cell (0 = default best-of).
     bench_repeats: usize,
+    /// lint: treat warnings as errors (non-zero exit).
+    deny_warnings: bool,
 }
 
 fn usage() -> ExitCode {
@@ -112,6 +115,11 @@ commands:
              freshly optimized one) against the workload: structure,
              shapes, distributions, Cannon patterns, fusion, memory,
              and costs, with stable TCE0xx diagnostics
+  lint       whole-program static analysis of the source itself: unused
+             and shadowed declarations, dangling indices, inconsistent
+             references, grid-indivisible extents, uncharacterized
+             grids, and the memory-feasibility prover, with stable
+             TCE1xx diagnostics (same pass on `optimize` as a pre-pass)
   explain    per-node decision record of the winning plan: the winning
              (distribution, fusion) pair, top runner-ups with cost deltas,
              frontier shape, and the per-kind communication breakdown
@@ -143,7 +151,9 @@ options:
                          in release builds (debug builds always do)
   --dot                  optimize: emit the plan as Graphviz dot
   --json                 optimize: emit the plan as JSON (with an
-                         `observability` section of search counters)
+                         `observability` section of search counters);
+                         lint/check: emit diagnostics as JSON
+  --deny-warnings        lint: exit non-zero on warnings too
   --spmd                 optimize: emit SPMD pseudocode for the plan
   --trace out.json       write a Chrome trace-event file (chrome://tracing,
                          Perfetto): DP-search spans and counters (optimize)
@@ -226,6 +236,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         bench_out: "BENCH_7.json".into(),
         bench_baseline: None,
         bench_repeats: 0,
+        deny_warnings: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -278,6 +289,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--out" => args.bench_out = value("--out")?,
             "--baseline" => args.bench_baseline = Some(value("--baseline")?),
             "--repeats" => args.bench_repeats = parsed!("--repeats"),
+            "--deny-warnings" => args.deny_warnings = true,
             other if other.starts_with("--progress=") => {
                 let raw = &other["--progress=".len()..];
                 args.progress = Some(raw.parse().map_err(|_| bad_value("--progress", raw))?);
@@ -451,6 +463,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "frontier" => cmd_frontier(&args),
         "check" => cmd_check(&args),
+        "lint" => cmd_lint(&args),
         "explain" => cmd_explain(&args),
         "report" => cmd_report(&args),
         "fuzz" => cmd_fuzz(&args),
@@ -466,9 +479,59 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_optimize(args: &Args) -> Result<(), String> {
-    let tree = load_tree(&args.file)?;
+/// Lint a source file with the full pass registry (cost-model passes
+/// included) and return the report.
+fn lint_report(
+    args: &Args,
+    cm: &CostModel,
+) -> Result<tensor_contraction_opt::check::diag::CheckReport, String> {
+    use tensor_contraction_opt::lint::{lint_source, LintOptions};
+    let src =
+        std::fs::read_to_string(&args.file).map_err(|e| format!("reading {}: {e}", args.file))?;
+    lint_source(
+        &src,
+        &LintOptions { file: Some(&args.file), cm: Some(cm), ..LintOptions::default() },
+    )
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
     let cm = cost_model(args)?;
+    let report = lint_report(args, &cm)?;
+    if args.json {
+        println!("{}", report.render_json());
+    } else if report.diagnostics.is_empty() {
+        println!("{}: clean ({} passes)", args.file, report.passes_run.len());
+    } else {
+        print!("{}", report.render_human());
+    }
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    if errors > 0 {
+        Err(format!("{errors} error(s) found"))
+    } else if args.deny_warnings && warnings > 0 {
+        Err(format!("{warnings} warning(s) found (denied by --deny-warnings)"))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let cm = cost_model(args)?;
+    // Cheap static pre-pass: a lint *error* means the search (or the
+    // simulation of its plan) is doomed — abort with the anchored
+    // diagnostics instead; warnings are forwarded to stderr.
+    let lint = lint_report(args, &cm)?;
+    if !lint.diagnostics.is_empty() {
+        eprint!("{}", lint.render_human());
+    }
+    if !lint.is_clean() {
+        return Err(format!(
+            "{} lint error(s) in {} (see `tce lint`)",
+            lint.error_count(),
+            args.file
+        ));
+    }
+    let tree = load_tree(&args.file)?;
     let cfg = opt_config(args, &tree)?;
     let opt = with_progress_and_metrics(args, || {
         with_trace(args.trace.as_deref(), || optimize(&tree, &cm, &cfg).map_err(|e| e.to_string()))
@@ -902,6 +965,7 @@ mod tests {
             bench_out: "BENCH_7.json".into(),
             bench_baseline: None,
             bench_repeats: 0,
+            deny_warnings: false,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);

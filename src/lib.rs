@@ -7,6 +7,7 @@ pub use tce_dist as dist;
 pub use tce_expr as expr;
 pub use tce_fusion as fusion;
 pub use tce_fuzz as fuzz;
+pub use tce_lint as lint;
 pub use tce_obs as obs;
 pub use tce_opmin as opmin;
 pub use tce_sim as sim;

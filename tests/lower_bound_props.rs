@@ -1,0 +1,77 @@
+//! Property tests for `tce_cost::lower_bound`: over the same random-tree
+//! distribution the fuzzer uses, the certified communication floor never
+//! exceeds the DP optimum, and the storage floor never exceeds the true
+//! footprint of any plan the optimizer emits.
+//!
+//! These are the admissibility invariants the branch-and-bound wiring in
+//! `tce-core` relies on (DESIGN.md §12): an inadmissible floor would not
+//! just weaken a certificate, it could prune the optimal corner.
+
+use tensor_contraction_opt::bench::randtree::{random_tree, TreeParams};
+use tensor_contraction_opt::core::{extract_plan, optimize, OptimizerConfig};
+use tensor_contraction_opt::cost::lower_bound::{
+    comm_lower_bound, mem_floor_words, prove_memory_infeasible,
+};
+use tensor_contraction_opt::cost::{bound, CostModel, MachineModel};
+
+const SEEDS: u64 = 60;
+
+fn models() -> Vec<CostModel> {
+    [4u32, 16]
+        .iter()
+        .map(|&p| CostModel::for_square(MachineModel::itanium_cluster(), p).expect("square"))
+        .collect()
+}
+
+#[test]
+fn certified_comm_floor_never_exceeds_dp_optimum() {
+    let params = TreeParams::default();
+    for seed in 0..SEEDS {
+        let tree = random_tree(seed, &params);
+        for cm in &models() {
+            for replication in [false, true] {
+                let cfg = OptimizerConfig { allow_replication: replication, ..Default::default() };
+                let Ok(opt) = optimize(&tree, cm, &cfg) else { continue };
+                let certified = bound::certify(comm_lower_bound(&tree, cm, replication));
+                assert!(
+                    certified <= opt.comm_cost || (certified - opt.comm_cost).abs() < 1e-9,
+                    "seed {seed} procs {} replication {replication}: \
+                     certified floor {certified} > optimum {}",
+                    cm.grid.num_procs(),
+                    opt.comm_cost
+                );
+                // The wired-through value agrees with a fresh computation.
+                assert!(
+                    (opt.comm_lower_bound - certified).abs() <= 1e-12 * certified.abs().max(1.0),
+                    "seed {seed}: Optimized.comm_lower_bound {} != recomputed {certified}",
+                    opt.comm_lower_bound
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_floor_never_exceeds_emitted_plan_footprint() {
+    let params = TreeParams::default();
+    for seed in 0..SEEDS {
+        let tree = random_tree(seed, &params);
+        for cm in &models() {
+            let cfg = OptimizerConfig::default();
+            let Ok(opt) = optimize(&tree, cm, &cfg) else { continue };
+            let plan = extract_plan(&tree, &opt);
+            let floor = mem_floor_words(&tree, cm, cfg.max_prefix_len);
+            assert!(
+                floor <= plan.mem_words,
+                "seed {seed} procs {}: storage floor {floor} > plan footprint {}",
+                cm.grid.num_procs(),
+                plan.mem_words
+            );
+            // The prover must accept any limit a real plan satisfies.
+            assert!(
+                prove_memory_infeasible(&tree, cm, plan.mem_words, cfg.max_prefix_len).is_none(),
+                "seed {seed}: prover rejected a limit a real plan meets"
+            );
+        }
+    }
+}
