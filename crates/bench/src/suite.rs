@@ -23,7 +23,8 @@
 use std::time::Instant;
 
 use serde_json::{Number, Value};
-use tce_core::{optimize, OptimizerConfig};
+use tce_core::portfolio::plan;
+use tce_core::{optimize, OptimizerConfig, Planner};
 
 use crate::{paper_cost_model, workload_tree};
 
@@ -74,6 +75,14 @@ struct Scenario {
     smoke: bool,
     /// Wall-clock-guarded by the CI baseline comparison.
     guarded: bool,
+    /// Which planner produces the cell's plan (heuristic cells run
+    /// serial-only — the anytime planners are thread-invariant).
+    planner: Planner,
+    /// Wall-clock budget handed to the planner, if any.
+    time_budget_ms: Option<u64>,
+    /// Certified-gap-guarded by the CI baseline comparison
+    /// ([`check_gap_regression`]).
+    gap_guarded: bool,
 }
 
 /// The fixed scenario grid: every standard workload at the paper's
@@ -93,6 +102,9 @@ fn scenarios() -> Vec<Scenario> {
         pruning: true,
         smoke: false,
         guarded: false,
+        planner: Planner::Exact,
+        time_budget_ms: None,
+        gap_guarded: false,
     };
     vec![
         Scenario { smoke: true, ..std_wl("ccsd_tiny", "workloads/ccsd_tiny.tce") },
@@ -103,23 +115,39 @@ fn scenarios() -> Vec<Scenario> {
         Scenario { name: "ccsd/no-pruning", pruning: false, ..std_wl("", "workloads/ccsd.tce") },
         Scenario {
             name: "ccsd_tiny/enlarged",
-            workload: "workloads/ccsd_tiny.tce",
             procs: 64,
             replication: true,
             unrelated_rotation: true,
-            pruning: true,
             smoke: true,
             guarded: true,
+            ..std_wl("", "workloads/ccsd_tiny.tce")
         },
         Scenario {
             name: "ccsd/enlarged",
-            workload: "workloads/ccsd.tce",
             procs: 64,
             replication: true,
             unrelated_rotation: true,
-            pruning: true,
-            smoke: false,
             guarded: true,
+            ..std_wl("", "workloads/ccsd.tce")
+        },
+        // Anytime-planner cells: the heuristics on the full ccsd workload,
+        // gap-gated against the baseline (wall-clock is unguarded — greedy
+        // runs in single-digit milliseconds and the annealer's wall is its
+        // budget, so neither is a meaningful wall regression signal).
+        Scenario {
+            name: "ccsd/greedy",
+            planner: Planner::Greedy,
+            smoke: true,
+            gap_guarded: true,
+            ..std_wl("", "workloads/ccsd.tce")
+        },
+        Scenario {
+            name: "ccsd/anneal_100ms",
+            planner: Planner::Anneal,
+            time_budget_ms: Some(100),
+            smoke: true,
+            gap_guarded: true,
+            ..std_wl("", "workloads/ccsd.tce")
         },
     ]
 }
@@ -158,8 +186,12 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
         for &threads in &THREAD_GRID {
             // Smoke keeps guarded scenarios at the full thread grid (so
             // the thread-scaling gate has a same-run serial reference)
-            // and everything else serial-only.
+            // and everything else serial-only. Heuristic-planner cells are
+            // serial-only everywhere: their plans are thread-invariant.
             if opts.smoke && !sc.guarded && threads != 1 {
+                continue;
+            }
+            if sc.planner != Planner::Exact && threads != 1 {
                 continue;
             }
             progress(&format!("{} @ {} thread(s)", sc.name, threads));
@@ -168,13 +200,19 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
                 allow_unrelated_rotation: sc.unrelated_rotation,
                 disable_pruning: !sc.pruning,
                 threads,
+                planner: sc.planner,
+                time_budget_ms: sc.time_budget_ms,
                 ..OptimizerConfig::default()
             };
             let mut wall_ms = Vec::with_capacity(repeats);
             let mut last = None;
             for _ in 0..repeats {
                 let t0 = Instant::now();
-                let opt = optimize(&tree, &cm, &cfg).map_err(|e| format!("{}: {e}", sc.name))?;
+                let opt = if sc.planner == Planner::Exact {
+                    optimize(&tree, &cm, &cfg).map_err(|e| format!("{}: {e}", sc.name))?
+                } else {
+                    plan(&tree, &cm, &cfg).map_err(|e| format!("{}: {e}", sc.name))?.opt
+                };
                 wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                 last = Some(opt);
             }
@@ -202,11 +240,14 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
                 ("replication", Value::Bool(sc.replication)),
                 ("unrelated_rotation", Value::Bool(sc.unrelated_rotation)),
                 ("guarded", Value::Bool(sc.guarded)),
+                ("planner", text(sc.planner.name())),
+                ("gap_guarded", Value::Bool(sc.gap_guarded)),
                 ("repeats", num_u(repeats as u64)),
                 ("wall_ms_best", num_f(round3(best))),
                 ("wall_ms_median", num_f(round3(median))),
                 ("wall_ms_all", Value::Array(wall_ms.iter().map(|&m| num_f(round3(m))).collect())),
                 ("comm_cost", num_f(opt.comm_cost)),
+                ("certified_gap", num_f(opt.comm_cost - opt.comm_lower_bound)),
                 ("candidates", num_u(c.get(k::CANDIDATES))),
                 ("candidates_per_sec", num_f(round3(c.get(k::CANDIDATES) as f64 / (best / 1e3)))),
                 (
@@ -220,7 +261,7 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
     }
     Ok(obj(vec![
         ("schema", text(SCHEMA)),
-        ("bench_id", num_u(7)),
+        ("bench_id", num_u(8)),
         ("smoke", Value::Bool(opts.smoke)),
         ("scenarios", Value::Array(rows)),
     ]))
@@ -242,6 +283,74 @@ fn median_ms(wall_ms: &[f64]) -> f64 {
         sorted[mid]
     } else {
         (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn gap_cells(v: &Value) -> Vec<(String, u64, bool, f64)> {
+    v.get("scenarios")
+        .and_then(Value::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("scenario")?.as_str()?.to_string(),
+                        r.get("threads")?.as_u64()?,
+                        r.get("gap_guarded").and_then(get_bool).unwrap_or(false),
+                        r.get("certified_gap")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The certified-gap gate: every *gap-guarded* cell (the anytime-planner
+/// scenarios) must not report a certified gap more than `factor` times the
+/// committed baseline's gap for the same cell, plus a small absolute slack
+/// so a zero-gap baseline doesn't make any positive gap an instant
+/// failure. The annealer's result under a wall-clock budget legitimately
+/// varies with machine speed (fewer restarts fit on a slower runner), so
+/// the factor is deliberately coarse — 2× in CI.
+///
+/// Cells missing from either side are ignored here; the wall-clock
+/// comparison ([`compare_to_baseline`]) already hard-errors on cell-set
+/// mismatches. Returns the human-readable table on success.
+pub fn check_gap_regression(
+    current: &Value,
+    baseline: &Value,
+    factor: f64,
+) -> Result<String, String> {
+    const ABS_SLACK_S: f64 = 1e-3;
+    let base = gap_cells(baseline);
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for (name, threads, guarded, cur_gap) in gap_cells(current) {
+        if !guarded {
+            continue;
+        }
+        let Some((_, _, _, base_gap)) =
+            base.iter().find(|(n, t, _, _)| *n == name && *t == threads)
+        else {
+            continue;
+        };
+        let verdict = if cur_gap > base_gap * factor + ABS_SLACK_S {
+            regressions
+                .push(format!("{name} @ {threads}t: gap {cur_gap:.4}s vs baseline {base_gap:.4}s"));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{name} @ {threads}t: certified gap {cur_gap:.4}s vs baseline {base_gap:.4}s {verdict}\n"
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}certified gap regressed beyond {factor}x baseline:\n  {}",
+            regressions.join("\n  ")
+        ))
     }
 }
 
@@ -472,8 +581,8 @@ mod tests {
         assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
         let rows = v.get("scenarios").unwrap().as_array().unwrap();
         // Smoke = ccsd_tiny serial + the guarded enlarged scenario at the
-        // full thread grid.
-        assert_eq!(rows.len(), 1 + THREAD_GRID.len(), "{rows:?}");
+        // full thread grid + the two serial anytime-planner cells.
+        assert_eq!(rows.len(), 1 + THREAD_GRID.len() + 2, "{rows:?}");
         for r in rows {
             assert!(r.get("wall_ms_best").unwrap().as_f64().unwrap() > 0.0);
             assert!(r.get("wall_ms_median").unwrap().as_f64().unwrap() > 0.0);
@@ -495,8 +604,50 @@ mod tests {
         assert_eq!(get_bool(enlarged.get("guarded").unwrap()), Some(true));
         let bnb = enlarged.get("counters").unwrap().get("dp.bnb_skip").unwrap();
         assert!(bnb.as_u64().unwrap() > 0);
+        // The anytime-planner cells are serial-only, gap-guarded, and
+        // report a finite non-negative certified gap.
+        for name in ["ccsd/greedy", "ccsd/anneal_100ms"] {
+            let cells: Vec<&Value> =
+                rows.iter().filter(|r| r.get("scenario").unwrap().as_str() == Some(name)).collect();
+            assert_eq!(cells.len(), 1, "{name} must run exactly once (serial)");
+            let cell = cells[0];
+            assert_eq!(cell.get("threads").unwrap().as_u64(), Some(1));
+            assert_eq!(get_bool(cell.get("gap_guarded").unwrap()), Some(true));
+            assert_eq!(get_bool(cell.get("guarded").unwrap()), Some(false));
+            let gap = cell.get("certified_gap").unwrap().as_f64().unwrap();
+            assert!(gap.is_finite() && gap >= 0.0, "{name}: bad certified gap {gap}");
+        }
         // The thread-scaling gate runs clean on a real smoke report.
         check_thread_scaling(&v, 0.10).unwrap();
+        // The gap gate runs clean against the report itself as baseline.
+        check_gap_regression(&v, &v, 2.0).unwrap();
+    }
+
+    #[test]
+    fn gap_gate_flags_doubled_gaps_on_gap_guarded_cells_only() {
+        let gcell = |name: &str, gap: f64, guarded: bool| {
+            obj(vec![
+                ("scenario", text(name)),
+                ("threads", num_u(1)),
+                ("gap_guarded", Value::Bool(guarded)),
+                ("certified_gap", num_f(gap)),
+            ])
+        };
+        let base = report_of(false, vec![gcell("g", 1.0, true), gcell("u", 1.0, false)]);
+        // Within 2x: ok.
+        let ok = report_of(false, vec![gcell("g", 1.9, true), gcell("u", 9.0, false)]);
+        assert!(check_gap_regression(&ok, &base, 2.0).is_ok());
+        // Beyond 2x on a gap-guarded cell: error naming the cell.
+        let bad = report_of(false, vec![gcell("g", 2.5, true), gcell("u", 1.0, false)]);
+        let err = check_gap_regression(&bad, &base, 2.0).unwrap_err();
+        assert!(err.contains("g @ 1t") && err.contains("REGRESSED"), "{err}");
+        // A zero-gap baseline tolerates a tiny positive gap (absolute
+        // slack), but not a real one.
+        let zbase = report_of(false, vec![gcell("g", 0.0, true)]);
+        let tiny = report_of(false, vec![gcell("g", 1e-6, true)]);
+        assert!(check_gap_regression(&tiny, &zbase, 2.0).is_ok());
+        let real = report_of(false, vec![gcell("g", 0.5, true)]);
+        assert!(check_gap_regression(&real, &zbase, 2.0).is_err());
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub mod codes {
     pub const FIXED_OPERAND_ROTATES: &str = "TCE034";
     /// A rotating array is charged no rotation cost.
     pub const ROTATING_OPERAND_FREE: &str = "TCE035";
+    /// The result rotates but no summation index is distributed, so every
+    /// ring position contributes identically and the result is overcounted.
+    pub const ROTATING_RESULT_UNPARTITIONED: &str = "TCE036";
 
     /// A fused index is not a candidate on its edge.
     pub const FUSION_NOT_CANDIDATE: &str = "TCE041";

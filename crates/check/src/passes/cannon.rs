@@ -205,6 +205,18 @@ impl Pass for CannonPass {
                     .at_node(step.node),
                 );
             }
+            if pat.rotates(Operand::Result) && pat.k.is_none() {
+                out.push(
+                    Diagnostic::error(
+                        codes::ROTATING_RESULT_UNPARTITIONED,
+                        "the result rotates but the summation group has no distributed index — \
+                         every processor along the travel ring adds an identical contribution, \
+                         overcounting the result by the ring length",
+                    )
+                    .at_step(&step.result_name)
+                    .at_node(step.node),
+                );
+            }
             // The pattern fixes all three layouts.
             let dictated = [
                 (Operand::Result, step.result_dist, step.result_name.as_str()),

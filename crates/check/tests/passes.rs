@@ -110,3 +110,22 @@ fn install_upgrades_core_validate_plan_beyond_the_legacy_checks() {
     let err = tce_core::validate_plan(&tree, &plan).expect_err("upgraded checker must reject");
     assert!(err.contains("TCE031"), "{err}");
 }
+
+#[test]
+fn rotating_result_without_distributed_k_is_rejected() {
+    use tce_dist::{Role, RoleAssignment};
+    let (tree, cm, mut plan) = optimized_pair();
+    // Rebuild one pattern so the result itself travels (rotating role I)
+    // while the summation group contributes no index: every ring position
+    // then adds an identical contribution and the result is overcounted.
+    let pat = plan
+        .steps
+        .iter_mut()
+        .find_map(|s| s.pattern.as_mut().filter(|p| p.i.is_some()))
+        .expect("a contraction step selecting an I-group index exists");
+    pat.assign = RoleAssignment { dim1: Role::J, dim2: Role::K };
+    pat.k = None;
+    let report = check_plan(&tree, &plan, Some(&cm), Some(cm.mem_limit_words()));
+    assert!(report.has_code(codes::ROTATING_RESULT_UNPARTITIONED), "{}", report.render_human());
+    assert!(!report.is_clean());
+}

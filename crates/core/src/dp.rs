@@ -22,6 +22,50 @@ use tce_fusion::{edge_candidates, enumerate_prefixes, FusionPrefix};
 
 use crate::solution::{ChildBinding, Choice, SolutionSet};
 
+/// Which planner serves an optimization request (`tce optimize
+/// --planner`). Only [`Planner::Exact`] is handled by [`optimize`]
+/// itself; the heuristics live in [`crate::portfolio`], which samples
+/// restricted configurations of this same DP so every emitted plan passes
+/// the same checks, pins, and memory limit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Planner {
+    /// The exact §3.3 DP (the default; optimal over the searched space).
+    #[default]
+    Exact,
+    /// One greedy descent: cheap, no optimality claim beyond the
+    /// certified gap.
+    Greedy,
+    /// Random-restart simulated annealing under the time budget.
+    Anneal,
+    /// Greedy first, refined by annealing, stopping early when the cost
+    /// reaches `(1 + gap_epsilon) ×` the certified floor or the budget
+    /// expires.
+    Portfolio,
+}
+
+impl Planner {
+    /// The CLI spelling (`--planner <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Planner::Exact => "exact",
+            Planner::Greedy => "greedy",
+            Planner::Anneal => "anneal",
+            Planner::Portfolio => "portfolio",
+        }
+    }
+
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Planner::Exact),
+            "greedy" => Some(Planner::Greedy),
+            "anneal" => Some(Planner::Anneal),
+            "portfolio" => Some(Planner::Portfolio),
+            _ => None,
+        }
+    }
+}
+
 /// Search-space knobs.
 #[derive(Clone, Debug)]
 pub struct OptimizerConfig {
@@ -95,6 +139,31 @@ pub struct OptimizerConfig {
     /// runs; this flag extends it to release builds. Failures surface as
     /// [`OptimizeError::SelfCheck`].
     pub verify: bool,
+    /// Which planner serves the request. [`optimize`] ignores this field
+    /// (it *is* the exact planner); [`crate::portfolio::plan`] dispatches
+    /// on it.
+    pub planner: Planner,
+    /// Wall-clock budget (milliseconds) for the anytime planners; `None`
+    /// = no budget (greedy runs once, annealing uses its default restart
+    /// schedule). Ignored by the exact DP except that `portfolio::plan`
+    /// uses a budgeted exact request to warm-start branch-and-bound with
+    /// a greedy incumbent.
+    pub time_budget_ms: Option<u64>,
+    /// Seed for the annealer's RNG — the only randomness source, so equal
+    /// seeds reproduce identical anneal trajectories and plans.
+    pub anneal_seed: u64,
+    /// Anytime early-stop: the portfolio stops once
+    /// `cost ≤ (1 + gap_epsilon) × certified_floor`.
+    pub gap_epsilon: f64,
+    /// Warm incumbent upper bound (model seconds) from a heuristic plan
+    /// of the *same* configuration: candidates whose certified subtree
+    /// floor plus rest-of-tree floor exceeds it are skipped before the
+    /// dominance corner query. Admissible (the incumbent is the cost of a
+    /// real plan, so the optimum is ≤ it), hence the winning plan and
+    /// cost are bit-identical to a cold run — only search-effort counters
+    /// move. Active only in staircase mode with lower bounds on and no
+    /// pattern/fusion pins (the same gate as the corner floors).
+    pub warm_upper_bound: Option<f64>,
 }
 
 impl Default for OptimizerConfig {
@@ -115,6 +184,11 @@ impl Default for OptimizerConfig {
             contiguous_partition: false,
             spawn_amort_ns: None,
             verify: false,
+            planner: Planner::Exact,
+            time_budget_ms: None,
+            anneal_seed: 0x7ce_5eed,
+            gap_epsilon: 0.01,
+            warm_upper_bound: None,
         }
     }
 }
@@ -181,6 +255,10 @@ pub struct NodeStats {
     /// pre-compaction working set. A deterministic function of arena
     /// contents, so equivalence checks compare it like any other field.
     pub arena_hw_bytes: u64,
+    /// Whether this node's own communication floor was computed exactly
+    /// (`false` when the combo-budget fallback collapsed it to zero, or
+    /// when lower bounds are disabled). Deterministic.
+    pub floor_exact: bool,
 }
 
 /// The optimization outcome: the per-node solution sets plus the winning
@@ -217,6 +295,15 @@ pub struct Optimized {
     /// disabled. `comm_cost − comm_lower_bound` is the certified
     /// optimality gap reported by `tce explain` / `tce report`.
     pub comm_lower_bound: f64,
+    /// Whether `comm_lower_bound` is the exact kernel minimum at every
+    /// node. `false` when any node's floor enumeration fell back to the
+    /// degenerate zero (`MAX_COMBOS_PER_NODE` in `tce_cost::lower_bound`)
+    /// or when lower bounds are disabled: the certificate is still
+    /// admissible, but the reported gap is an over-estimate and must not
+    /// be read as tight. Surfaced in `tce explain` / `tce report`; the
+    /// per-node breakdown is [`NodeStats::floor_exact`] and the fallback
+    /// count is the `lb.floor_fallback` counter.
+    pub comm_floor_exact: bool,
 }
 
 /// Reject `input_dists` entries that could never take effect: a name that
@@ -355,23 +442,71 @@ pub fn optimize(
     // floors simply stay off under pins (they only ever widen skips,
     // never change which plan wins).
     let lb_replication = cfg.allow_replication || cfg.fixed_patterns.is_some();
-    let (corner_floors, comm_lower_bound): (HashMap<NodeId, f64>, f64) = if cfg.disable_lower_bounds
-    {
-        (HashMap::new(), 0.0)
+    // Nearest-grid rcost extrapolations are surfaced per run as a counter
+    // delta (the process-wide total minus this snapshot). Concurrent runs
+    // can interleave into the delta, which is one more reason the counter
+    // sits in `NONDETERMINISTIC_COUNTERS`.
+    let rcost_fallbacks_before = tce_cost::rcost_fallback_count();
+    struct Floors {
+        corners: HashMap<NodeId, f64>,
+        warm_cuts: HashMap<NodeId, f64>,
+        root: f64,
+        root_exact: bool,
+        node_exact: HashMap<NodeId, bool>,
+        fallback_nodes: u64,
+    }
+    let floors = if cfg.disable_lower_bounds {
+        Floors {
+            corners: HashMap::new(),
+            warm_cuts: HashMap::new(),
+            root: 0.0,
+            root_exact: false,
+            node_exact: HashMap::new(),
+            fallback_nodes: 0,
+        }
     } else {
-        let raw = tce_cost::lower_bound::subtree_comm_floors(tree, cm, lb_replication);
-        let root_floor = tce_cost::bound::certify(raw[&tree.root()]);
-        let corners = if !cfg.disable_pruning
+        let detail = tce_cost::lower_bound::subtree_comm_floors_detailed(tree, cm, lb_replication);
+        let raw_root = detail.floors[&tree.root()];
+        let root_floor = tce_cost::bound::certify(raw_root);
+        let root_exact = detail.root_exact(tree);
+        let corners_active = !cfg.disable_pruning
             && !cfg.legacy_frontier
             && cfg.fixed_patterns.is_none()
-            && cfg.fixed_fusion.is_none()
-        {
-            raw.into_iter().map(|(k, v)| (k, tce_cost::bound::certify(v))).collect()
+            && cfg.fixed_fusion.is_none();
+        // Warm-start cut per node: a candidate whose certified subtree
+        // floor exceeds `incumbent − rest_floor(node)` can only complete
+        // to plans strictly costlier than the incumbent — and the
+        // incumbent is the cost of a real plan of this configuration, so
+        // the optimum (and every tie with it) survives. `certify` shrinks
+        // the rest floor so float re-association cannot make the cut
+        // inadmissible. Gated exactly like the corner floors: the skip
+        // never changes which plan wins, only the work done.
+        let warm_cuts = match cfg.warm_upper_bound {
+            Some(ub) if corners_active => detail
+                .floors
+                .iter()
+                .map(|(&n, &f)| {
+                    let rest = tce_cost::bound::certify((raw_root - f).max(0.0));
+                    (n, ub - rest)
+                })
+                .collect(),
+            _ => HashMap::new(),
+        };
+        let corners = if corners_active {
+            detail.floors.into_iter().map(|(k, v)| (k, tce_cost::bound::certify(v))).collect()
         } else {
             HashMap::new()
         };
-        (corners, root_floor)
+        Floors {
+            corners,
+            warm_cuts,
+            root: root_floor,
+            root_exact,
+            node_exact: detail.node_exact,
+            fallback_nodes: detail.fallback_nodes,
+        }
     };
+    let (corner_floors, comm_lower_bound) = (floors.corners, floors.root);
     let threads = match cfg.threads {
         0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         n => n,
@@ -423,6 +558,7 @@ pub fn optimize(
             !cfg.disable_lower_bounds,
         );
         let node_floor = corner_floors.get(&node).copied().unwrap_or(0.0);
+        let warm_cut = floors.warm_cuts.get(&node).copied().unwrap_or(f64::INFINITY);
         let enum_stats = match &n.kind {
             NodeKind::Contract { left, right, .. } => {
                 if let Ok(groups) = tree.contraction_groups(node) {
@@ -444,6 +580,7 @@ pub fn optimize(
                         &sets,
                         limit,
                         node_floor,
+                        warm_cut,
                         &mut set,
                     )
                 } else {
@@ -463,6 +600,7 @@ pub fn optimize(
                         &sets,
                         limit,
                         node_floor,
+                        warm_cut,
                         &mut set,
                     )
                 }
@@ -480,6 +618,7 @@ pub fn optimize(
                 &sets,
                 limit,
                 node_floor,
+                warm_cut,
                 &mut set,
             ),
             NodeKind::Leaf => unreachable!(),
@@ -496,6 +635,7 @@ pub fn optimize(
         counters.add(tce_obs::names::BNB_SKIP, set.bnb_skip);
         counters.add(tce_obs::names::BNB_BLOCK, set.bnb_block);
         counters.add(tce_obs::names::BNB_FLOOR, set.bnb_floor);
+        counters.add(tce_obs::names::BNB_WARM, set.bnb_warm);
         // Scheduler counters: block count is the serial item count (a pure
         // function of the search space, identical at every thread count);
         // the steal total is a race outcome and joins the memo/bnb families
@@ -545,6 +685,7 @@ pub fn optimize(
             keys: set.key_count(),
             widest_front: set.max_key_live(),
             arena_hw_bytes: arena_hw,
+            floor_exact: floors.node_exact.get(&node).copied().unwrap_or(false),
         });
         nodes_done += 1;
         if tce_obs::stream::enabled() {
@@ -599,6 +740,14 @@ pub fn optimize(
             ],
         });
     }
+    // Fallback accounting: the floor-fallback count is a deterministic
+    // function of the tree (computed once coordinator-side), so it joins
+    // the report counters; the rcost delta is interleaving-dependent.
+    counters.add(tce_obs::names::LB_FLOOR_FALLBACK, floors.fallback_nodes);
+    counters.add(
+        tce_obs::names::RCOST_FALLBACK,
+        tce_cost::rcost_fallback_count().saturating_sub(rcost_fallbacks_before),
+    );
     let result = Optimized {
         comm_cost: best_cost + output_redist_cost,
         mem_words: root_set.mem(best_index),
@@ -610,6 +759,7 @@ pub fn optimize(
         counters,
         sets,
         comm_lower_bound,
+        comm_floor_exact: floors.root_exact,
     };
     // Self-check: statically verify the winning plan before handing it
     // out. Always on in debug builds; `cfg.verify` extends it to release.
@@ -906,6 +1056,7 @@ fn combine_contraction(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     node_floor: f64,
+    warm_cut: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -1057,6 +1208,17 @@ fn combine_contraction(
                     let tail = tce_cost::bound::certify(lc + rc0 + rot_total).max(node_floor);
                     let tail_mem = lm + rm0 + my_mem;
                     let tail_msg = block_msg.max(lg).max(rg0);
+                    // Warm-start: a static cut against the incumbent,
+                    // checked before the frontier-dependent corner query
+                    // so it fires identically no matter how the block
+                    // stream is partitioned across workers.
+                    if tail > warm_cut {
+                        let pairs = (lslate.opts.len() - row) as u64 * rslate.opts.len() as u64;
+                        account_block(local, lslate, row, rslate, my_mem, block_msg, limit);
+                        local.bnb_block += 1;
+                        local.bnb_warm += pairs;
+                        break 'rows;
+                    }
                     if local.dominates_corner_keyed(&kh, tail, tail_mem, tail_msg) {
                         if tail == node_floor
                             && !local.dominates_corner_keyed(
@@ -1078,6 +1240,12 @@ fn combine_contraction(
                     let rowb = tce_cost::bound::certify(lt + rc0 + rot_total).max(node_floor);
                     let row_mem = lopt.mem_words + rm0 + my_mem;
                     let row_msg = block_msg.max(lopt.max_msg_words).max(rg0);
+                    if rowb > warm_cut {
+                        account_row(local, lopt, rslate, my_mem, block_msg, limit);
+                        local.bnb_block += 1;
+                        local.bnb_warm += rslate.opts.len() as u64;
+                        continue 'rows;
+                    }
                     if local.dominates_corner_keyed(&kh, rowb, row_mem, row_msg) {
                         if rowb == node_floor
                             && !local.dominates_corner_keyed(
@@ -1170,6 +1338,7 @@ fn combine_elementwise(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     node_floor: f64,
+    warm_cut: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -1240,6 +1409,15 @@ fn combine_elementwise(
                     let tail = tce_cost::bound::certify(lc + rc0).max(node_floor);
                     let tail_mem = lm + rm0 + my_mem;
                     let tail_msg = lg.max(rg0);
+                    // Warm-start static cut, before the frontier query
+                    // (see combine_contraction).
+                    if tail > warm_cut {
+                        let pairs = (lslate.opts.len() - row) as u64 * rslate.opts.len() as u64;
+                        account_block(local, lslate, row, rslate, my_mem, 0, limit);
+                        local.bnb_block += 1;
+                        local.bnb_warm += pairs;
+                        break 'rows;
+                    }
                     if local.dominates_corner_keyed(&kh, tail, tail_mem, tail_msg) {
                         if tail == node_floor
                             && !local.dominates_corner_keyed(
@@ -1259,6 +1437,12 @@ fn combine_elementwise(
                     let rowb = tce_cost::bound::certify(lt + rc0).max(node_floor);
                     let row_mem = lopt.mem_words + rm0 + my_mem;
                     let row_msg = lopt.max_msg_words.max(rg0);
+                    if rowb > warm_cut {
+                        account_row(local, lopt, rslate, my_mem, 0, limit);
+                        local.bnb_block += 1;
+                        local.bnb_warm += rslate.opts.len() as u64;
+                        continue 'rows;
+                    }
                     if local.dominates_corner_keyed(&kh, rowb, row_mem, row_msg) {
                         if rowb == node_floor
                             && !local.dominates_corner_keyed(
@@ -1344,6 +1528,7 @@ fn combine_reduce(
     sets: &HashMap<NodeId, SolutionSet>,
     limit: u128,
     node_floor: f64,
+    warm_cut: f64,
     out: &mut SolutionSet,
 ) -> crate::sched::EnumStats {
     let space = &tree.space;
@@ -1428,8 +1613,12 @@ fn combine_reduce(
             if local.bounds_active() {
                 let (cc0, cm0, cg0) = cslate.floors[0];
                 let lb = tce_cost::bound::certify(cc0 + reduce_cost).max(node_floor);
-                if local.dominates_corner_keyed(&kh, lb, cm0 + my_mem, cg0) {
-                    if lb == node_floor
+                // Warm-start static cut, checked before the frontier
+                // query (see combine_contraction).
+                let warm_skip = lb > warm_cut;
+                if warm_skip || local.dominates_corner_keyed(&kh, lb, cm0 + my_mem, cg0) {
+                    if !warm_skip
+                        && lb == node_floor
                         && !local.dominates_corner_keyed(
                             &kh,
                             tce_cost::bound::certify(cc0 + reduce_cost),
@@ -1453,6 +1642,9 @@ fn combine_reduce(
                         }
                     }
                     local.bnb_block += 1;
+                    if warm_skip {
+                        local.bnb_warm += n;
+                    }
                     continue;
                 }
             }

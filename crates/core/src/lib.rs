@@ -39,6 +39,7 @@ mod explain;
 mod frontier;
 mod hook;
 mod plan;
+pub mod portfolio;
 mod provenance;
 mod report;
 mod sched;
@@ -46,7 +47,7 @@ mod solution;
 mod stats;
 
 pub use codegen::render_spmd;
-pub use dp::{optimize, NodeStats, OptimizeError, Optimized, OptimizerConfig};
+pub use dp::{optimize, NodeStats, OptimizeError, Optimized, OptimizerConfig, Planner};
 pub use explain::{explain, Explanation};
 pub use frontier::{frontier_plan, root_frontier, FrontierPoint};
 pub use hook::{install_plan_checker, plan_checker, PlanChecker};

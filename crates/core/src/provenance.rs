@@ -113,6 +113,11 @@ pub struct Provenance {
     pub lower_bound: f64,
     /// `comm_cost − lower_bound`, the certified optimality gap.
     pub gap: f64,
+    /// Whether `lower_bound` is the exact kernel minimum at every node
+    /// ([`Optimized::comm_floor_exact`]). `false` means some node's floor
+    /// enumeration fell back to the degenerate zero, so `gap` is an
+    /// over-estimate and must not be read as tight.
+    pub lower_bound_exact: bool,
 }
 
 /// Number of kernel invocations of `step`: the product of the per-
@@ -294,6 +299,7 @@ pub fn build_provenance(
         comm_cost: opt.comm_cost,
         lower_bound: opt.comm_lower_bound,
         gap: opt.comm_cost - opt.comm_lower_bound,
+        lower_bound_exact: opt.comm_floor_exact,
     }
 }
 
@@ -366,8 +372,13 @@ pub fn render_provenance(tree: &ExprTree, prov: &Provenance) -> String {
         t.align, t.shift, t.home, t.redistribute, t.reduce
     );
     let _ = writeln!(out, "total comm cost: {:.6} s (plan: {:.6} s)", t.total(), prov.comm_cost);
-    let _ =
-        writeln!(out, "certified lower bound: {:.6} s (gap {:.6} s)", prov.lower_bound, prov.gap);
+    let _ = writeln!(
+        out,
+        "certified lower bound: {:.6} s (gap {:.6} s{})",
+        prov.lower_bound,
+        prov.gap,
+        if prov.lower_bound_exact { "" } else { "; floor inexact — gap is an over-estimate" }
+    );
     out
 }
 
@@ -466,6 +477,7 @@ pub fn report_json(
                 ("comm_by_kind".to_string(), kind_obj(&np.kinds)),
                 ("runner_ups".to_string(), Value::Array(runner_ups)),
                 ("frontier_keys".to_string(), Value::Array(keys)),
+                ("floor_exact".to_string(), Value::Bool(stats.floor_exact)),
                 ("candidates".to_string(), uint(stats.candidates)),
                 ("pruned_inferior".to_string(), uint(stats.pruned_inferior)),
                 ("pruned_memory".to_string(), uint(stats.pruned_memory)),
@@ -482,6 +494,7 @@ pub fn report_json(
         ("schema".to_string(), Value::String("tce-report/v2".to_string())),
         ("comm_cost".to_string(), float(opt.comm_cost)),
         ("lower_bound".to_string(), float(prov.lower_bound)),
+        ("lower_bound_exact".to_string(), Value::Bool(prov.lower_bound_exact)),
         ("gap".to_string(), float(prov.gap)),
         ("output_redist_cost".to_string(), float(opt.output_redist_cost)),
         ("mem_words".to_string(), big(opt.mem_words)),

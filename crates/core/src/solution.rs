@@ -298,6 +298,12 @@ pub struct SolutionSet {
     /// static subtree communication floor (`tce_cost::lower_bound`) tighter
     /// than the slate's own tail floor. Interleaving-dependent.
     pub bnb_floor: u64,
+    /// Candidates skipped because their certified floor plus the
+    /// rest-of-tree floor exceeds a warm incumbent upper bound
+    /// (heuristic warm-start). A subset of `bnb_skip`'s population;
+    /// interleaving-dependent because a dominance tail-break can preempt
+    /// later rows' warm checks.
+    pub bnb_warm: u64,
     /// When `false`, dominated candidates are kept (the §3.3 pruning
     /// ablation); memory-limit pruning stays active.
     pruning_enabled: bool,
@@ -344,6 +350,7 @@ impl SolutionSet {
             bnb_skip: 0,
             bnb_block: 0,
             bnb_floor: 0,
+            bnb_warm: 0,
             pruning_enabled: pruning,
             legacy_frontier,
             bounds_enabled: bounds && pruning && !legacy_frontier,
@@ -713,6 +720,7 @@ impl SolutionSet {
         self.bnb_skip += other.bnb_skip;
         self.bnb_block += other.bnb_block;
         self.bnb_floor += other.bnb_floor;
+        self.bnb_warm += other.bnb_warm;
         let Arena { costs, mems, msgs, dists, fusions, choices } = other.arena;
         let it = costs.into_iter().zip(mems).zip(msgs).zip(dists).zip(fusions).zip(choices);
         for (((((cost, mem), msg), dist), fusion), choice) in it {

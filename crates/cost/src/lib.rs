@@ -39,4 +39,6 @@ pub use breakdown::CommBreakdown;
 pub use machine::MachineModel;
 pub use memo::CostMemo;
 pub use model::CostModel;
-pub use rcost::{characterize, Characterization, CostError, GridTable, RCostPoint};
+pub use rcost::{
+    characterize, rcost_fallback_count, Characterization, CostError, GridTable, RCostPoint,
+};

@@ -56,6 +56,23 @@ use crate::units::WORD_BYTES;
 /// contraction nodes are orders of magnitude below this.
 const MAX_COMBOS_PER_NODE: usize = 1 << 20;
 
+/// One node's communication floor plus whether it was computed exactly.
+///
+/// `exact == false` means the enumeration fell back to the degenerate
+/// (but still admissible) floor of zero because the node's
+/// `patterns × surrounding-subsets` space exceeded
+/// [`MAX_COMBOS_PER_NODE`] (or was empty). A gap reported against an
+/// inexact floor is still sound — the true floor is only higher — but it
+/// is *not* a tight certificate, and callers must surface that.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeFloor {
+    /// The admissible floor (model seconds).
+    pub floor: f64,
+    /// Whether the floor is the exact kernel minimum (no combo-budget
+    /// fallback fired at this node).
+    pub exact: bool,
+}
+
 /// The communication floor of one node: zero except for proper
 /// contractions, where it is the minimum summed rotation cost over every
 /// Cannon pattern (under the given `allow_replication`) and every fused
@@ -70,12 +87,26 @@ pub fn node_comm_floor(
     node: NodeId,
     allow_replication: bool,
 ) -> f64 {
+    node_comm_floor_detailed(tree, cm, node, allow_replication).floor
+}
+
+/// [`node_comm_floor`] with the exactness flag: reports whether the
+/// returned floor is the true kernel minimum or the combo-budget
+/// zero fallback (`lower_bound.rs` previously collapsed both to `0.0`
+/// silently, making degenerate certificates look real).
+pub fn node_comm_floor_detailed(
+    tree: &ExprTree,
+    cm: &CostModel,
+    node: NodeId,
+    allow_replication: bool,
+) -> NodeFloor {
     let n = tree.node(node);
     let NodeKind::Contract { left, right, .. } = n.kind else {
-        return 0.0;
+        return NodeFloor { floor: 0.0, exact: true };
     };
     let Ok(groups) = tree.contraction_groups(node) else {
-        return 0.0; // element-wise multiply: aligned, no rotation
+        // element-wise multiply: aligned, no rotation
+        return NodeFloor { floor: 0.0, exact: true };
     };
     let patterns = enumerate_patterns(&groups, allow_replication);
     let loops: Vec<IndexId> = n.loop_indices().iter().collect();
@@ -83,7 +114,7 @@ pub fn node_comm_floor(
         || loops.len() >= usize::BITS as usize
         || patterns.len().saturating_mul(1usize << loops.len()) > MAX_COMBOS_PER_NODE
     {
-        return 0.0;
+        return NodeFloor { floor: 0.0, exact: false };
     }
     let space = &tree.space;
     let operands: [(&Tensor, Operand); 3] = [
@@ -149,9 +180,37 @@ pub fn node_comm_floor(
         }
     }
     if best.is_finite() {
-        best
+        NodeFloor { floor: best, exact: true }
     } else {
-        0.0
+        // Defensive: every pattern's mask-0 combination contributes a
+        // finite total when patterns are non-empty, so this is a fallback.
+        NodeFloor { floor: 0.0, exact: false }
+    }
+}
+
+/// The whole tree's postorder floors, with exactness accounting.
+#[derive(Clone, Debug)]
+pub struct SubtreeFloors {
+    /// `floor[v] = node_comm_floor(v) + Σ floor[children]` — a lower
+    /// bound (in exact arithmetic; certify before comparing) on the
+    /// subtree communication cost of every solution the DP can store at
+    /// `v`.
+    pub floors: HashMap<NodeId, f64>,
+    /// Whether the floor at `v` is exact: the AND of [`NodeFloor::exact`]
+    /// over the whole subtree rooted at `v`.
+    pub exact: HashMap<NodeId, bool>,
+    /// Whether `v`'s *own* per-node floor was computed exactly (no
+    /// combo-budget fallback at `v` itself, children not considered).
+    pub node_exact: HashMap<NodeId, bool>,
+    /// Number of nodes whose *own* floor fell back to the degenerate
+    /// zero (the `lb.floor_fallback` counter).
+    pub fallback_nodes: u64,
+}
+
+impl SubtreeFloors {
+    /// Whether the whole-tree certificate (the root floor) is exact.
+    pub fn root_exact(&self, tree: &ExprTree) -> bool {
+        self.exact.get(&tree.root()).copied().unwrap_or(false)
     }
 }
 
@@ -164,13 +223,33 @@ pub fn subtree_comm_floors(
     cm: &CostModel,
     allow_replication: bool,
 ) -> HashMap<NodeId, f64> {
-    let mut out: HashMap<NodeId, f64> = HashMap::new();
+    subtree_comm_floors_detailed(tree, cm, allow_replication).floors
+}
+
+/// [`subtree_comm_floors`] with per-subtree exactness flags and the count
+/// of combo-budget fallbacks, so callers can tell a tight certificate
+/// from a degenerate one.
+pub fn subtree_comm_floors_detailed(
+    tree: &ExprTree,
+    cm: &CostModel,
+    allow_replication: bool,
+) -> SubtreeFloors {
+    let mut floors: HashMap<NodeId, f64> = HashMap::new();
+    let mut exact: HashMap<NodeId, bool> = HashMap::new();
+    let mut node_exact: HashMap<NodeId, bool> = HashMap::new();
+    let mut fallback_nodes = 0u64;
     for node in tree.postorder() {
-        let children: f64 = tree.children(node).iter().map(|c| out[c]).sum();
-        let floor = node_comm_floor(tree, cm, node, allow_replication) + children;
-        out.insert(node, floor);
+        let children: f64 = tree.children(node).iter().map(|c| floors[c]).sum();
+        let children_exact = tree.children(node).iter().all(|c| exact[c]);
+        let nf = node_comm_floor_detailed(tree, cm, node, allow_replication);
+        if !nf.exact {
+            fallback_nodes += 1;
+        }
+        floors.insert(node, nf.floor + children);
+        exact.insert(node, nf.exact && children_exact);
+        node_exact.insert(node, nf.exact);
     }
-    out
+    SubtreeFloors { floors, exact, node_exact, fallback_nodes }
 }
 
 /// The memory-independent communication lower bound of the whole tree:
@@ -455,6 +534,54 @@ mod tests {
         assert!(!proof.largest_node.is_empty());
         assert!(proof.largest_words > 0);
         assert!(comm_lower_bound_with_limit(&tree, &cm, floor - 1, 2, false).is_none());
+    }
+
+    #[test]
+    fn small_trees_have_exact_floors() {
+        let tree = matmul(64);
+        let cm = cm4();
+        let detail = subtree_comm_floors_detailed(&tree, &cm, false);
+        assert_eq!(detail.fallback_nodes, 0);
+        assert!(detail.root_exact(&tree));
+        assert!(detail.exact.values().all(|&e| e));
+        // The detailed floors agree with the legacy API.
+        let legacy = subtree_comm_floors(&tree, &cm, false);
+        assert_eq!(detail.floors, legacy);
+    }
+
+    #[test]
+    fn combo_budget_fallback_is_reported_not_silent() {
+        // 21 loop indices push patterns × 2^|loops| over the per-node
+        // combo budget: the floor degrades to 0 but must say so.
+        let mut src = String::new();
+        let mut a_dims = Vec::new();
+        let mut b_dims = Vec::new();
+        for d in 0..10 {
+            src.push_str(&format!("range i{d} = 2; range j{d} = 2;\n"));
+            a_dims.push(format!("i{d}"));
+            b_dims.push(format!("j{d}"));
+        }
+        src.push_str("range k = 2;\n");
+        src.push_str(&format!(
+            "input A[{},k]; input B[k,{}];\n",
+            a_dims.join(","),
+            b_dims.join(",")
+        ));
+        src.push_str(&format!(
+            "C[{},{}] = sum[k] A[{},k]*B[k,{}];\n",
+            a_dims.join(","),
+            b_dims.join(","),
+            a_dims.join(","),
+            b_dims.join(",")
+        ));
+        let tree = parse(&src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+        let cm = cm4();
+        let nf = node_comm_floor_detailed(&tree, &cm, tree.root(), false);
+        assert_eq!(nf.floor, 0.0);
+        assert!(!nf.exact, "combo-budget fallback must be flagged");
+        let detail = subtree_comm_floors_detailed(&tree, &cm, false);
+        assert_eq!(detail.fallback_nodes, 1);
+        assert!(!detail.root_exact(&tree));
     }
 
     #[test]

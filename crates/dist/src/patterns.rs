@@ -227,6 +227,14 @@ pub fn enumerate_patterns(
                     if pat.k.is_some() && pat.rotation_index().is_none() {
                         continue;
                     }
+                    // The dual: a rotating result travels across K's grid
+                    // dimension accumulating per-k-block partial sums. With
+                    // no index on K that dimension partitions nothing, so
+                    // every processor along the ring adds an *identical*
+                    // contribution and the result is overcounted q times.
+                    if pat.rotates(Operand::Result) && pat.k.is_none() {
+                        continue;
+                    }
                     out.push(pat);
                 }
             }
@@ -267,8 +275,9 @@ mod tests {
         // × 2 grid orientations).
         assert_eq!(pats.len(), 48);
         // With replication options: 3·3·3·6 minus the 24 non-executable
-        // combinations (distributed k with a selection-less rotating role).
-        assert_eq!(enumerate_patterns(&g, true).len(), 138);
+        // combinations (distributed k with a selection-less rotating role)
+        // minus the 24 overcounting ones (rotating result with k = None).
+        assert_eq!(enumerate_patterns(&g, true).len(), 114);
     }
 
     #[test]
@@ -330,7 +339,11 @@ mod tests {
             k: IndexSet::new(),
         };
         let pats = enumerate_patterns(&g, false);
-        assert_eq!(pats.len(), 6);
+        // Only the two K-rotating assignments survive: with K empty, a
+        // rotating I or J would make the result travel across an
+        // unpartitioned grid dimension and overcount q-fold.
+        assert_eq!(pats.len(), 2);
+        assert!(pats.iter().all(|p| p.assign.rotating() == Role::K));
         let classical = pats
             .iter()
             .find(|p| p.assign == RoleAssignment { dim1: Role::I, dim2: Role::J })
@@ -347,6 +360,11 @@ mod tests {
     fn every_pattern_is_internally_consistent() {
         let (_, g) = step1();
         for pat in enumerate_patterns(&g, true) {
+            // Executability: a rotating result implies a distributed
+            // summation index to accumulate across the travel ring.
+            if pat.rotates(Operand::Result) {
+                assert!(pat.k.is_some(), "rotating result with k = None enumerated");
+            }
             // Exactly the operands carrying the rotating role rotate.
             let rot = pat.assign.rotating();
             for op in Operand::ALL {

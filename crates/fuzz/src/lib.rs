@@ -32,6 +32,14 @@
 //!    (`tce_cost::lower_bound`, DESIGN.md §12) never exceeds the DP
 //!    optimum, and the memory-footprint floor never exceeds the winning
 //!    plan's actual per-processor footprint.
+//! 9. **Anytime planners** — the greedy and annealing heuristics
+//!    (`tce_core::portfolio`) sample restricted configurations of the
+//!    same DP, so heuristic cost ≥ DP optimum ≥ certified floor; every
+//!    heuristic plan passes the full deep validation and is identical at
+//!    every thread count; and warm-starting the exact branch-and-bound
+//!    with the greedy incumbent leaves the exact plan, cost, and
+//!    footprint bit-identical (only `dp.bnb_*` effort counters and the
+//!    frontier shape may move).
 //!
 //! On failure, [`shrink::shrink_tree`] minimizes the tree (drop subtrees,
 //! re-root, shrink extents) while the failure reproduces, and the
@@ -50,7 +58,7 @@ use std::collections::HashMap;
 
 use tce_bench::randtree::{random_tree, TreeParams};
 use tce_core::exhaustive::exhaustive_min;
-use tce_core::{extract_plan, optimize, OptimizeError, OptimizerConfig};
+use tce_core::{extract_plan, optimize, OptimizeError, OptimizerConfig, Planner};
 use tce_cost::CostModel;
 use tce_expr::ExprTree;
 use tce_sim::simulate_traced;
@@ -446,6 +454,109 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
                             v,
                             contig.counters.get(counter)
                         ),
+                    ));
+                }
+            }
+        }
+
+        // Oracle 9: the anytime planners. A heuristic sample pins
+        // patterns/fusion and re-runs the same DP, so its search space is
+        // a subset of the exact one: heuristic cost ≥ DP optimum (≥ the
+        // certified floor by oracle 8). Heuristic plans must survive the
+        // full deep validation, be identical at every thread count (the
+        // annealer's only entropy is its seed), and the greedy incumbent
+        // used as a warm upper bound must leave the exact plan,
+        // cost, and footprint bit-identical — warm skips only remove
+        // candidates that cannot beat a real plan's cost.
+        {
+            let mut greedy_cost = None;
+            for planner in [Planner::Greedy, Planner::Anneal] {
+                let name = planner.name();
+                let cfg1 = OptimizerConfig { planner, ..base_config(cfg) };
+                let p1 = tce_core::portfolio::plan(tree, &cm, &cfg1)
+                    .map_err(|e| fail("portfolio", format!("p={procs} {name}: {e:?}")))?;
+                stats.optimizations += p1.evaluations as usize;
+                if p1.opt.comm_cost < base.comm_cost
+                    && !approx_eq(p1.opt.comm_cost, base.comm_cost, 1e-9)
+                {
+                    return Err(fail(
+                        "portfolio",
+                        format!(
+                            "p={procs}: {name} cost {} beats the exact optimum {}",
+                            p1.opt.comm_cost, base.comm_cost
+                        ),
+                    ));
+                }
+                if p1.opt.comm_lower_bound > p1.opt.comm_cost
+                    && !approx_eq(p1.opt.comm_lower_bound, p1.opt.comm_cost, 1e-9)
+                {
+                    return Err(fail(
+                        "portfolio",
+                        format!(
+                            "p={procs}: {name} certificate {} exceeds its own cost {}",
+                            p1.opt.comm_lower_bound, p1.opt.comm_cost
+                        ),
+                    ));
+                }
+                if p1.incumbents.windows(2).any(|w| w[1] > w[0]) {
+                    return Err(fail(
+                        "portfolio",
+                        format!(
+                            "p={procs}: {name} incumbent trajectory increased: {:?}",
+                            p1.incumbents
+                        ),
+                    ));
+                }
+                validate_plan_deeply(
+                    tree,
+                    &cm,
+                    cfg,
+                    &p1.opt,
+                    machine_limit,
+                    &format!("p={procs} {name}"),
+                    &mut stats,
+                )?;
+                let p1_json = extract_plan(tree, &p1.opt).to_json();
+                for &t in cfg.threads.iter().filter(|&&t| t != 1) {
+                    let ct = OptimizerConfig { planner, threads: t, ..base_config(cfg) };
+                    let pt = tce_core::portfolio::plan(tree, &cm, &ct)
+                        .map_err(|e| fail("portfolio", format!("p={procs} {name} t={t}: {e:?}")))?;
+                    stats.optimizations += pt.evaluations as usize;
+                    if extract_plan(tree, &pt.opt).to_json() != p1_json {
+                        return Err(fail(
+                            "portfolio",
+                            format!("p={procs} {name} t={t}: heuristic plan differs from t=1"),
+                        ));
+                    }
+                }
+                if planner == Planner::Greedy {
+                    greedy_cost = Some(p1.opt.comm_cost);
+                }
+            }
+            if let Some(ub) = greedy_cost {
+                let warm = optimize(
+                    tree,
+                    &cm,
+                    &OptimizerConfig { warm_upper_bound: Some(ub), ..base_config(cfg) },
+                )
+                .map_err(|e| fail("portfolio", format!("p={procs} warm: {e:?}")))?;
+                stats.optimizations += 1;
+                if warm.comm_cost.to_bits() != base.comm_cost.to_bits()
+                    || warm.mem_words != base.mem_words
+                    || warm.max_msg_words != base.max_msg_words
+                {
+                    return Err(fail(
+                        "portfolio",
+                        format!(
+                            "p={procs}: warm-started exact run moved: cost {} vs {}, mem {} vs {}",
+                            warm.comm_cost, base.comm_cost, warm.mem_words, base.mem_words
+                        ),
+                    ));
+                }
+                if extract_plan(tree, &warm).to_json() != base_json {
+                    return Err(fail(
+                        "portfolio",
+                        format!("p={procs}: warm-started exact plan differs from cold"),
                     ));
                 }
             }

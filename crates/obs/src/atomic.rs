@@ -32,7 +32,7 @@ impl AtomicCounters {
         let i = self
             .entries
             .binary_search_by_key(&name, |&(n, _)| n)
-            .expect("counter name registered at construction (the fixed layout cannot grow)");
+            .expect("counter name not registered at construction; the fixed layout cannot grow");
         &self.entries[i].1
     }
 

@@ -115,6 +115,22 @@ pub mod names {
     pub const NODE_CANDIDATES: &str = "dp.node_candidates";
     /// Histogram of live frontier size per node (metrics registry).
     pub const NODE_LIVE: &str = "dp.node_live";
+    /// Candidates skipped because their certified subtree floor plus the
+    /// rest-of-tree floor already exceeds a warm incumbent upper bound
+    /// (heuristic warm-start pruning). Interleaving-dependent like the
+    /// other bnb counters: a dominance tail-break can preempt later rows'
+    /// warm checks depending on which worker runs which block.
+    pub const BNB_WARM: &str = "dp.bnb_warm";
+    /// Nodes whose communication lower-bound enumeration fell back to the
+    /// degenerate zero floor (`MAX_COMBOS_PER_NODE` trip in
+    /// `tce_cost::lower_bound`). Computed once coordinator-side, so it is
+    /// a deterministic function of the tree and appears in reports; a
+    /// nonzero value means the certified gap is sound but not tight.
+    pub const LB_FLOOR_FALLBACK: &str = "lb.floor_fallback";
+    /// Nearest-grid scaled extrapolations served by
+    /// `tce_cost::Characterization::rcost` during the run. Query counts
+    /// depend on memo-fill races, so this is interleaving-dependent.
+    pub const RCOST_FALLBACK: &str = "cost.rcost_fallback";
 }
 
 /// The counters whose totals depend on worker-thread interleaving and are
@@ -127,13 +143,15 @@ pub mod names {
 ///
 /// `tests/parallel_equivalence.rs` and the fuzz `threads` oracle both
 /// consume this list instead of hardcoding their own copies.
-pub const NONDETERMINISTIC_COUNTERS: [&str; 6] = [
+pub const NONDETERMINISTIC_COUNTERS: [&str; 8] = [
     names::MEMO_HIT,
     names::MEMO_MISS,
     names::BNB_SKIP,
     names::BNB_BLOCK,
     names::BNB_FLOOR,
+    names::BNB_WARM,
     names::STEAL,
+    names::RCOST_FALLBACK,
 ];
 
 struct Global {

@@ -533,6 +533,14 @@ impl<'a> Sim<'a> {
                 "distributed summation index without a rotation".into(),
             ));
         }
+        // Dual guard: a rotating result with no distributed summation index
+        // collects the same contribution at every ring position (q-fold
+        // overcount); the enumerator excludes such patterns.
+        if pat.travel_dim(Operand::Result).is_some() && pat.k.is_none() {
+            return Err(SimError::Inconsistent(
+                "rotating result with no distributed summation index".into(),
+            ));
+        }
         let rounds = if pat.rotation_index().is_some() { q } else { 1 };
         for t in 0..rounds {
             // Conformance assertions: shared dims must coincide everywhere.

@@ -30,9 +30,10 @@ use tensor_contraction_opt::obs;
 use tensor_contraction_opt::obs::ChromeTraceSink;
 
 use tensor_contraction_opt::check::check_plan;
+use tensor_contraction_opt::core::portfolio::{plan as plan_with, Planned};
 use tensor_contraction_opt::core::{
     build_provenance, build_report, extract_plan, optimize, render_plan_dot, render_provenance,
-    render_report, report_json, root_frontier, validate_plan, OptimizerConfig,
+    render_report, report_json, root_frontier, validate_plan, OptimizerConfig, Planner,
 };
 use tensor_contraction_opt::cost::units::{fmt_paper_bytes, words_to_bytes};
 use tensor_contraction_opt::cost::{CostModel, MachineModel};
@@ -77,6 +78,12 @@ struct Args {
     threads: usize,
     /// Statically verify the optimizer's plan even in release builds.
     verify: bool,
+    /// Which planner serves optimize/explain/report/check:
+    /// exact | greedy | anneal | portfolio.
+    planner: String,
+    /// Wall-clock budget (ms) for the anytime planners; with the exact
+    /// planner, enables the greedy warm-start of branch-and-bound.
+    time_budget_ms: Option<u64>,
     /// fuzz: number of generator seeds to run.
     fuzz_seeds: u64,
     /// fuzz: first generator seed.
@@ -132,7 +139,7 @@ commands:
              minimized and pinned as reproducers (no file argument)
   bench      run the tracked search-benchmark grid (standard workloads,
              enlarged space, --no-pruning, at 1/2/4 threads) from the repo
-             root and write a schema-stable BENCH_7.json (no file argument)
+             root and write a schema-stable BENCH_8.json (no file argument)
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -149,6 +156,17 @@ options:
                          optimizing
   --verify               optimize: statically verify the winning plan even
                          in release builds (debug builds always do)
+  --planner P            optimize/explain/report/check: exact (default,
+                         optimal), greedy (one descent), anneal
+                         (random-restart simulated annealing), or
+                         portfolio (greedy + annealing with an early stop
+                         at (1+ε)× the certified floor); every planner
+                         emits a plan passing the full check registry and
+                         reports its certified optimality gap
+  --time-budget-ms N     wall-clock budget for the anytime planners; with
+                         --planner exact, warm-starts branch-and-bound
+                         from a greedy incumbent (the plan is bit-identical
+                         to a cold run)
   --dot                  optimize: emit the plan as Graphviz dot
   --json                 optimize: emit the plan as JSON (with an
                          `observability` section of search counters);
@@ -179,7 +197,7 @@ options:
                          [golden/fuzz_corpus]; `none` disables
   --smoke                bench: run only the CI smoke subset
   --out FILE             bench: where to write the JSON report
-                         [BENCH_7.json]; `-` prints to stdout only
+                         [BENCH_8.json]; `-` prints to stdout only
   --baseline FILE        bench: compare wall-clock against this committed
                          report; exit 1 if a guarded (enlarged-space)
                          scenario regressed by more than 25%
@@ -228,12 +246,14 @@ fn parse_args() -> Result<Args, ExitCode> {
         report_simulate: false,
         threads: 0,
         verify: false,
+        planner: "exact".into(),
+        time_budget_ms: None,
         fuzz_seeds: 50,
         fuzz_start: 0,
         replay: None,
         corpus: "golden/fuzz_corpus".into(),
         bench_smoke: false,
-        bench_out: "BENCH_7.json".into(),
+        bench_out: "BENCH_8.json".into(),
         bench_baseline: None,
         bench_repeats: 0,
         deny_warnings: false,
@@ -266,6 +286,8 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--simulate" => args.report_simulate = true,
             "--verify" => args.verify = true,
+            "--planner" => args.planner = value("--planner")?,
+            "--time-budget-ms" => args.time_budget_ms = Some(parsed!("--time-budget-ms")),
             "--replication" => args.allow_replication = true,
             "--unrelated-rotation" => args.allow_unrelated_rotation = true,
             "--dot" => args.dot = true,
@@ -355,11 +377,16 @@ fn parse_dist(
 }
 
 fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
+    let planner = Planner::parse(&args.planner).ok_or_else(|| {
+        format!("unknown planner `{}` (expected exact, greedy, anneal, or portfolio)", args.planner)
+    })?;
     let mut cfg = OptimizerConfig {
         allow_replication: args.allow_replication,
         allow_unrelated_rotation: args.allow_unrelated_rotation,
         threads: args.threads,
         verify: args.verify,
+        planner,
+        time_budget_ms: args.time_budget_ms,
         ..Default::default()
     };
     for (name, spec) in &args.pin_inputs {
@@ -533,9 +560,19 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     }
     let tree = load_tree(&args.file)?;
     let cfg = opt_config(args, &tree)?;
-    let opt = with_progress_and_metrics(args, || {
-        with_trace(args.trace.as_deref(), || optimize(&tree, &cm, &cfg).map_err(|e| e.to_string()))
+    let planned = with_progress_and_metrics(args, || {
+        with_trace(args.trace.as_deref(), || plan_with(&tree, &cm, &cfg).map_err(|e| e.to_string()))
     })?;
+    let opt = planned.opt;
+    if cfg.planner != Planner::Exact {
+        eprintln!(
+            "planner: {} ({} evaluations, certified gap {:.6} s{})",
+            planned.planner.name(),
+            planned.evaluations,
+            opt.comm_cost - opt.comm_lower_bound,
+            if planned.budget_exhausted { ", budget exhausted" } else { "" }
+        );
+    }
     let plan = extract_plan(&tree, &opt);
     validate_plan(&tree, &plan)?;
     if args.stats {
@@ -633,8 +670,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             plan
         }
         None => {
-            let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
-            extract_plan(&tree, &opt)
+            let planned =
+                plan_with(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+            extract_plan(&tree, &planned.opt)
         }
     };
     let (report, events) = with_trace(args.trace.as_deref(), || {
@@ -690,25 +728,31 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 /// Shared front half of `explain` and `report`: load, optimize (with the
 /// full observability surface available), and hand back tree + model + run.
-fn optimize_for_provenance(
-    args: &Args,
-) -> Result<(ExprTree, CostModel, tensor_contraction_opt::core::Optimized), String> {
+fn optimize_for_provenance(args: &Args) -> Result<(ExprTree, CostModel, Planned), String> {
     let tree = load_tree(&args.file)?;
     let cm = cost_model(args)?;
     let cfg = opt_config(args, &tree)?;
-    let opt = with_progress_and_metrics(args, || {
-        with_trace(args.trace.as_deref(), || optimize(&tree, &cm, &cfg).map_err(|e| e.to_string()))
+    let planned = with_progress_and_metrics(args, || {
+        with_trace(args.trace.as_deref(), || plan_with(&tree, &cm, &cfg).map_err(|e| e.to_string()))
     })?;
-    Ok((tree, cm, opt))
+    Ok((tree, cm, planned))
 }
 
 /// How many runner-up candidates `explain`/`report` record per node.
 const PROVENANCE_TOP_K: usize = 3;
 
 fn cmd_explain(args: &Args) -> Result<(), String> {
-    let (tree, cm, opt) = optimize_for_provenance(args)?;
-    let prov = build_provenance(&tree, &opt, &cm, PROVENANCE_TOP_K);
+    let (tree, cm, planned) = optimize_for_provenance(args)?;
+    let prov = build_provenance(&tree, &planned.opt, &cm, PROVENANCE_TOP_K);
     print!("{}", render_provenance(&tree, &prov));
+    if planned.planner != Planner::Exact {
+        println!(
+            "planner: {} — {} restricted evaluations, budget {}",
+            planned.planner.name(),
+            planned.evaluations,
+            if planned.budget_exhausted { "exhausted" } else { "not exhausted" }
+        );
+    }
     Ok(())
 }
 
@@ -752,10 +796,15 @@ fn simulator_json(
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let (tree, cm, opt) = optimize_for_provenance(args)?;
-    let mut v = report_json(&tree, &opt, &cm, PROVENANCE_TOP_K);
+    let (tree, cm, planned) = optimize_for_provenance(args)?;
+    let opt = &planned.opt;
+    let mut v = report_json(&tree, opt, &cm, PROVENANCE_TOP_K);
+    // Additive tce-report/v2 fields: which planner produced the plan and
+    // whether its wall-clock budget ran out before it stopped on its own.
+    v.insert("planner", serde_json::Value::String(planned.planner.name().to_string()));
+    v.insert("budget_exhausted", serde_json::Value::Bool(planned.budget_exhausted));
     if args.report_simulate {
-        let plan = extract_plan(&tree, &opt);
+        let plan = extract_plan(&tree, opt);
         let (report, events) =
             simulate_traced(&tree, &plan, &cm, args.seed, true).map_err(render_sim_error)?;
         v.insert("simulator", simulator_json(&report, &events));
@@ -774,8 +823,9 @@ fn cmd_check(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("parsing {path}: {e}"))?
         }
         None => {
-            let opt = optimize(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
-            extract_plan(&tree, &opt)
+            let planned =
+                plan_with(&tree, &cm, &opt_config(args, &tree)?).map_err(|e| e.to_string())?;
+            extract_plan(&tree, &planned.opt)
         }
     };
     let mut report = check_plan(&tree, &plan, Some(&cm), Some(cm.mem_limit_words()));
@@ -883,6 +933,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         let table =
             tensor_contraction_opt::bench::suite::compare_to_baseline(&report, &base, 0.25)?;
         print!("{table}");
+        // Certified-gap gate: anytime-planner cells must stay within 2x
+        // of the baseline's certified gap.
+        let gaps = tensor_contraction_opt::bench::suite::check_gap_regression(&report, &base, 2.0)?;
+        print!("{gaps}");
     }
     Ok(())
 }
@@ -957,12 +1011,14 @@ mod tests {
             report_simulate: false,
             threads: 3,
             verify: false,
+            planner: "portfolio".into(),
+            time_budget_ms: Some(100),
             fuzz_seeds: 50,
             fuzz_start: 0,
             replay: None,
             corpus: "golden/fuzz_corpus".into(),
             bench_smoke: false,
-            bench_out: "BENCH_7.json".into(),
+            bench_out: "BENCH_8.json".into(),
             bench_baseline: None,
             bench_repeats: 0,
             deny_warnings: false,
@@ -972,5 +1028,10 @@ mod tests {
         assert_eq!(cfg.threads, 3);
         assert!(cfg.input_dists.contains_key("A"));
         assert!(cfg.output_dist.is_some());
+        assert_eq!(cfg.planner, Planner::Portfolio);
+        assert_eq!(cfg.time_budget_ms, Some(100));
+
+        let bad = Args { planner: "magic".into(), ..args };
+        assert!(opt_config(&bad, &tree).is_err(), "unknown planner names must be rejected");
     }
 }

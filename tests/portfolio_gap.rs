@@ -1,0 +1,169 @@
+//! Anytime planner contract over every shipped workload: the portfolio
+//! always emits a valid plan with a finite certified gap, the heuristics
+//! never beat the exact optimum, annealing is reproducible from its
+//! seed, and infeasibility verdicts are identical across planners.
+
+use std::collections::HashMap;
+
+use tensor_contraction_opt::check::check_plan;
+use tensor_contraction_opt::core::portfolio::{plan, Planned};
+use tensor_contraction_opt::core::{extract_plan, optimize, OptimizerConfig, Planner};
+use tensor_contraction_opt::cost::{CostModel, MachineModel};
+use tensor_contraction_opt::dist::Distribution;
+use tensor_contraction_opt::expr::{parse, ExprTree};
+use tensor_contraction_opt::opmin::lower_program;
+
+fn workload_trees() -> Vec<(String, ExprTree)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("workloads dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("tce") {
+            let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&path).expect("readable workload");
+            let tree = lower_program(&parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")))
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
+                .to_tree()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            out.push((name, tree));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    assert!(!out.is_empty(), "no workloads found in {dir}");
+    out
+}
+
+fn cm(procs: u32) -> CostModel {
+    CostModel::for_square(MachineModel::itanium_cluster(), procs).expect("square proc count")
+}
+
+fn assert_incumbents_monotone(name: &str, planned: &Planned) {
+    assert!(!planned.incumbents.is_empty(), "{name}: no incumbent was ever recorded");
+    for w in planned.incumbents.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "{name}: incumbent trajectory increased: {:?}",
+            planned.incumbents
+        );
+    }
+    let last = *planned.incumbents.last().expect("non-empty");
+    assert!(
+        (planned.opt.comm_cost - last).abs() <= 1e-9 * last.max(1.0),
+        "{name}: final plan cost {} does not match last incumbent {last}",
+        planned.opt.comm_cost
+    );
+}
+
+/// Tentpole acceptance: `--planner portfolio --time-budget-ms 100` on
+/// every workload emits a plan that passes all seven static checks and
+/// carries a finite, non-negative certified gap; the incumbent cost
+/// trajectory over restarts is monotone non-increasing.
+#[test]
+fn every_workload_portfolio_plan_is_valid_with_finite_gap() {
+    let cm16 = cm(16);
+    for (name, tree) in workload_trees() {
+        let cfg = OptimizerConfig {
+            planner: Planner::Portfolio,
+            time_budget_ms: Some(100),
+            ..Default::default()
+        };
+        let planned = plan(&tree, &cm16, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let gap = planned.opt.comm_cost - planned.opt.comm_lower_bound;
+        assert!(gap.is_finite(), "{name}: non-finite certified gap");
+        assert!(gap >= 0.0, "{name}: plan cost under the certified floor (gap {gap})");
+        assert!(
+            planned.opt.comm_lower_bound > 0.0 || planned.opt.comm_cost == 0.0,
+            "{name}: trivial floor under a plan that does communicate"
+        );
+        assert_incumbents_monotone(&name, &planned);
+        let exec = extract_plan(&tree, &planned.opt);
+        let report = check_plan(&tree, &exec, Some(&cm16), Some(cm16.mem_limit_words()));
+        assert!(
+            report.is_clean(),
+            "{name}: portfolio plan fails static checks:\n{}",
+            report.render_human()
+        );
+        assert_eq!(report.passes_run.len(), 7, "{name}: full registry should run");
+    }
+}
+
+/// Ordering oracle on the small workloads where the exact DP is cheap:
+/// heuristic cost ≥ exact optimum ≥ certified floor, for both greedy and
+/// annealing, with and without a budget.
+#[test]
+fn heuristics_are_bounded_by_the_exact_optimum() {
+    let cm16 = cm(16);
+    for (name, tree) in workload_trees() {
+        if !(name.starts_with("ccsd_tiny") || name.starts_with("fig1")) {
+            continue;
+        }
+        let exact = optimize(&tree, &cm16, &OptimizerConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for planner in [Planner::Greedy, Planner::Anneal, Planner::Portfolio] {
+            let cfg = OptimizerConfig { planner, ..Default::default() };
+            let planned =
+                plan(&tree, &cm16, &cfg).unwrap_or_else(|e| panic!("{name} {planner:?}: {e}"));
+            let slack = 1e-9 * exact.comm_cost.max(1.0);
+            assert!(
+                planned.opt.comm_cost + slack >= exact.comm_cost,
+                "{name} {planner:?}: heuristic cost {} beats the exact optimum {}",
+                planned.opt.comm_cost,
+                exact.comm_cost
+            );
+            assert!(
+                planned.opt.comm_cost + slack >= planned.opt.comm_lower_bound,
+                "{name} {planner:?}: cost under its own certificate"
+            );
+        }
+    }
+}
+
+/// Seed-pinned determinism (no wall-clock budget, so no timing decision
+/// can enter): equal seeds reproduce the identical anneal trajectory,
+/// cost, and plan.
+#[test]
+fn seed_pinned_annealing_is_deterministic() {
+    let cm16 = cm(16);
+    let (name, tree) = workload_trees()
+        .into_iter()
+        .find(|(n, _)| n.starts_with("ccsd_tiny"))
+        .expect("ccsd_tiny workload present");
+    let run = |seed: u64| {
+        let cfg =
+            OptimizerConfig { planner: Planner::Anneal, anneal_seed: seed, ..Default::default() };
+        let planned = plan(&tree, &cm16, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let json =
+            serde_json::to_string(&extract_plan(&tree, &planned.opt)).expect("plan serializes");
+        (planned.opt.comm_cost, planned.incumbents.clone(), json)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.0.to_bits(), b.0.to_bits(), "{name}: same seed, different cost");
+    assert_eq!(a.1, b.1, "{name}: same seed, different incumbent trajectory");
+    assert_eq!(a.2, b.2, "{name}: same seed, different plan");
+}
+
+/// Satellite regression: a pinned input plus a memory limit nothing fits
+/// in must fail with the *same* `NoFeasibleSolution` error from every
+/// planner — the heuristics never decide feasibility on their own (they
+/// escalate to the exact DP before reporting infeasibility).
+#[test]
+fn infeasibility_verdicts_match_across_planners() {
+    let cm16 = cm(16);
+    let (name, tree) = workload_trees()
+        .into_iter()
+        .find(|(n, _)| n.starts_with("ccsd_tiny"))
+        .expect("ccsd_tiny workload present");
+    let ix = |s: &str| tree.space.lookup(s).expect("index declared");
+    let mut input_dists = HashMap::new();
+    input_dists.insert("A".to_string(), Distribution::pair(ix("a"), ix("c")));
+    let base = OptimizerConfig { input_dists, mem_limit_words: Some(8), ..Default::default() };
+    let exact_err = optimize(&tree, &cm16, &base).expect_err("8 words cannot fit anything");
+    for planner in [Planner::Exact, Planner::Greedy, Planner::Anneal, Planner::Portfolio] {
+        let cfg = OptimizerConfig { planner, ..base.clone() };
+        let err = plan(&tree, &cm16, &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("{name} {planner:?}: expected infeasibility"));
+        assert_eq!(err, exact_err, "{name} {planner:?}: different infeasibility verdict");
+    }
+}
