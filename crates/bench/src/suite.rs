@@ -4,12 +4,16 @@
 //! enlarged-space configuration, and the `--no-pruning` ablation, each at
 //! 1/2/4 worker threads — and reports wall-clock plus the full search
 //! counter set as a schema-stable JSON document (`BENCH_<N>.json`, see the
-//! README for the schema). CI runs the `--smoke` subset and fails the
-//! build when the enlarged-space search regresses more than 25% against
-//! the committed baseline, or when any multi-thread guarded cell falls
-//! more than 10% behind the same run's serial cell
+//! README for the schema). Two plan-cache cells additionally run cold
+//! (search + store) and warm (disk hit + revalidation) through a fresh
+//! level-2 cache, reporting both walls. CI runs the `--smoke` subset and
+//! fails the build when the enlarged-space search regresses more than 25%
+//! against the committed baseline, when any multi-thread guarded cell
+//! falls more than 10% behind the same run's serial cell
 //! ([`check_thread_scaling`] — the regression `BENCH_5.json` recorded,
-//! where every multi-thread cell was slower than serial).
+//! where every multi-thread cell was slower than serial), or when a warm
+//! cache lookup misses or stops undercutting the cold search by at least
+//! 5× ([`check_warm_cache`]).
 //!
 //! Wall-clock is reported two ways: best-of-`repeats` (noise only ever
 //! slows a run down, so the minimum is the most stable estimator and is
@@ -24,7 +28,7 @@ use std::time::Instant;
 
 use serde_json::{Number, Value};
 use tce_core::portfolio::plan;
-use tce_core::{optimize, OptimizerConfig, Planner};
+use tce_core::{cache_key, extract_plan, optimize, OptimizerConfig, PlanCache, Planner};
 
 use crate::{paper_cost_model, workload_tree};
 
@@ -259,12 +263,156 @@ pub fn run_suite(opts: &SuiteOptions, mut progress: impl FnMut(&str)) -> Result<
             ]));
         }
     }
+    // Level-2 plan-cache cells: each runs one scenario cold (miss →
+    // search → store) and warm (hit → revalidate) through a fresh cache
+    // directory, reporting both walls so [`check_warm_cache`] can gate
+    // the speedup. The cells reuse the standard row schema (with
+    // `wall_ms_best` = the cold wall) plus `cold_wall_ms`,
+    // `warm_wall_ms`, `warm_speedup`, and `cache_hits` columns.
+    for (name, workload, procs, enlarged, smoke_cell) in [
+        ("ccsd/cache", "workloads/ccsd.tce", 16u32, false, true),
+        ("ccsd_tiny/enlarged/cache", "workloads/ccsd_tiny.tce", 64, true, true),
+    ] {
+        if opts.smoke && !smoke_cell {
+            continue;
+        }
+        progress(&format!("{name} (cold + warm)"));
+        let tree = workload_tree(workload)?;
+        let cm = paper_cost_model(procs);
+        let cfg = OptimizerConfig {
+            allow_replication: enlarged,
+            allow_unrelated_rotation: enlarged,
+            threads: 1,
+            ..OptimizerConfig::default()
+        };
+        let key =
+            cache_key(&tree, &cm, &cfg).ok_or_else(|| format!("{name}: request not cacheable"))?;
+        let dir =
+            std::env::temp_dir().join(format!("tce-bench-cache-{}-{procs}", std::process::id()));
+        let cache = PlanCache::at(&dir);
+        let mut cold_ms = Vec::with_capacity(repeats);
+        let mut warm_ms = Vec::with_capacity(repeats);
+        let mut cache_hits = 0u64;
+        let mut cold_opt = None;
+        for _ in 0..repeats {
+            let _ = std::fs::remove_dir_all(&dir);
+            let t0 = Instant::now();
+            let opt = optimize(&tree, &cm, &cfg).map_err(|e| format!("{name}: {e}"))?;
+            let plan = extract_plan(&tree, &opt);
+            cache.store(&tree, &key, &plan, &opt).map_err(|e| format!("{name}: {e}"))?;
+            cold_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            let t1 = Instant::now();
+            let hit = cache.lookup(&tree, &cm, &key);
+            warm_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+            let run =
+                hit.run.ok_or_else(|| format!("{name}: warm lookup missed ({:?})", hit.evicted))?;
+            if run.opt.comm_cost.to_bits() != opt.comm_cost.to_bits() {
+                return Err(format!(
+                    "{name}: warm cost {} != cold cost {}",
+                    run.opt.comm_cost, opt.comm_cost
+                ));
+            }
+            cache_hits += 1;
+            cold_opt = Some(opt);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let opt = cold_opt.expect("repeats >= 1");
+        let cold = cold_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let warm = warm_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let c = &opt.counters;
+        use tce_obs::names as k;
+        rows.push(obj(vec![
+            ("scenario", text(name)),
+            ("workload", text(workload)),
+            ("procs", num_u(u64::from(procs))),
+            ("threads", num_u(1)),
+            ("pruning", Value::Bool(true)),
+            ("replication", Value::Bool(enlarged)),
+            ("unrelated_rotation", Value::Bool(enlarged)),
+            ("guarded", Value::Bool(false)),
+            ("planner", text(Planner::Exact.name())),
+            ("gap_guarded", Value::Bool(false)),
+            ("repeats", num_u(repeats as u64)),
+            ("wall_ms_best", num_f(round3(cold))),
+            ("wall_ms_median", num_f(round3(median_ms(&cold_ms)))),
+            ("wall_ms_all", Value::Array(cold_ms.iter().map(|&m| num_f(round3(m))).collect())),
+            ("cold_wall_ms", num_f(round3(cold))),
+            ("warm_wall_ms", num_f(round3(warm))),
+            ("warm_speedup", num_f(round3(cold / warm.max(1e-6)))),
+            ("cache_hits", num_u(cache_hits)),
+            ("comm_cost", num_f(opt.comm_cost)),
+            ("certified_gap", num_f(opt.comm_cost - opt.comm_lower_bound)),
+            ("candidates", num_u(c.get(k::CANDIDATES))),
+            ("candidates_per_sec", num_f(round3(c.get(k::CANDIDATES) as f64 / (cold / 1e3)))),
+            (
+                "candidates_per_sec_median",
+                num_f(round3(c.get(k::CANDIDATES) as f64 / (median_ms(&cold_ms) / 1e3))),
+            ),
+            ("live", num_u(c.get(k::FRONTIER))),
+            (
+                "counters",
+                obj(vec![
+                    (k::PRUNED_INFERIOR, num_u(c.get(k::PRUNED_INFERIOR))),
+                    (k::PRUNED_MEMORY, num_u(c.get(k::PRUNED_MEMORY))),
+                    (k::REDIST_FALLBACKS, num_u(c.get(k::REDIST_FALLBACKS))),
+                    (k::MEMO_HIT, num_u(c.get(k::MEMO_HIT))),
+                    (k::MEMO_MISS, num_u(c.get(k::MEMO_MISS))),
+                    (k::BNB_SKIP, num_u(c.get(k::BNB_SKIP))),
+                    (k::BNB_BLOCK, num_u(c.get(k::BNB_BLOCK))),
+                    (k::BNB_FLOOR, num_u(c.get(k::BNB_FLOOR))),
+                ]),
+            ),
+        ]));
+    }
     Ok(obj(vec![
         ("schema", text(SCHEMA)),
-        ("bench_id", num_u(8)),
+        ("bench_id", num_u(9)),
         ("smoke", Value::Bool(opts.smoke)),
         ("scenarios", Value::Array(rows)),
     ]))
+}
+
+/// The warm-cache gate: every plan-cache cell must hit on all warm
+/// lookups and its warm wall must undercut the cold wall by at least
+/// `min_speedup` (with a small absolute slack so microsecond-scale cells
+/// can't flake on timer noise). A warm lookup that stops beating the
+/// search is a cache that silently stopped caching.
+pub fn check_warm_cache(report: &Value, min_speedup: f64) -> Result<String, String> {
+    const ABS_SLACK_MS: f64 = 5.0;
+    let rows = report.get("scenarios").and_then(Value::as_array).cloned().unwrap_or_default();
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for r in &rows {
+        let (Some(name), Some(cold), Some(warm)) = (
+            r.get("scenario").and_then(Value::as_str),
+            r.get("cold_wall_ms").and_then(Value::as_f64),
+            r.get("warm_wall_ms").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let hits = r.get("cache_hits").and_then(Value::as_u64).unwrap_or(0);
+        let repeats = r.get("repeats").and_then(Value::as_u64).unwrap_or(0);
+        let speedup = cold / warm.max(1e-6);
+        let verdict = if hits < repeats {
+            regressions.push(format!("{name}: only {hits} of {repeats} warm lookups hit"));
+            "REGRESSED"
+        } else if warm > cold / min_speedup + ABS_SLACK_MS {
+            regressions.push(format!(
+                "{name}: warm {warm:.1}ms vs cold {cold:.1}ms ({speedup:.1}x < {min_speedup}x)"
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        out.push_str(&format!(
+            "{name}: warm {warm:.3}ms vs cold {cold:.1}ms ({speedup:.1}x, {hits}/{repeats} hits) {verdict}\n"
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(out)
+    } else {
+        Err(format!("{out}warm plan-cache cells regressed:\n  {}", regressions.join("\n  ")))
+    }
 }
 
 /// Truncate timing-derived floats so reports do not churn in irrelevant
@@ -581,8 +729,9 @@ mod tests {
         assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
         let rows = v.get("scenarios").unwrap().as_array().unwrap();
         // Smoke = ccsd_tiny serial + the guarded enlarged scenario at the
-        // full thread grid + the two serial anytime-planner cells.
-        assert_eq!(rows.len(), 1 + THREAD_GRID.len() + 2, "{rows:?}");
+        // full thread grid + the two serial anytime-planner cells + the
+        // two plan-cache cold/warm cells.
+        assert_eq!(rows.len(), 1 + THREAD_GRID.len() + 2 + 2, "{rows:?}");
         for r in rows {
             assert!(r.get("wall_ms_best").unwrap().as_f64().unwrap() > 0.0);
             assert!(r.get("wall_ms_median").unwrap().as_f64().unwrap() > 0.0);
@@ -617,10 +766,53 @@ mod tests {
             let gap = cell.get("certified_gap").unwrap().as_f64().unwrap();
             assert!(gap.is_finite() && gap >= 0.0, "{name}: bad certified gap {gap}");
         }
+        // The plan-cache cells: every warm lookup hit, costs matched (the
+        // suite hard-errors otherwise), and the speedup columns exist.
+        for name in ["ccsd/cache", "ccsd_tiny/enlarged/cache"] {
+            let cell = rows
+                .iter()
+                .find(|r| r.get("scenario").unwrap().as_str() == Some(name))
+                .unwrap_or_else(|| panic!("{name} cell missing"));
+            assert_eq!(cell.get("cache_hits").unwrap().as_u64(), Some(1), "{name}");
+            assert!(cell.get("warm_wall_ms").unwrap().as_f64().unwrap() > 0.0, "{name}");
+            assert!(cell.get("warm_speedup").unwrap().as_f64().unwrap() > 0.0, "{name}");
+        }
         // The thread-scaling gate runs clean on a real smoke report.
         check_thread_scaling(&v, 0.10).unwrap();
         // The gap gate runs clean against the report itself as baseline.
         check_gap_regression(&v, &v, 2.0).unwrap();
+        // The warm-cache gate runs clean on a real smoke report.
+        check_warm_cache(&v, 5.0).unwrap();
+    }
+
+    #[test]
+    fn warm_cache_gate_flags_slow_or_missing_hits() {
+        let ccell = |name: &str, cold: f64, warm: f64, hits: u64, repeats: u64| {
+            obj(vec![
+                ("scenario", text(name)),
+                ("repeats", num_u(repeats)),
+                ("cold_wall_ms", num_f(cold)),
+                ("warm_wall_ms", num_f(warm)),
+                ("cache_hits", num_u(hits)),
+            ])
+        };
+        // Fast warm hits: ok.
+        let ok = report_of(false, vec![ccell("c", 1000.0, 2.0, 2, 2)]);
+        assert!(check_warm_cache(&ok, 5.0).is_ok());
+        // Warm slower than cold/5 + slack: error naming the cell.
+        let slow = report_of(false, vec![ccell("c", 1000.0, 600.0, 2, 2)]);
+        let err = check_warm_cache(&slow, 5.0).unwrap_err();
+        assert!(err.contains('c') && err.contains("REGRESSED"), "{err}");
+        // A missed warm lookup is a regression even when timing is fine.
+        let missed = report_of(false, vec![ccell("c", 1000.0, 2.0, 1, 2)]);
+        let err = check_warm_cache(&missed, 5.0).unwrap_err();
+        assert!(err.contains("1 of 2"), "{err}");
+        // Tiny cells sit inside the absolute slack.
+        let tiny = report_of(false, vec![ccell("t", 3.0, 4.0, 1, 1)]);
+        assert!(check_warm_cache(&tiny, 5.0).is_ok());
+        // Rows without cache columns are ignored.
+        let plain = report_of(false, vec![cell("s", 1, 100.0, true)]);
+        assert!(check_warm_cache(&plain, 5.0).is_ok());
     }
 
     #[test]

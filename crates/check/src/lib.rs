@@ -80,6 +80,25 @@ pub fn validate_plan(tree: &ExprTree, plan: &ExecutionPlan) -> Result<(), String
     check_plan(tree, plan, None, None).to_result()
 }
 
+/// The level-2 plan-cache load gate: the full pass registry with the
+/// live cost model and memory limit.
+///
+/// A cached plan was produced by *some* past run; nothing about the file
+/// is trusted. The cost passes recompute every redistribution and
+/// rotation bit-exactly from `cm` and re-add the per-step ledger, the
+/// memory pass re-derives the footprint against `mem_limit_words`, and
+/// the structural/fusion/pattern passes re-prove legality on the *live*
+/// tree — so a stale, corrupted, or adversarial entry can waste a lookup
+/// but can never smuggle a wrong plan into the pipeline.
+pub fn check_cached_plan(
+    tree: &ExprTree,
+    plan: &ExecutionPlan,
+    cm: &CostModel,
+    mem_limit_words: u128,
+) -> Result<(), String> {
+    check_plan(tree, plan, Some(cm), Some(mem_limit_words)).to_result()
+}
+
 /// The hook function registered with `tce-core` (see
 /// [`tce_core::install_plan_checker`]).
 fn hook(

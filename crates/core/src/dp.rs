@@ -155,6 +155,19 @@ pub struct OptimizerConfig {
     /// Anytime early-stop: the portfolio stops once
     /// `cost ≤ (1 + gap_epsilon) × certified_floor`.
     pub gap_epsilon: f64,
+    /// Disable the in-run level-1 subtree reuse: with reuse on (the
+    /// default), completed node frontiers are keyed by their strict
+    /// canonical subtree form (`tce_expr::canon`) plus everything else
+    /// that can influence the frontier (edge candidates, leaf pins, corner
+    /// floor, warm cut), and an isomorphic subtree replays the stored
+    /// Pareto staircase under the rename bijection instead of
+    /// re-enumerating. Replay is bit-identical to a fresh enumeration —
+    /// only the `dp.subtree_hit`/`dp.subtree_miss` counters and the work
+    /// done differ — which the fuzz `cache` oracle verifies
+    /// differentially. Reuse is gated off automatically under
+    /// `fixed_fusion`/`fixed_patterns` (their pins are keyed by raw node
+    /// ids, not subtree structure).
+    pub disable_subtree_reuse: bool,
     /// Warm incumbent upper bound (model seconds) from a heuristic plan
     /// of the *same* configuration: candidates whose certified subtree
     /// floor plus rest-of-tree floor exceeds it are skipped before the
@@ -188,6 +201,7 @@ impl Default for OptimizerConfig {
             time_budget_ms: None,
             anneal_seed: 0x7ce_5eed,
             gap_epsilon: 0.01,
+            disable_subtree_reuse: false,
             warm_upper_bound: None,
         }
     }
@@ -542,6 +556,59 @@ pub fn optimize(
     let mut committed_bytes = 0u64;
     let mut arena_hw = 0u64;
 
+    // Level-1 in-run subtree reuse (DESIGN.md §14): each completed node's
+    // frontier is memoized under its canonical subtree form plus every
+    // other input the enumeration depends on — edge candidates, leaf
+    // pins, certified floor and warm cut of every internal node of the
+    // subtree, all expressed in canonical index numbering so the key is
+    // rename-invariant. A later isomorphic subtree whose canonical index
+    // bijection is *monotone* in `IndexId` order replays the stored
+    // Pareto staircase through [`SolutionSet::remap`] instead of
+    // re-enumerating: bit-identical plans, costs, and per-node statistics
+    // (compaction preserves every live/key count the statistics read);
+    // only `dp.subtree_hit`/`dp.subtree_miss` and wall clock change.
+    // Pinned fusions/patterns key by raw node id, not subtree structure,
+    // so reuse is gated off under them.
+    let reuse_on =
+        !cfg.disable_subtree_reuse && cfg.fixed_fusion.is_none() && cfg.fixed_patterns.is_none();
+    let forms = if reuse_on { tce_expr::subtree_forms(tree) } else { HashMap::new() };
+    #[derive(PartialEq, Eq, Hash)]
+    struct ReuseKey {
+        /// Strict canonical subtree hash (`tce_expr::subtree_form`).
+        hash: u128,
+        /// Fusion-edge candidates (node dims ∩ parent loop indices — a
+        /// property of the *parent*, so not derivable from the subtree
+        /// hash), as sorted canonical numbers.
+        edge_sig: Vec<u32>,
+        /// Per-leaf `--pin` signature in canonical node order: `None` for
+        /// an unpinned leaf, otherwise the pinned distribution's indices
+        /// as canonical numbers.
+        pin_sig: Vec<Option<(Option<u32>, Option<u32>)>>,
+        /// Certified corner floor of every internal subtree node, in
+        /// canonical node order, bit-exact. Keying on *all* descendants
+        /// (not just the root of the subtree) guarantees that when this
+        /// key matches, every descendant's enumeration inputs matched
+        /// too, so the stored `sol_index` back-pointers into child sets
+        /// land on identically laid-out arenas.
+        floor_bits: Vec<u64>,
+        /// Warm-start cut of every internal subtree node, same encoding.
+        warm_bits: Vec<u64>,
+    }
+    struct ReuseEntry {
+        form: tce_expr::canon::SubtreeForm,
+        /// Post-compaction clone of the completed frontier (counters and
+        /// every live/key statistic survive compaction unchanged).
+        set: SolutionSet,
+        /// The fresh run's pre-compaction arena size, replayed into the
+        /// `arena_hw` accounting so the reported high-water matches a
+        /// reuse-off run bit-for-bit.
+        pre_compact_arena_bytes: u64,
+        /// Combine blocks the fresh enumeration scheduled (deterministic,
+        /// so the replayed `sched.blocks` total stays bit-identical).
+        blocks: u64,
+    }
+    let mut reuse: HashMap<ReuseKey, ReuseEntry> = HashMap::new();
+
     for node in tree.postorder() {
         let n = tree.node(node);
         if n.is_leaf() {
@@ -559,70 +626,147 @@ pub fn optimize(
         );
         let node_floor = corner_floors.get(&node).copied().unwrap_or(0.0);
         let warm_cut = floors.warm_cuts.get(&node).copied().unwrap_or(f64::INFINITY);
-        let enum_stats = match &n.kind {
-            NodeKind::Contract { left, right, .. } => {
-                if let Ok(groups) = tree.contraction_groups(node) {
-                    let patterns = match cfg.fixed_patterns.as_ref().and_then(|m| m.get(&node)) {
-                        Some(p) => vec![*p],
-                        None => enumerate_patterns(&groups, cfg.allow_replication),
-                    };
-                    combine_contraction(
-                        tree,
-                        cm,
-                        cfg,
-                        &memo,
-                        &mut sched,
-                        node,
-                        *left,
-                        *right,
-                        &patterns,
-                        &my_prefixes,
-                        &sets,
-                        limit,
-                        node_floor,
-                        warm_cut,
-                        &mut set,
-                    )
-                } else {
-                    // Element-wise multiplication (shared non-summed
-                    // indices, e.g. Fig. 1's T3 = T1 × T2): aligned
-                    // distributions, no rotation.
-                    combine_elementwise(
-                        tree,
-                        cm,
-                        cfg,
-                        &memo,
-                        &mut sched,
-                        node,
-                        *left,
-                        *right,
-                        &my_prefixes,
-                        &sets,
-                        limit,
-                        node_floor,
-                        warm_cut,
-                        &mut set,
-                    )
+        // Reuse key for this node, or `None` when reuse is off or any
+        // index fails to map (defensive: every pin/edge index is a dim of
+        // some subtree tensor, so mapping cannot actually fail — but a
+        // silent partial key would be unsound, a skipped node merely slow).
+        let reuse_key = if reuse_on {
+            (|| {
+                let form = forms.get(&node)?;
+                let number: HashMap<IndexId, u32> =
+                    form.index_order.iter().enumerate().map(|(i, &ix)| (ix, i as u32)).collect();
+                let map_ix = |o: Option<IndexId>| -> Option<Option<u32>> {
+                    match o {
+                        None => Some(None),
+                        Some(ix) => number.get(&ix).copied().map(Some),
+                    }
+                };
+                let mut edge_sig = Vec::new();
+                for ix in edge_candidates(tree, node).iter() {
+                    edge_sig.push(number.get(&ix).copied()?);
                 }
-            }
-            NodeKind::Reduce { sum, child } => combine_reduce(
-                tree,
-                cm,
-                cfg,
-                &memo,
-                &mut sched,
-                node,
-                *child,
-                *sum,
-                &my_prefixes,
-                &sets,
-                limit,
-                node_floor,
-                warm_cut,
-                &mut set,
-            ),
-            NodeKind::Leaf => unreachable!(),
+                edge_sig.sort_unstable();
+                let mut pin_sig = Vec::new();
+                let mut floor_bits = Vec::new();
+                let mut warm_bits = Vec::new();
+                for &m in &form.nodes {
+                    let mn = tree.node(m);
+                    if mn.is_leaf() {
+                        match cfg.input_dists.get(&mn.tensor.name) {
+                            None => pin_sig.push(None),
+                            Some(d) => pin_sig.push(Some((map_ix(d.d1)?, map_ix(d.d2)?))),
+                        }
+                    } else {
+                        floor_bits.push(corner_floors.get(&m).copied().unwrap_or(0.0).to_bits());
+                        warm_bits.push(
+                            floors.warm_cuts.get(&m).copied().unwrap_or(f64::INFINITY).to_bits(),
+                        );
+                    }
+                }
+                Some(ReuseKey { hash: form.hash, edge_sig, pin_sig, floor_bits, warm_bits })
+            })()
+        } else {
+            None
         };
+        let replay = reuse_key.as_ref().and_then(|k| reuse.get(k)).filter(|e| {
+            forms.get(&node).is_some_and(|f| {
+                e.form.nodes.len() == f.nodes.len() && e.form.monotone_bijection_to(f)
+            })
+        });
+        let (enum_stats, pre_compact_bytes) =
+            if let (Some(entry), Some(form)) = (replay, forms.get(&node)) {
+                let mut replayed = entry.set.clone();
+                let index_map: HashMap<IndexId, IndexId> = entry
+                    .form
+                    .index_order
+                    .iter()
+                    .copied()
+                    .zip(form.index_order.iter().copied())
+                    .collect();
+                let node_map: HashMap<NodeId, NodeId> =
+                    entry.form.nodes.iter().copied().zip(form.nodes.iter().copied()).collect();
+                replayed.remap(&index_map, &node_map);
+                set = replayed;
+                counters.add(tce_obs::names::SUBTREE_HIT, 1);
+                let synth = crate::sched::EnumStats {
+                    workers: 1,
+                    merge_us: 0,
+                    blocks: entry.blocks,
+                    steals: 0,
+                    busy_us: Vec::new(),
+                };
+                (synth, entry.pre_compact_arena_bytes)
+            } else {
+                if reuse_on {
+                    counters.add(tce_obs::names::SUBTREE_MISS, 1);
+                }
+                let fresh = match &n.kind {
+                    NodeKind::Contract { left, right, .. } => {
+                        if let Ok(groups) = tree.contraction_groups(node) {
+                            let patterns =
+                                match cfg.fixed_patterns.as_ref().and_then(|m| m.get(&node)) {
+                                    Some(p) => vec![*p],
+                                    None => enumerate_patterns(&groups, cfg.allow_replication),
+                                };
+                            combine_contraction(
+                                tree,
+                                cm,
+                                cfg,
+                                &memo,
+                                &mut sched,
+                                node,
+                                *left,
+                                *right,
+                                &patterns,
+                                &my_prefixes,
+                                &sets,
+                                limit,
+                                node_floor,
+                                warm_cut,
+                                &mut set,
+                            )
+                        } else {
+                            // Element-wise multiplication (shared non-summed
+                            // indices, e.g. Fig. 1's T3 = T1 × T2): aligned
+                            // distributions, no rotation.
+                            combine_elementwise(
+                                tree,
+                                cm,
+                                cfg,
+                                &memo,
+                                &mut sched,
+                                node,
+                                *left,
+                                *right,
+                                &my_prefixes,
+                                &sets,
+                                limit,
+                                node_floor,
+                                warm_cut,
+                                &mut set,
+                            )
+                        }
+                    }
+                    NodeKind::Reduce { sum, child } => combine_reduce(
+                        tree,
+                        cm,
+                        cfg,
+                        &memo,
+                        &mut sched,
+                        node,
+                        *child,
+                        *sum,
+                        &my_prefixes,
+                        &sets,
+                        limit,
+                        node_floor,
+                        warm_cut,
+                        &mut set,
+                    ),
+                    NodeKind::Leaf => unreachable!(),
+                };
+                (fresh, set.arena_bytes())
+            };
         counters.add(tce_obs::names::NODES, 1);
         counters.add(tce_obs::names::CANDIDATES, set.candidates_seen);
         counters.add(tce_obs::names::PRUNED_INFERIOR, set.pruned_inferior);
@@ -648,8 +792,10 @@ pub fn optimize(
         counters.set(tce_obs::names::MEMO_HIT, memo.hits());
         counters.set(tce_obs::names::MEMO_MISS, memo.misses());
         // Arena high-water: this node's full (pre-compaction) arena on top
-        // of everything already committed.
-        arena_hw = arena_hw.max(committed_bytes + set.arena_bytes());
+        // of everything already committed. A replayed node charges the
+        // fresh run's recorded pre-compaction size so the statistic is
+        // invariant to reuse.
+        arena_hw = arena_hw.max(committed_bytes + pre_compact_bytes);
         counters.set(tce_obs::names::ARENA_HW_BYTES, arena_hw);
         node_span.arg("candidates", set.candidates_seen);
         node_span.arg("pruned_inferior", set.pruned_inferior);
@@ -695,6 +841,17 @@ pub fn optimize(
         // entries anymore — parents bind only live indices and run strictly
         // later — so drop them and free their decision records.
         set.compact();
+        // Memoize the completed (compacted) frontier for later isomorphic
+        // subtrees. First entry per key wins; a replayed set is already
+        // stored under this key, so `or_insert_with` never clones it.
+        if let (Some(k), Some(form)) = (reuse_key, forms.get(&node)) {
+            reuse.entry(k).or_insert_with(|| ReuseEntry {
+                form: form.clone(),
+                set: set.clone(),
+                pre_compact_arena_bytes: pre_compact_bytes,
+                blocks: enum_stats.blocks,
+            });
+        }
         committed_bytes += set.arena_bytes();
         sets.insert(node, set);
     }

@@ -32,6 +32,7 @@
 #![cfg_attr(not(test), deny(clippy::panic))]
 
 pub mod baselines;
+pub mod cache;
 mod codegen;
 mod dp;
 pub mod exhaustive;
@@ -46,6 +47,7 @@ mod sched;
 mod solution;
 mod stats;
 
+pub use cache::{cache_key, CacheKey, CachedRun, LookupOutcome, PlanCache, PLAN_CACHE_SCHEMA};
 pub use codegen::render_spmd;
 pub use dp::{optimize, NodeStats, OptimizeError, Optimized, OptimizerConfig, Planner};
 pub use explain::{explain, Explanation};

@@ -14,8 +14,8 @@
 //!
 //! `tce explain` renders [`Provenance`] as a per-node table;
 //! `tce report` serializes it (plus simulator roll-ups) as the
-//! `tce-report/v2` JSON schema (v2 added the certified `lower_bound` /
-//! `gap` pair).
+//! `tce-report/v3` JSON schema (v2 added the certified `lower_bound` /
+//! `gap` pair; v3 the additive `cache` section).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -382,7 +382,9 @@ pub fn render_provenance(tree: &ExprTree, prov: &Provenance) -> String {
     out
 }
 
-/// The `tce-report/v2` machine-readable roll-up of the optimizer side.
+/// The `tce-report/v3` machine-readable roll-up of the optimizer side
+/// (v3 added the additive `cache` section: canonical expression hash and
+/// the level-1 subtree-reuse tallies).
 /// Every field is a deterministic function of the search result: wall
 /// clock and the interleaving-dependent counters
 /// ([`tce_obs::NONDETERMINISTIC_COUNTERS`]) are excluded, so the JSON is
@@ -490,8 +492,33 @@ pub fn report_json(
         })
         .collect();
 
+    // Cache identity and reuse tallies. The report path always runs the
+    // search (provenance needs the live solution sets), so level 2 is
+    // reported as not hit; level 1 is the in-run subtree reuse, counted
+    // deterministically at any thread count.
+    let l1_hits = opt.counters.get(tce_obs::names::SUBTREE_HIT);
+    let l1_misses = opt.counters.get(tce_obs::names::SUBTREE_MISS);
+    let cache = Value::Object(vec![
+        (
+            "canonical_hash".to_string(),
+            Value::String(format!("{:032x}", tce_expr::canonical_form(tree).hash)),
+        ),
+        ("level1_hits".to_string(), uint(l1_hits)),
+        ("level1_misses".to_string(), uint(l1_misses)),
+        (
+            "level1_hit_rate".to_string(),
+            float(if l1_hits + l1_misses == 0 {
+                0.0
+            } else {
+                l1_hits as f64 / (l1_hits + l1_misses) as f64
+            }),
+        ),
+        ("level2_hit".to_string(), Value::Bool(false)),
+    ]);
+
     Value::Object(vec![
-        ("schema".to_string(), Value::String("tce-report/v2".to_string())),
+        ("schema".to_string(), Value::String("tce-report/v3".to_string())),
+        ("cache".to_string(), cache),
         ("comm_cost".to_string(), float(opt.comm_cost)),
         ("lower_bound".to_string(), float(prov.lower_bound)),
         ("lower_bound_exact".to_string(), Value::Bool(prov.lower_bound_exact)),
@@ -600,8 +627,15 @@ mod tests {
         let b = serde_json::to_string_pretty(&report_json(&tree, &opt2, &cm, 3)).unwrap();
         assert_eq!(a, b, "same search, same report bytes");
         let v: serde_json::Value = serde_json::from_str(&a).unwrap();
-        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("tce-report/v2"));
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("tce-report/v3"));
         assert!(v.get("comm_by_kind").is_some());
+        // v3: the cache section records the canonical identity and the
+        // level-1 reuse tallies; the report path never serves level 2.
+        let cache = v.get("cache").expect("cache section");
+        let hash = cache.get("canonical_hash").and_then(|h| h.as_str()).expect("hash");
+        assert_eq!(hash.len(), 32, "canonical hash must be 32 hex chars: {hash}");
+        assert!(matches!(cache.get("level2_hit"), Some(serde_json::Value::Bool(false))));
+        assert!(cache.get("level1_hit_rate").and_then(|r| r.as_f64()).is_some());
         // The certificate is admissible and carried into the report.
         let lb = v.get("lower_bound").and_then(|x| x.as_f64()).expect("lower_bound");
         let cost = v.get("comm_cost").and_then(|x| x.as_f64()).expect("comm_cost");

@@ -39,7 +39,7 @@
 use std::collections::HashMap;
 
 use tce_dist::{CannonPattern, Distribution};
-use tce_expr::NodeId;
+use tce_expr::{IndexId, NodeId};
 use tce_fusion::FusionPrefix;
 
 /// How a child array arrives at its consuming contraction.
@@ -757,6 +757,58 @@ impl SolutionSet {
         }
         self.live_all = (0..self.arena.len() as u32).collect();
         dead
+    }
+
+    /// Rewrite every index and node reference in this set through the
+    /// given bijections — the level-1 subtree-reuse replay (`dp.rs`):
+    /// a completed frontier computed at one subtree is cloned and remapped
+    /// onto an isomorphic subtree of the same tree.
+    ///
+    /// Only *references* change: arena storage order, live/staircase
+    /// bookkeeping, `sol_index` back-pointers, and every counter stay
+    /// untouched, which is what makes the replayed frontier bit-identical
+    /// to a fresh enumeration **provided the index bijection is monotone**
+    /// in `IndexId` order (see `tce_expr::canon::SubtreeForm::
+    /// monotone_bijection_to`) — every order-sensitive consumer
+    /// ([`Self::lookup`], [`Self::fusions`], [`Self::key_summaries`])
+    /// sorts by ids, and a monotone map preserves those orders.
+    pub fn remap(
+        &mut self,
+        index_map: &HashMap<IndexId, IndexId>,
+        node_map: &HashMap<NodeId, NodeId>,
+    ) {
+        let map_ix = |id: IndexId| index_map.get(&id).copied().unwrap_or(id);
+        let map_dist =
+            |d: Distribution| Distribution { d1: d.d1.map(map_ix), d2: d.d2.map(map_ix) };
+        let map_fusion =
+            |f: &FusionPrefix| FusionPrefix::new(f.iter().map(map_ix).collect::<Vec<_>>());
+        for d in self.arena.dists.iter_mut() {
+            *d = map_dist(*d);
+        }
+        for f in self.arena.fusions.iter_mut() {
+            *f = map_fusion(f);
+        }
+        for choice in self.arena.choices.iter_mut().flatten() {
+            if let Some(p) = &mut choice.pattern {
+                p.i = p.i.map(map_ix);
+                p.j = p.j.map(map_ix);
+                p.k = p.k.map(map_ix);
+            }
+            choice.surrounding = map_fusion(&choice.surrounding);
+            for b in choice.children.iter_mut() {
+                b.node = node_map.get(&b.node).copied().unwrap_or(b.node);
+                b.produced_dist = map_dist(b.produced_dist);
+                b.required_dist = map_dist(b.required_dist);
+                b.fusion = map_fusion(&b.fusion);
+            }
+        }
+        let old_keys = std::mem::take(&mut self.keys);
+        for (fusion, dists) in old_keys {
+            let entry = self.keys.entry(map_fusion(&fusion)).or_default();
+            for (dist, slot) in dists {
+                entry.insert(map_dist(dist), slot);
+            }
+        }
     }
 
     /// Live solutions for a `(dist, fusion)` key, in storage order.

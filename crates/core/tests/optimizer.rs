@@ -468,3 +468,57 @@ fn optimization_is_deterministic() {
     let p2 = extract_plan(&tree, &optimize(&tree, &cm16, &OptimizerConfig::default()).unwrap());
     assert_eq!(p1.to_json(), p2.to_json());
 }
+
+/// Two isomorphic matrix-product subtrees under one root: level-1 subtree
+/// reuse replays the second from the first through a monotone index
+/// rename, bit-identically — same plan bytes, same cost bits, same
+/// per-node statistics, same counters outside the documented
+/// nondeterministic set — with the `dp.subtree_hit` counter proving the
+/// replay actually happened.
+#[test]
+fn subtree_reuse_is_bit_identical() {
+    let src = "\
+range a, b, c = 16; range p, q, r = 16;
+input A[a,b]; input B[b,c]; input C[p,q]; input D[q,r];
+T1[a,c] = sum[b] A[a,b] * B[b,c];
+T2[p,r] = sum[q] C[p,q] * D[q,r];
+S[a,p] = sum[c,r] T1[a,c] * T2[p,r];
+";
+    let tree = parse(src).unwrap().to_sequence().unwrap().to_tree().unwrap();
+    let cm4 = CostModel::for_square(MachineModel::itanium_cluster(), 4).unwrap();
+    let base = OptimizerConfig { max_prefix_len: 2, threads: 1, ..Default::default() };
+    let with = optimize(&tree, &cm4, &base).unwrap();
+    let without =
+        optimize(&tree, &cm4, &OptimizerConfig { disable_subtree_reuse: true, ..base.clone() })
+            .unwrap();
+
+    // The reuse actually fired: T2 replayed T1's frontier.
+    assert!(with.counters.get(tce_obs::names::SUBTREE_HIT) >= 1, "no subtree hit recorded");
+    assert_eq!(without.counters.get(tce_obs::names::SUBTREE_HIT), 0);
+
+    // Bit-identical results and statistics.
+    assert_eq!(with.comm_cost.to_bits(), without.comm_cost.to_bits());
+    assert_eq!(with.mem_words, without.mem_words);
+    assert_eq!(with.max_msg_words, without.max_msg_words);
+    assert_eq!(with.arena_hw_bytes, without.arena_hw_bytes);
+    assert_eq!(with.comm_lower_bound.to_bits(), without.comm_lower_bound.to_bits());
+    assert_eq!(format!("{:?}", with.stats), format!("{:?}", without.stats));
+    let p1 = extract_plan(&tree, &with);
+    let p2 = extract_plan(&tree, &without);
+    assert_eq!(p1.to_json(), p2.to_json());
+    validate_plan(&tree, &p1).unwrap();
+
+    // Every counter outside the documented nondeterministic set agrees.
+    for (name, value) in with.counters.iter() {
+        if tce_obs::NONDETERMINISTIC_COUNTERS.contains(&name) {
+            continue;
+        }
+        assert_eq!(value, without.counters.get(name), "counter {name} diverged");
+    }
+    for (name, value) in without.counters.iter() {
+        if tce_obs::NONDETERMINISTIC_COUNTERS.contains(&name) {
+            continue;
+        }
+        assert_eq!(value, with.counters.get(name), "counter {name} diverged");
+    }
+}

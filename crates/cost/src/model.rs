@@ -49,6 +49,34 @@ impl CostModel {
         self.machine.mem_per_proc_words()
     }
 
+    /// Stable 128-bit digest of everything cost-relevant in this model:
+    /// the machine parameters (bit-exact), the grid shape, and the
+    /// [`Characterization::digest`]. The on-disk plan cache keys entries
+    /// by this value so a plan memoized for one machine profile can never
+    /// be served for another.
+    pub fn digest(&self) -> u128 {
+        let m = &self.machine;
+        let mut h = tce_expr::Fnv128::new();
+        h.write_str(&m.name);
+        for bits in [
+            m.latency_s.to_bits(),
+            m.peak_bandwidth.to_bits(),
+            m.half_saturation_bytes.to_bits(),
+            m.flops_per_proc.to_bits(),
+            m.rendezvous_cutover_bytes.to_bits(),
+            m.rendezvous_extra_latency_s.to_bits(),
+            m.dim2_bandwidth_factor.to_bits(),
+            m.mem_per_node_bytes,
+        ] {
+            h.write_u64(bits);
+        }
+        h.write_u32(m.procs_per_node);
+        h.write_u32(self.grid.dim1);
+        h.write_u32(self.grid.dim2);
+        h.write_u128(self.chr.digest());
+        h.finish()
+    }
+
     /// The paper's `RotateCost` for an array fused `fused` with its parent.
     pub fn rotate_cost(
         &self,

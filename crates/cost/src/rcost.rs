@@ -86,6 +86,31 @@ pub struct Characterization {
     pub grids: Vec<GridTable>,
 }
 
+impl Characterization {
+    /// Stable 128-bit content digest of the characterization: machine name
+    /// plus every measured point, bit-exact (`f64::to_bits`). Two cost
+    /// models predicting even slightly different rotation times digest
+    /// differently, which is what lets the on-disk plan cache key entries
+    /// per machine profile — the same expression legitimately has
+    /// different optimal plans on different machines.
+    pub fn digest(&self) -> u128 {
+        let mut h = tce_expr::Fnv128::new();
+        h.write_str(&self.machine);
+        h.write_u64(self.grids.len() as u64);
+        for g in &self.grids {
+            h.write_u32(g.steps);
+            for points in [&g.dim1, &g.dim2] {
+                h.write_u64(points.len() as u64);
+                for p in points {
+                    h.write_u64(p.bytes.to_bits());
+                    h.write_u64(p.seconds.to_bits());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
 /// The ladder of block sizes measured per grid: 1 kB … 4 GB, ~4 points per
 /// decade. Dense enough that piecewise-linear interpolation of the
 /// (convex, nearly affine) rotation time is accurate to well under 1 %.

@@ -27,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![cfg_attr(not(test), deny(clippy::panic))]
 
+pub mod canon;
 mod error;
 pub mod examples;
 mod formula;
@@ -36,6 +37,7 @@ pub mod printer;
 mod tensor;
 mod tree;
 
+pub use canon::{canonical_form, fnv128, subtree_form, subtree_forms, CanonicalForm, Fnv128};
 pub use error::ExprError;
 pub use formula::{Formula, FormulaSequence};
 pub use index::{IndexId, IndexSet, IndexSpace};

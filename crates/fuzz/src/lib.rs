@@ -40,6 +40,14 @@
 //!    with the greedy incumbent leaves the exact plan, cost, and
 //!    footprint bit-identical (only `dp.bnb_*` effort counters and the
 //!    frontier shape may move).
+//! 10. **Canonicalization & plan cache** — re-rendering the tree with
+//!     reversed declarations (renumbering every index and node id) and
+//!     hash-seeded commutative operand swaps must hash to the same
+//!     canonical key and optimize to the same optimal cost; and a
+//!     store/lookup round-trip through an on-disk plan cache must return
+//!     the identical plan, cost scalars, counters (modulo
+//!     [`tce_obs::NONDETERMINISTIC_COUNTERS`]), and per-node statistics —
+//!     including when looked up through the renamed isomorph.
 //!
 //! On failure, [`shrink::shrink_tree`] minimizes the tree (drop subtrees,
 //! re-root, shrink extents) while the failure reproduces, and the
@@ -109,7 +117,7 @@ impl Default for FuzzConfig {
 pub struct Failure {
     /// Which oracle tripped (`threads`, `pruning`, `frontier`,
     /// `scheduler`, `lower_bound`, `check`, `numeric`, `ledger`,
-    /// `exhaustive`, `optimize`, `simulate`).
+    /// `exhaustive`, `optimize`, `simulate`, `cache`).
     pub oracle: &'static str,
     /// Human-readable description of the disagreement.
     pub detail: String,
@@ -562,6 +570,189 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
             }
         }
 
+        // Oracle 10: canonicalization and the two-level plan cache.
+        //
+        // (a) L1 differential: turning in-run isomorphic-subtree reuse off
+        //     must leave the exact search bit-identical — reuse may only
+        //     splice in frontiers that the disabled run recomputes from
+        //     scratch, never change them.
+        // (b) Disk round-trip: store the reference run, look it up again,
+        //     and require the identical plan, cost scalars, counters
+        //     (modulo [`tce_obs::NONDETERMINISTIC_COUNTERS`]), and
+        //     per-node statistics back.
+        // (c) Rename/commute invariance: re-render the tree with reversed
+        //     declarations (renumbering every index and node id on
+        //     re-parse) and hash-seeded commutative operand swaps; the
+        //     variant must produce the same canonical hash, the same cache
+        //     file name, the same optimal cost (to tolerance — swapped
+        //     operands reorder the float accumulation), and a warm hit
+        //     against the entry the original stored. The *plan* of a fresh
+        //     search on a commuted variant may legitimately be the
+        //     mirror image (equal cost, operands enumerated in declared
+        //     order), so plan equality is only asserted for the cache hit,
+        //     whose scalars are stored verbatim.
+        {
+            let noreuse = optimize(
+                tree,
+                &cm,
+                &OptimizerConfig { disable_subtree_reuse: true, ..base_config(cfg) },
+            )
+            .map_err(|e| fail("cache", format!("p={procs} noreuse: {e:?}")))?;
+            stats.optimizations += 1;
+            if noreuse.comm_cost.to_bits() != base.comm_cost.to_bits()
+                || noreuse.mem_words != base.mem_words
+                || noreuse.max_msg_words != base.max_msg_words
+                || noreuse.best_index != base.best_index
+            {
+                return Err(fail(
+                    "cache",
+                    format!(
+                        "p={procs}: subtree reuse changed the result: cost {} vs {}, mem {} vs {}",
+                        base.comm_cost, noreuse.comm_cost, base.mem_words, noreuse.mem_words
+                    ),
+                ));
+            }
+            if extract_plan(tree, &noreuse).to_json() != base_json {
+                return Err(fail(
+                    "cache",
+                    format!("p={procs}: plan differs with subtree reuse disabled"),
+                ));
+            }
+
+            let form = tce_expr::canonical_form(tree);
+            if let Some(key) = tce_core::cache_key(tree, &cm, &base_cfg) {
+                let dir = std::env::temp_dir().join(format!(
+                    "tce-fuzz-cache-{}-{procs}-{:032x}",
+                    std::process::id(),
+                    form.hash
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let cache = tce_core::PlanCache::at(&dir);
+                let outcome = (|| {
+                    cache
+                        .store(tree, &key, &base_plan, &base)
+                        .map_err(|e| fail("cache", format!("p={procs} store: {e}")))?;
+                    let hit = cache.lookup(tree, &cm, &key);
+                    let Some(run) = hit.run else {
+                        return Err(fail(
+                            "cache",
+                            format!(
+                                "p={procs}: lookup missed its own store (evicted: {:?})",
+                                hit.evicted
+                            ),
+                        ));
+                    };
+                    if run.plan.to_json() != base_json {
+                        return Err(fail("cache", format!("p={procs}: round-trip plan differs")));
+                    }
+                    if run.opt.comm_cost.to_bits() != base.comm_cost.to_bits()
+                        || run.opt.mem_words != base.mem_words
+                        || run.opt.max_msg_words != base.max_msg_words
+                        || run.opt.output_redist_cost.to_bits() != base.output_redist_cost.to_bits()
+                        || run.opt.comm_lower_bound.to_bits() != base.comm_lower_bound.to_bits()
+                    {
+                        return Err(fail("cache", format!("p={procs}: round-trip scalars differ")));
+                    }
+                    for (counter, v) in base.counters.iter() {
+                        if tce_obs::NONDETERMINISTIC_COUNTERS.contains(&counter) {
+                            continue; // cache-state-dependent by design
+                        }
+                        if v != run.opt.counters.get(counter) {
+                            return Err(fail(
+                                "cache",
+                                format!(
+                                    "p={procs}: round-trip counter {counter} {} vs {v}",
+                                    run.opt.counters.get(counter)
+                                ),
+                            ));
+                        }
+                    }
+                    if format!("{:?}", run.opt.stats) != format!("{:?}", base.stats) {
+                        return Err(fail(
+                            "cache",
+                            format!("p={procs}: round-trip per-node statistics differ"),
+                        ));
+                    }
+
+                    // (c) The renamed/commuted isomorph.
+                    if let Some(src) = render_renamed_variant(tree, form.hash) {
+                        let tree2 = tce_expr::parse(&src)
+                            .map_err(|e| fail("cache", format!("p={procs}: variant parse: {e}")))?
+                            .to_sequence()
+                            .map_err(|e| {
+                                fail("cache", format!("p={procs}: variant sequence: {e}"))
+                            })?
+                            .to_tree()
+                            .map_err(|e| fail("cache", format!("p={procs}: variant tree: {e}")))?;
+                        let form2 = tce_expr::canonical_form(&tree2);
+                        if form2.hash != form.hash {
+                            return Err(fail(
+                                "cache",
+                                format!(
+                                    "p={procs}: canonical hash not rename-invariant: {:032x} vs {:032x}",
+                                    form.hash, form2.hash
+                                ),
+                            ));
+                        }
+                        let alt = optimize(&tree2, &cm, &base_cfg)
+                            .map_err(|e| fail("cache", format!("p={procs} variant: {e:?}")))?;
+                        stats.optimizations += 1;
+                        // Operand swaps reorder the sequential cost
+                        // accumulation, so the fresh optimum can move by an
+                        // ulp — equal to tolerance, not to the bit (the
+                        // *cache hit* below is still bit-exact: its scalars
+                        // are stored verbatim).
+                        if !approx_eq(alt.comm_cost, base.comm_cost, 1e-9) {
+                            return Err(fail(
+                                "cache",
+                                format!(
+                                    "p={procs}: variant optimum {} != original {}",
+                                    alt.comm_cost, base.comm_cost
+                                ),
+                            ));
+                        }
+                        let key2 =
+                            tce_core::cache_key(&tree2, &cm, &base_cfg).ok_or_else(|| {
+                                fail("cache", format!("p={procs}: variant key missing"))
+                            })?;
+                        if key2.file_name() != key.file_name() {
+                            return Err(fail(
+                                "cache",
+                                format!("p={procs}: variant maps to a different cache file"),
+                            ));
+                        }
+                        let hit2 = cache.lookup(&tree2, &cm, &key2);
+                        let Some(run2) = hit2.run else {
+                            return Err(fail(
+                                "cache",
+                                format!(
+                                    "p={procs}: variant lookup missed (evicted: {:?})",
+                                    hit2.evicted
+                                ),
+                            ));
+                        };
+                        if run2.opt.comm_cost.to_bits() != base.comm_cost.to_bits()
+                            || run2.opt.mem_words != base.mem_words
+                            || run2.plan.comm_cost.to_bits() != base_plan.comm_cost.to_bits()
+                        {
+                            return Err(fail(
+                                "cache",
+                                format!("p={procs}: variant hit scalars differ"),
+                            ));
+                        }
+                        tce_check::check_plan(&tree2, &run2.plan, Some(&cm), Some(machine_limit))
+                            .to_result()
+                            .map_err(|e| {
+                                fail("cache", format!("p={procs}: remapped plan fails checks: {e}"))
+                            })?;
+                    }
+                    Ok(())
+                })();
+                let _ = std::fs::remove_dir_all(&dir);
+                outcome?;
+            }
+        }
+
         // Oracles 3–5 on the reference plan.
         validate_plan_deeply(
             tree,
@@ -688,6 +879,69 @@ pub fn check_tree(tree: &ExprTree, cfg: &FuzzConfig) -> Result<TreeStats, Failur
         }
     }
     Ok(stats)
+}
+
+/// Re-render `tree` as `.tce` source with every declaration order reversed
+/// — re-parsing renumbers all index and node ids — and the operands of the
+/// `i`-th contraction (postorder) swapped when bit `i mod 128` of
+/// `swap_mask` is set. The result is a syntactically different program for
+/// the same expression, exercising the canonicalizer's rename-bijection
+/// and commutativity claims. Returns `None` for trees the surface grammar
+/// cannot spell (scalar tensors).
+fn render_renamed_variant(tree: &ExprTree, swap_mask: u128) -> Option<String> {
+    use std::fmt::Write as _;
+    use tce_expr::NodeKind;
+    let post = tree.postorder();
+    if post.iter().any(|&n| tree.node(n).tensor.dims.is_empty()) {
+        return None;
+    }
+    let term = |n: tce_expr::NodeId| -> String {
+        let dims: Vec<String> =
+            tree.node(n).tensor.dims.iter().map(|d| format!("v{}", d.as_usize())).collect();
+        format!("t{}[{}]", n.as_usize(), dims.join(","))
+    };
+    let mut src = String::new();
+    for n in (0..tree.space.len()).rev() {
+        let _ = writeln!(src, "range v{n} = {};", tree.space.extent(tce_expr::IndexId(n as u32)));
+    }
+    for &node in post.iter().rev() {
+        if tree.node(node).is_leaf() {
+            let _ = writeln!(src, "input {};", term(node));
+        }
+    }
+    let mut contract_pos = 0u32;
+    for &node in &post {
+        match &tree.node(node).kind {
+            NodeKind::Leaf => {}
+            NodeKind::Contract { sum, left, right } => {
+                let (a, b) = if swap_mask >> (contract_pos % 128) & 1 == 1 {
+                    (*right, *left)
+                } else {
+                    (*left, *right)
+                };
+                contract_pos += 1;
+                if sum.is_empty() {
+                    let _ = writeln!(src, "{} = {} * {};", term(node), term(a), term(b));
+                } else {
+                    let sums: Vec<String> =
+                        sum.iter().map(|s| format!("v{}", s.as_usize())).collect();
+                    let _ = writeln!(
+                        src,
+                        "{} = sum[{}] {} * {};",
+                        term(node),
+                        sums.join(","),
+                        term(a),
+                        term(b)
+                    );
+                }
+            }
+            NodeKind::Reduce { sum, child } => {
+                let _ =
+                    writeln!(src, "{} = sum[v{}] {};", term(node), sum.as_usize(), term(*child));
+            }
+        }
+    }
+    Some(src)
 }
 
 /// A deterministic initial-layout pin for the first input array (postorder)

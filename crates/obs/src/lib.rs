@@ -131,6 +131,78 @@ pub mod names {
     /// `tce_cost::Characterization::rcost` during the run. Query counts
     /// depend on memo-fill races, so this is interleaving-dependent.
     pub const RCOST_FALLBACK: &str = "cost.rcost_fallback";
+    /// Internal nodes whose Pareto frontier was replayed from an
+    /// isomorphic, already-solved subtree of the same run (level-1 plan
+    /// cache). The replayed frontier is bit-identical to a fresh
+    /// enumeration, so every deterministic counter above is unchanged;
+    /// only the work done differs. Varies with
+    /// `OptimizerConfig::disable_subtree_reuse`, so equivalence checks
+    /// across that knob must skip it.
+    pub const SUBTREE_HIT: &str = "dp.subtree_hit";
+    /// Internal nodes enumerated fresh because no isomorphic subtree had
+    /// been solved yet (or reuse is disabled / gated off).
+    pub const SUBTREE_MISS: &str = "dp.subtree_miss";
+    /// Level-2 (on-disk) plan-cache hits: a stored plan was loaded,
+    /// rename-mapped, and passed the full static re-validation.
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Level-2 plan-cache misses (no entry for the canonical key).
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Plans persisted to the level-2 cache after a fresh search.
+    pub const CACHE_STORE: &str = "cache.store";
+    /// Level-2 entries evicted because the file was unreadable or failed
+    /// to parse (truncation, torn writes, hand corruption).
+    pub const CACHE_EVICT_CORRUPT: &str = "cache.evict_corrupt";
+    /// Level-2 entries evicted for a stale schema or code-version stamp.
+    pub const CACHE_EVICT_VERSION: &str = "cache.evict_version";
+    /// Level-2 entries evicted because the stored characterization digest
+    /// does not match the current cost model (different machine profile).
+    pub const CACHE_EVICT_DIGEST: &str = "cache.evict_digest";
+    /// Level-2 entries evicted because the stored plan failed the static
+    /// check registry or its cost ledger after rename-mapping — the
+    /// validation-on-load gate that keeps cache poisoning from ever
+    /// returning a bad plan.
+    pub const CACHE_EVICT_PLAN: &str = "cache.evict_plan";
+
+    /// Every counter name above, in declaration order — for interning and
+    /// exhaustive listings.
+    pub const ALL: [&str; 29] = [
+        CANDIDATES,
+        PRUNED_MEMORY,
+        PRUNED_INFERIOR,
+        REDIST_FALLBACKS,
+        FRONTIER,
+        NODES,
+        MEMO_HIT,
+        MEMO_MISS,
+        BNB_SKIP,
+        BNB_BLOCK,
+        BNB_FLOOR,
+        BLOCKS,
+        STEAL,
+        WORKER_BUSY_US,
+        ARENA_HW_BYTES,
+        NODE_CANDIDATES,
+        NODE_LIVE,
+        BNB_WARM,
+        LB_FLOOR_FALLBACK,
+        RCOST_FALLBACK,
+        SUBTREE_HIT,
+        SUBTREE_MISS,
+        CACHE_HIT,
+        CACHE_MISS,
+        CACHE_STORE,
+        CACHE_EVICT_CORRUPT,
+        CACHE_EVICT_VERSION,
+        CACHE_EVICT_DIGEST,
+        CACHE_EVICT_PLAN,
+    ];
+
+    /// Map a counter name back to its `'static` constant — needed to load
+    /// a persisted counter bag into a [`crate::Counters`], whose `add`
+    /// takes `&'static str`. `None` for names no release ever emitted.
+    pub fn intern(name: &str) -> Option<&'static str> {
+        ALL.iter().copied().find(|&c| c == name)
+    }
 }
 
 /// The counters whose totals depend on worker-thread interleaving and are
@@ -141,9 +213,15 @@ pub mod names {
 /// chunks skip less), and the steal count (which worker drains a region
 /// first is a race).
 ///
+/// The `dp.subtree_*` and `cache.*` counters are deterministic for a fixed
+/// configuration but vary with cache state (warm vs. cold disk cache,
+/// subtree reuse on vs. off) while the *results* stay bit-identical, so
+/// they join the list for the same reason: equivalence checks compare
+/// outcomes, not how the work was avoided.
+///
 /// `tests/parallel_equivalence.rs` and the fuzz `threads` oracle both
 /// consume this list instead of hardcoding their own copies.
-pub const NONDETERMINISTIC_COUNTERS: [&str; 8] = [
+pub const NONDETERMINISTIC_COUNTERS: [&str; 17] = [
     names::MEMO_HIT,
     names::MEMO_MISS,
     names::BNB_SKIP,
@@ -152,6 +230,15 @@ pub const NONDETERMINISTIC_COUNTERS: [&str; 8] = [
     names::BNB_WARM,
     names::STEAL,
     names::RCOST_FALLBACK,
+    names::SUBTREE_HIT,
+    names::SUBTREE_MISS,
+    names::CACHE_HIT,
+    names::CACHE_MISS,
+    names::CACHE_STORE,
+    names::CACHE_EVICT_CORRUPT,
+    names::CACHE_EVICT_VERSION,
+    names::CACHE_EVICT_DIGEST,
+    names::CACHE_EVICT_PLAN,
 ];
 
 struct Global {

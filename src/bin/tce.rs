@@ -102,6 +102,13 @@ struct Args {
     bench_repeats: usize,
     /// lint: treat warnings as errors (non-zero exit).
     deny_warnings: bool,
+    /// optimize/cache: explicit plan-cache directory (overrides the
+    /// platform default `~/.cache/tce`).
+    plan_cache: Option<String>,
+    /// optimize: disable the persistent plan cache entirely.
+    no_plan_cache: bool,
+    /// optimize: disable the level-1 in-run subtree reuse (ablation).
+    no_subtree_reuse: bool,
 }
 
 fn usage() -> ExitCode {
@@ -109,6 +116,7 @@ fn usage() -> ExitCode {
         "usage: tce <command> <file.tce> [options]
        tce fuzz [--seeds N] [--start S] [--replay file.tce] [--corpus DIR]
        tce bench [--smoke] [--out FILE] [--baseline FILE] [--repeats N]
+       tce cache <stats|verify|clear> [--plan-cache DIR]
 
 commands:
   optimize   run the memory-constrained communication optimization and
@@ -139,7 +147,11 @@ commands:
              minimized and pinned as reproducers (no file argument)
   bench      run the tracked search-benchmark grid (standard workloads,
              enlarged space, --no-pruning, at 1/2/4 threads) from the repo
-             root and write a schema-stable BENCH_8.json (no file argument)
+             root and write a schema-stable BENCH_9.json (no file argument)
+  cache      manage the persistent plan cache: `stats` (entries, bytes,
+             hit/miss/eviction totals), `verify` (re-check every stored
+             plan against its embedded canonical workload, exit 1 on
+             corruption), `clear` (delete all entries)
 
 options:
   --procs N              processors in the (square) virtual grid [16]
@@ -195,9 +207,15 @@ options:
                          through the full differential loop
   --corpus DIR           fuzz: where minimized reproducers are pinned
                          [golden/fuzz_corpus]; `none` disables
+  --plan-cache DIR       optimize/cache: plan-cache directory
+                         [$XDG_CACHE_HOME/tce or ~/.cache/tce]
+  --no-plan-cache        optimize: skip the persistent plan cache (cached
+                         entries are neither read nor written)
+  --no-subtree-reuse     optimize: disable the level-1 in-run subtree
+                         reuse (ablation; results are bit-identical)
   --smoke                bench: run only the CI smoke subset
   --out FILE             bench: where to write the JSON report
-                         [BENCH_8.json]; `-` prints to stdout only
+                         [BENCH_9.json]; `-` prints to stdout only
   --baseline FILE        bench: compare wall-clock against this committed
                          report; exit 1 if a guarded (enlarged-space)
                          scenario regressed by more than 25%
@@ -253,10 +271,13 @@ fn parse_args() -> Result<Args, ExitCode> {
         replay: None,
         corpus: "golden/fuzz_corpus".into(),
         bench_smoke: false,
-        bench_out: "BENCH_8.json".into(),
+        bench_out: "BENCH_9.json".into(),
         bench_baseline: None,
         bench_repeats: 0,
         deny_warnings: false,
+        plan_cache: None,
+        no_plan_cache: false,
+        no_subtree_reuse: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -312,6 +333,9 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--baseline" => args.bench_baseline = Some(value("--baseline")?),
             "--repeats" => args.bench_repeats = parsed!("--repeats"),
             "--deny-warnings" => args.deny_warnings = true,
+            "--plan-cache" => args.plan_cache = Some(value("--plan-cache")?),
+            "--no-plan-cache" => args.no_plan_cache = true,
+            "--no-subtree-reuse" => args.no_subtree_reuse = true,
             other if other.starts_with("--progress=") => {
                 let raw = &other["--progress=".len()..];
                 args.progress = Some(raw.parse().map_err(|_| bad_value("--progress", raw))?);
@@ -387,6 +411,7 @@ fn opt_config(args: &Args, tree: &ExprTree) -> Result<OptimizerConfig, String> {
         verify: args.verify,
         planner,
         time_budget_ms: args.time_budget_ms,
+        disable_subtree_reuse: args.no_subtree_reuse,
         ..Default::default()
     };
     for (name, spec) in &args.pin_inputs {
@@ -495,6 +520,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args),
         "fuzz" => cmd_fuzz(&args),
         "bench" => cmd_bench(&args),
+        "cache" => cmd_cache(&args),
         _ => return usage(),
     };
     match result {
@@ -542,6 +568,68 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     }
 }
 
+/// The level-2 plan cache selected by the flags: an explicit
+/// `--plan-cache` directory, else the platform default, else `None`
+/// (caching off) under `--no-plan-cache` or when no cache directory can
+/// be determined.
+fn resolve_plan_cache(args: &Args) -> Option<tensor_contraction_opt::core::PlanCache> {
+    use tensor_contraction_opt::core::PlanCache;
+    if args.no_plan_cache {
+        return None;
+    }
+    let dir = match &args.plan_cache {
+        Some(d) => std::path::PathBuf::from(d),
+        None => PlanCache::default_location()?,
+    };
+    Some(PlanCache::at(dir))
+}
+
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    let cache = resolve_plan_cache(args)
+        .ok_or("no plan-cache directory (pass --plan-cache DIR or set HOME)")?;
+    match args.file.as_str() {
+        "stats" => {
+            let s = cache.stats();
+            println!("plan cache at {}", cache.dir().display());
+            println!("  entries: {}", s.entries);
+            println!("  bytes:   {}", s.bytes);
+            for (name, value) in &s.counters {
+                println!("  {name}: {value}");
+            }
+            Ok(())
+        }
+        "verify" => {
+            let outcomes = cache.verify();
+            if outcomes.is_empty() {
+                println!("plan cache at {}: empty", cache.dir().display());
+                return Ok(());
+            }
+            let mut bad = 0usize;
+            for o in &outcomes {
+                match &o.result {
+                    Ok(desc) => println!("  ok  {} ({desc})", o.file),
+                    Err(why) => {
+                        bad += 1;
+                        println!("  BAD {} — {why}", o.file);
+                    }
+                }
+            }
+            if bad == 0 {
+                println!("{} entries verified clean", outcomes.len());
+                Ok(())
+            } else {
+                Err(format!("{bad} of {} entries failed verification", outcomes.len()))
+            }
+        }
+        "clear" => {
+            let removed = cache.clear()?;
+            println!("removed {removed} entries from {}", cache.dir().display());
+            Ok(())
+        }
+        other => Err(format!("unknown cache action `{other}` (expected stats, verify, or clear)")),
+    }
+}
+
 fn cmd_optimize(args: &Args) -> Result<(), String> {
     let cm = cost_model(args)?;
     // Cheap static pre-pass: a lint *error* means the search (or the
@@ -560,21 +648,59 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
     }
     let tree = load_tree(&args.file)?;
     let cfg = opt_config(args, &tree)?;
-    let planned = with_progress_and_metrics(args, || {
-        with_trace(args.trace.as_deref(), || plan_with(&tree, &cm, &cfg).map_err(|e| e.to_string()))
-    })?;
-    let opt = planned.opt;
-    if cfg.planner != Planner::Exact {
-        eprintln!(
-            "planner: {} ({} evaluations, certified gap {:.6} s{})",
-            planned.planner.name(),
-            planned.evaluations,
-            opt.comm_cost - opt.comm_lower_bound,
-            if planned.budget_exhausted { ", budget exhausted" } else { "" }
-        );
+    // Level-2 plan cache: consult before searching. A hit has already
+    // been rename-mapped onto this tree and re-validated by the full
+    // check registry (cost model and memory limit included) inside
+    // `lookup`, so the whole DP search is skipped; anything suspect was
+    // evicted with a reason and falls through to a fresh search.
+    let cache = resolve_plan_cache(args);
+    let key =
+        cache.as_ref().and_then(|_| tensor_contraction_opt::core::cache_key(&tree, &cm, &cfg));
+    let mut cached = None;
+    if let (Some(c), Some(k)) = (&cache, &key) {
+        let out = c.lookup(&tree, &cm, k);
+        if let Some(reason) = out.evicted {
+            eprintln!("plan cache: evicted invalid entry ({reason}); re-optimizing");
+        }
+        cached = out.run;
     }
-    let plan = extract_plan(&tree, &opt);
-    validate_plan(&tree, &plan)?;
+    let warm = cached.is_some();
+    let (opt, plan) = match cached {
+        Some(run) => {
+            if let Some(k) = &key {
+                eprintln!("plan cache: warm hit (canonical hash {:032x})", k.expr_hash);
+            }
+            (run.opt, run.plan)
+        }
+        None => {
+            let planned = with_progress_and_metrics(args, || {
+                with_trace(args.trace.as_deref(), || {
+                    plan_with(&tree, &cm, &cfg).map_err(|e| e.to_string())
+                })
+            })?;
+            let opt = planned.opt;
+            if cfg.planner != Planner::Exact {
+                eprintln!(
+                    "planner: {} ({} evaluations, certified gap {:.6} s{})",
+                    planned.planner.name(),
+                    planned.evaluations,
+                    opt.comm_cost - opt.comm_lower_bound,
+                    if planned.budget_exhausted { ", budget exhausted" } else { "" }
+                );
+            }
+            let plan = extract_plan(&tree, &opt);
+            validate_plan(&tree, &plan)?;
+            if let (Some(c), Some(k)) = (&cache, &key) {
+                match c.store(&tree, k, &plan, &opt) {
+                    Ok(()) => {
+                        eprintln!("plan cache: stored {}", c.dir().join(k.file_name()).display())
+                    }
+                    Err(e) => eprintln!("plan cache: store failed: {e}"),
+                }
+            }
+            (opt, plan)
+        }
+    };
     if args.stats {
         println!("search statistics:");
         print!("{}", tensor_contraction_opt::core::render_search_stats(&opt));
@@ -602,7 +728,20 @@ fn cmd_optimize(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     print!("{}", render_report(&build_report(&tree, &plan, &cm)));
-    if let Ok(e) = tensor_contraction_opt::core::explain(&tree, &cm, &opt_config(args, &tree)?) {
+    if warm {
+        // The per-node decision record needs the search's solution sets,
+        // which a cached run skips producing — re-deriving it would cost
+        // the search the cache just saved. `tce explain` still works.
+        if let Some(k) = &key {
+            println!(
+                "\ncache: level-2 warm hit (canonical hash {:032x}); plan revalidated on \
+                 load — run `tce explain` for the per-node decision record",
+                k.expr_hash
+            );
+        }
+    } else if let Ok(e) =
+        tensor_contraction_opt::core::explain(&tree, &cm, &opt_config(args, &tree)?)
+    {
         println!("\n{}", e.text);
     }
     println!("\nplan:");
@@ -745,6 +884,18 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     let (tree, cm, planned) = optimize_for_provenance(args)?;
     let prov = build_provenance(&tree, &planned.opt, &cm, PROVENANCE_TOP_K);
     print!("{}", render_provenance(&tree, &prov));
+    // Cache line: the canonical identity of this expression and how much
+    // of the search the in-run subtree reuse absorbed. `explain` always
+    // re-optimizes (the decision record needs the live solution sets),
+    // so level 2 is reported as not consulted.
+    let form = tensor_contraction_opt::expr::canonical_form(&tree);
+    println!(
+        "cache: canonical hash {:032x}; level-1 subtree reuse {} hit / {} miss; \
+         level-2 not consulted (explain re-optimizes for the decision record)",
+        form.hash,
+        planned.opt.counters.get(obs::names::SUBTREE_HIT),
+        planned.opt.counters.get(obs::names::SUBTREE_MISS),
+    );
     if planned.planner != Planner::Exact {
         println!(
             "planner: {} — {} restricted evaluations, budget {}",
@@ -925,6 +1076,10 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     // must not fall behind their own serial cell (hard error).
     let scaling = tensor_contraction_opt::bench::suite::check_thread_scaling(&report, 0.10)?;
     print!("{scaling}");
+    // Warm-cache gate: every plan-cache cell must hit on all warm
+    // lookups and undercut its own cold search by at least 5x.
+    let warm = tensor_contraction_opt::bench::suite::check_warm_cache(&report, 5.0)?;
+    print!("{warm}");
     if let Some(path) = &args.bench_baseline {
         let base: serde_json::Value = serde_json::from_str(
             &std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
@@ -1018,10 +1173,13 @@ mod tests {
             replay: None,
             corpus: "golden/fuzz_corpus".into(),
             bench_smoke: false,
-            bench_out: "BENCH_8.json".into(),
+            bench_out: "BENCH_9.json".into(),
             bench_baseline: None,
             bench_repeats: 0,
             deny_warnings: false,
+            plan_cache: None,
+            no_plan_cache: false,
+            no_subtree_reuse: false,
         };
         let cfg = opt_config(&args, &tree).unwrap();
         assert!(cfg.allow_unrelated_rotation);
